@@ -1,0 +1,96 @@
+// Banking example (Lynch's motivating scenario, quoted in Section 1):
+// families of customers share accounts; a bank audit must be atomic with
+// respect to everything, credit audits interact mildly with their
+// family's customers, and same-family customer transactions interleave
+// freely.
+//
+// The program builds the scenario, runs it under every scheduler, and
+// shows how relative atomicity turns audit-induced serialization stalls
+// into admissible interleavings.
+//
+// Build & run:  ./build/examples/banking
+#include <iomanip>
+#include <iostream>
+#include <memory>
+
+#include "sched/engine.h"
+#include "sched/graph_based.h"
+#include "sched/lock_based.h"
+#include "sched/serial.h"
+#include "sched/verify.h"
+#include "spec/text.h"
+#include "util/table.h"
+#include "workload/scenarios.h"
+
+int main() {
+  using namespace relser;
+
+  BankingParams params;
+  params.families = 3;
+  params.accounts_per_family = 4;
+  params.customers_per_family = 3;
+  params.transfers_per_customer = 3;
+  params.credit_audits = 2;
+  Rng rng(2026);
+  const BankingScenario scenario = MakeBankingScenario(params, &rng);
+
+  std::cout << "Banking scenario: " << scenario.txns.txn_count()
+            << " transactions over " << scenario.txns.object_count()
+            << " accounts\n";
+  for (TxnId t = 0; t < scenario.txns.txn_count(); ++t) {
+    std::cout << "  T" << t + 1 << " = " << scenario.label[t] << " ("
+              << scenario.txns.txn(t).size() << " ops)\n";
+  }
+  std::cout << "\nSample of the specification (customer vs credit audit):\n";
+  for (TxnId i = 0; i < scenario.txns.txn_count(); ++i) {
+    if (scenario.role[i] == BankingRole::kCustomer &&
+        scenario.family[i] == 0) {
+      for (TxnId j = 0; j < scenario.txns.txn_count(); ++j) {
+        if (j != i && scenario.role[j] == BankingRole::kCreditAudit &&
+            scenario.family[j] == 0) {
+          std::cout << "  "
+                    << AtomicityLineToString(scenario.txns, scenario.spec, i,
+                                             j)
+                    << "\n";
+        }
+      }
+      break;
+    }
+  }
+
+  AsciiTable table({"scheduler", "makespan", "throughput", "blocks",
+                    "aborts", "cascades", "guarantee"});
+  const char* names[] = {"serial", "2pl", "unit2pl", "sgt", "rsgt"};
+  for (const char* name : names) {
+    std::unique_ptr<Scheduler> scheduler;
+    const std::string n = name;
+    if (n == "serial") scheduler = std::make_unique<SerialScheduler>();
+    if (n == "2pl") scheduler = std::make_unique<Strict2PLScheduler>();
+    if (n == "unit2pl") {
+      scheduler =
+          std::make_unique<UnitLockScheduler>(scenario.txns, scenario.spec);
+    }
+    if (n == "sgt") scheduler = std::make_unique<SGTScheduler>(scenario.txns);
+    if (n == "rsgt") {
+      scheduler =
+          std::make_unique<RSGTScheduler>(scenario.txns, scenario.spec);
+    }
+    SimParams sp;
+    sp.seed = 17;
+    sp.think_time = {2};  // audits and transfers take time
+    const SimResult result = RunSimulation(scenario.txns, scheduler.get(), sp);
+    const RunVerification verification =
+        VerifyRun(scenario.txns, scenario.spec, result, GuaranteeOf(n));
+    table.AddRow({n, std::to_string(result.metrics.makespan),
+                  FormatDouble(result.metrics.Throughput()),
+                  std::to_string(result.metrics.blocks),
+                  std::to_string(result.metrics.aborts),
+                  std::to_string(result.metrics.cascade_aborts),
+                  verification.guarantee_held ? "held" : "VIOLATED"});
+  }
+  std::cout << "\n";
+  table.Print(std::cout);
+  std::cout << "\nRelative atomicity lets the RSGT/unit-2PL schedulers"
+               " admit interleavings the classical protocols serialize.\n";
+  return 0;
+}

@@ -1,0 +1,92 @@
+// CAD collaboration example (Section 5): teams of designers work on
+// team-owned modules with free intra-team interleaving, expose cross-team
+// breakpoints only at phase boundaries, and a release transaction is
+// atomic with respect to everyone.
+//
+// The program demonstrates (a) schedule checking against the scenario
+// spec — an intra-team interleaving is accepted while the same
+// interleaving across teams inside a phase is rejected — and (b) the
+// witness extraction of Theorem 1.
+//
+// Build & run:  ./build/examples/cad_collab
+#include <iostream>
+
+#include "core/checkers.h"
+#include "core/rsr.h"
+#include "model/text.h"
+#include "workload/generator.h"
+#include "workload/scenarios.h"
+
+int main() {
+  using namespace relser;
+
+  CadParams params;
+  params.teams = 2;
+  params.designers_per_team = 2;
+  params.modules_per_team = 2;
+  params.shared_modules = 1;
+  params.phases = 2;
+  Rng rng(7);
+  const CadScenario scenario = MakeCadScenario(params, &rng);
+
+  std::cout << "CAD scenario: " << scenario.txns.txn_count()
+            << " transactions\n";
+  for (TxnId t = 0; t < scenario.txns.txn_count(); ++t) {
+    std::cout << "  T" << t + 1 << " (" << scenario.label[t]
+              << ") = " << ToString(scenario.txns, scenario.txns.txn(t))
+              << "\n";
+  }
+
+  // Generate random interleavings and report how the spec judges them.
+  std::size_t relatively_serial = 0;
+  std::size_t relatively_serializable = 0;
+  constexpr int kTrials = 200;
+  Schedule example_rejected;
+  Schedule example_rs_only;
+  bool have_rejected = false;
+  bool have_rs_only = false;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const Schedule schedule = RandomSchedule(scenario.txns, &rng);
+    const bool rs = IsRelativelySerial(scenario.txns, schedule,
+                                       scenario.spec);
+    const bool rsr =
+        IsRelativelySerializable(scenario.txns, schedule, scenario.spec);
+    relatively_serial += rs ? 1 : 0;
+    relatively_serializable += rsr ? 1 : 0;
+    if (!rsr && !have_rejected) {
+      example_rejected = schedule;
+      have_rejected = true;
+    }
+    if (rsr && !rs && !have_rs_only) {
+      example_rs_only = schedule;
+      have_rs_only = true;
+    }
+  }
+  std::cout << "\nOut of " << kTrials << " random interleavings:\n"
+            << "  relatively serial:        " << relatively_serial << "\n"
+            << "  relatively serializable:  " << relatively_serializable
+            << "\n";
+
+  if (have_rejected) {
+    const DependsOnRelation depends(scenario.txns, example_rejected);
+    const auto violation = FindRelativeSerialityViolation(
+        scenario.txns, example_rejected, scenario.spec, depends);
+    std::cout << "\nExample rejected interleaving:\n  "
+              << ToString(scenario.txns, example_rejected) << "\n";
+    if (violation.has_value()) {
+      std::cout << "  first violation: "
+                << ViolationToString(scenario.txns, *violation) << "\n";
+    }
+  }
+  if (have_rs_only) {
+    const RsrAnalysis analysis = AnalyzeRelativeSerializability(
+        scenario.txns, example_rs_only, scenario.spec);
+    std::cout << "\nExample accepted-by-equivalence interleaving:\n  "
+              << ToString(scenario.txns, example_rs_only) << "\n";
+    if (analysis.witness.has_value()) {
+      std::cout << "  relatively serial witness:\n  "
+                << ToString(scenario.txns, *analysis.witness) << "\n";
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,141 @@
+// classify_tool: an interactive/scriptable classifier for schedules.
+//
+// Reads a description from stdin (or the file named by argv[1]) with
+// three sections, then prints the classification of each schedule, the
+// RSG verdict, and — for rejected schedules — the offending cycle.
+//
+//   transactions:
+//     T1 = r1[x] w1[x]
+//     T2 = w2[x]
+//   spec:
+//     Atomicity(T1,T2): r1[x] | w1[x]
+//   schedule: r1[x] w2[x] w1[x]
+//   schedule: w2[x] r1[x] w1[x]
+//
+// Lines starting with '#' are comments. The spec section may be empty
+// (absolute atomicity). Exit code 0 iff every schedule parsed.
+// Pass --dot as the last argument to additionally print each schedule's
+// relative serialization graph in Graphviz DOT form.
+//
+// Build & run:  ./build/examples/classify_tool < input.txt
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/classify.h"
+#include "core/explain.h"
+#include "core/repair.h"
+#include "core/rsg.h"
+#include "core/rsr.h"
+#include "model/text.h"
+#include "spec/text.h"
+#include "util/strings.h"
+
+int main(int argc, char** argv) {
+  using namespace relser;
+
+  bool emit_dot = false;
+  if (argc > 1 && std::string(argv[argc - 1]) == "--dot") {
+    emit_dot = true;
+    --argc;
+  }
+  std::string input;
+  if (argc > 1) {
+    std::ifstream file(argv[1]);
+    if (!file) {
+      std::cerr << "cannot open " << argv[1] << "\n";
+      return 2;
+    }
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    input = buffer.str();
+  } else {
+    std::stringstream buffer;
+    buffer << std::cin.rdbuf();
+    input = buffer.str();
+  }
+
+  std::string txn_text;
+  std::string spec_text;
+  std::vector<std::string> schedule_texts;
+  enum class Section { kNone, kTransactions, kSpec } section = Section::kNone;
+  for (const std::string& raw_line : StrSplit(input, '\n')) {
+    const std::string_view line = StrTrim(raw_line);
+    if (line.empty() || line[0] == '#') continue;
+    if (line == "transactions:") {
+      section = Section::kTransactions;
+      continue;
+    }
+    if (line == "spec:") {
+      section = Section::kSpec;
+      continue;
+    }
+    if (StartsWith(line, "schedule:")) {
+      schedule_texts.emplace_back(line.substr(9));
+      section = Section::kNone;
+      continue;
+    }
+    switch (section) {
+      case Section::kTransactions:
+        txn_text += std::string(line) + "\n";
+        break;
+      case Section::kSpec:
+        spec_text += std::string(line) + "\n";
+        break;
+      case Section::kNone:
+        std::cerr << "unexpected line outside any section: " << line << "\n";
+        return 2;
+    }
+  }
+
+  auto txns = ParseTransactionSet(txn_text);
+  if (!txns.ok()) {
+    std::cerr << "transactions: " << txns.status() << "\n";
+    return 2;
+  }
+  auto spec = ParseAtomicitySpec(*txns, spec_text);
+  if (!spec.ok()) {
+    std::cerr << "spec: " << spec.status() << "\n";
+    return 2;
+  }
+
+  std::cout << "parsed " << txns->txn_count() << " transactions, spec with "
+            << spec->TotalBreakpoints() << " breakpoints\n";
+  bool all_ok = true;
+  ClassifyOptions options;
+  options.with_relative_consistency = true;
+  options.brute_force_budget = 1u << 22;
+  for (const std::string& text : schedule_texts) {
+    auto schedule = ParseSchedule(*txns, text);
+    if (!schedule.ok()) {
+      std::cerr << "schedule '" << text << "': " << schedule.status() << "\n";
+      all_ok = false;
+      continue;
+    }
+    const ScheduleClassification c =
+        Classify(*txns, *schedule, *spec, options);
+    std::cout << "\nschedule " << ToString(*txns, *schedule) << "\n"
+              << "  classes: " << c.ToFlags() << "\n";
+    const RsrAnalysis analysis =
+        AnalyzeRelativeSerializability(*txns, *schedule, *spec);
+    if (emit_dot) {
+      const RelativeSerializationGraph rsg(*txns, *schedule, *spec);
+      std::cout << rsg.ToDot(*txns);
+    }
+    if (analysis.relatively_serializable) {
+      if (analysis.witness.has_value()) {
+        std::cout << "  witness: " << ToString(*txns, *analysis.witness)
+                  << "\n";
+      }
+    } else {
+      const RejectionExplanation explanation =
+          ExplainRejection(*txns, *schedule, *spec);
+      std::cout << explanation.text;
+      const SpecRepair repair = RepairSpec(*txns, *schedule, *spec);
+      std::cout << "  " << SuggestionsToString(*txns, repair);
+    }
+  }
+  return all_ok ? 0 : 2;
+}

@@ -1,0 +1,182 @@
+#include "core/brute.h"
+
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "model/op_indexer.h"
+#include "util/check.h"
+
+namespace relser {
+
+namespace {
+
+// Hash for cursor-state memoization (FNV-1a over the cursor words).
+struct CursorHash {
+  std::size_t operator()(const std::vector<std::uint32_t>& cursors) const {
+    std::uint64_t h = 1469598103934665603ULL;
+    for (const std::uint32_t c : cursors) {
+      h ^= c;
+      h *= 1099511628211ULL;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+enum class Mode { kRelativelyAtomic, kRelativelySerial };
+
+// Backtracking search over the conflict-equivalence class of a schedule.
+class EquivalentScheduleSearch {
+ public:
+  EquivalentScheduleSearch(const TransactionSet& txns,
+                           const Schedule& schedule,
+                           const AtomicitySpec& spec, Mode mode,
+                           std::uint64_t max_states, bool memoize)
+      : memoize_(memoize),
+        txns_(txns),
+        schedule_(schedule),
+        spec_(spec),
+        mode_(mode),
+        max_states_(max_states),
+        indexer_(txns),
+        depends_(mode == Mode::kRelativelySerial
+                     ? std::make_unique<DependsOnRelation>(txns, schedule)
+                     : nullptr),
+        cursors_(txns.txn_count(), 0),
+        placed_(indexer_.total_ops(), false) {
+    // conflict_preds_[g] = global ids of operations that conflict with g
+    // and precede it in the original schedule; all must be placed before
+    // g may be placed (conflict equivalence).
+    conflict_preds_.resize(indexer_.total_ops());
+    const auto& ops = schedule_.ops();
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+      for (std::size_t j = i + 1; j < ops.size(); ++j) {
+        if (Conflicts(ops[i], ops[j])) {
+          conflict_preds_[indexer_.GlobalId(ops[j])].push_back(
+              indexer_.GlobalId(ops[i]));
+        }
+      }
+    }
+  }
+
+  BruteForceResult Run() {
+    BruteForceResult result;
+    const bool found = Extend();
+    result.stats = stats_;
+    if (budget_exhausted_) {
+      result.decided = std::nullopt;
+      result.stats.exhausted = false;
+      return result;
+    }
+    result.stats.exhausted = true;
+    result.decided = found;
+    if (found) {
+      auto witness = Schedule::Over(txns_, prefix_);
+      RELSER_CHECK_MSG(witness.ok(), witness.status().ToString());
+      result.witness = *std::move(witness);
+    }
+    return result;
+  }
+
+ private:
+  bool Placeable(TxnId j) const {
+    const Transaction& txn = txns_.txn(j);
+    if (cursors_[j] >= txn.size()) return false;
+    const Operation& op = txn.op(cursors_[j]);
+    // Conflict equivalence: every conflicting predecessor already placed.
+    for (const std::size_t pred : conflict_preds_[indexer_.GlobalId(op)]) {
+      if (!placed_[pred]) return false;
+    }
+    // Atomicity: placing op must not interleave it into an open unit of
+    // any other transaction.
+    for (TxnId i = 0; i < txns_.txn_count(); ++i) {
+      if (i == j) continue;
+      const std::uint32_t c = cursors_[i];
+      // Unit of T_i (relative to T_j) containing the last placed op of
+      // T_i is open iff it continues past that op.
+      if (c == 0 || c >= txns_.txn(i).size()) continue;
+      if (spec_.HasBreakpoint(i, j, c - 1)) continue;  // unit just closed
+      if (mode_ == Mode::kRelativelyAtomic) return false;
+      // Definition 2: offensive only when op is depends-on-related to some
+      // operation of the open unit (the relation is fixed across the
+      // conflict-equivalence class, so this prefix check is exact).
+      const std::uint32_t first = spec_.PullBackward(i, j, c - 1);
+      const std::uint32_t last = spec_.PushForward(i, j, c - 1);
+      for (std::uint32_t m = first; m <= last; ++m) {
+        if (depends_->Related(op, txns_.txn(i).op(m))) return false;
+      }
+    }
+    return true;
+  }
+
+  bool Extend() {
+    if (budget_exhausted_) return false;
+    ++stats_.states_visited;
+    if (max_states_ != 0 && stats_.states_visited > max_states_) {
+      budget_exhausted_ = true;
+      return false;
+    }
+    if (prefix_.size() == indexer_.total_ops()) return true;
+    if (memoize_ && failed_states_.contains(cursors_)) {
+      ++stats_.memo_hits;
+      return false;
+    }
+    for (TxnId j = 0; j < txns_.txn_count(); ++j) {
+      if (!Placeable(j)) continue;
+      const Operation& op = txns_.txn(j).op(cursors_[j]);
+      prefix_.push_back(op);
+      placed_[indexer_.GlobalId(op)] = true;
+      ++cursors_[j];
+      const bool found = Extend();
+      if (found) return true;  // keep prefix_ for witness extraction
+      --cursors_[j];
+      placed_[indexer_.GlobalId(op)] = false;
+      prefix_.pop_back();
+      if (budget_exhausted_) return false;
+    }
+    if (memoize_) failed_states_.insert(cursors_);
+    return false;
+  }
+
+  const bool memoize_;
+  const TransactionSet& txns_;
+  const Schedule& schedule_;
+  const AtomicitySpec& spec_;
+  const Mode mode_;
+  const std::uint64_t max_states_;
+  const OpIndexer indexer_;
+  std::unique_ptr<DependsOnRelation> depends_;
+
+  std::vector<std::uint32_t> cursors_;
+  std::vector<bool> placed_;
+  std::vector<Operation> prefix_;
+  std::vector<std::vector<std::size_t>> conflict_preds_;
+  std::unordered_set<std::vector<std::uint32_t>, CursorHash> failed_states_;
+  BruteForceStats stats_;
+  bool budget_exhausted_ = false;
+};
+
+}  // namespace
+
+BruteForceResult IsRelativelyConsistent(const TransactionSet& txns,
+                                        const Schedule& schedule,
+                                        const AtomicitySpec& spec,
+                                        std::uint64_t max_states,
+                                        bool memoize) {
+  EquivalentScheduleSearch search(txns, schedule, spec,
+                                  Mode::kRelativelyAtomic, max_states,
+                                  memoize);
+  return search.Run();
+}
+
+BruteForceResult BruteForceRelativelySerializable(const TransactionSet& txns,
+                                                  const Schedule& schedule,
+                                                  const AtomicitySpec& spec,
+                                                  std::uint64_t max_states) {
+  EquivalentScheduleSearch search(txns, schedule, spec,
+                                  Mode::kRelativelySerial, max_states,
+                                  /*memoize=*/true);
+  return search.Run();
+}
+
+}  // namespace relser

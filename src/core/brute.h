@@ -1,0 +1,71 @@
+// Exponential reference procedures for the two "equivalent to a correct
+// schedule" classes:
+//
+//   * relatively consistent  [FÖ89] — conflict equivalent to a relatively
+//     atomic schedule. Recognizing this class is NP-complete [KB92]; the
+//     natural decision procedure below searches the conflict-equivalence
+//     class and is worst-case exponential (bench_complexity measures it).
+//   * relatively serializable — conflict equivalent to a relatively
+//     serial schedule. The paper's RSG test decides this in polynomial
+//     time (Theorem 1); the brute-force version exists as an independent
+//     oracle for property tests and for the Figure 5 census.
+//
+// Both searches walk prefixes of candidate schedules, placing one
+// operation at a time. A placement must respect the original conflict
+// order (conflict equivalence) and must not enter a currently-open atomic
+// unit (Definition 1), or — for the relatively-serial variant — must not
+// enter an open unit containing an operation related to it by depends-on
+// (Definition 2; the depends-on relation is identical across the whole
+// conflict-equivalence class, which makes prefix pruning exact). Failed
+// cursor states are memoized.
+#ifndef RELSER_CORE_BRUTE_H_
+#define RELSER_CORE_BRUTE_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "core/depends.h"
+#include "model/schedule.h"
+#include "spec/atomicity_spec.h"
+
+namespace relser {
+
+/// Search effort accounting for the complexity experiment.
+struct BruteForceStats {
+  std::uint64_t states_visited = 0;  ///< search-tree nodes expanded
+  std::uint64_t memo_hits = 0;       ///< pruned by the failed-state memo
+  bool exhausted = false;            ///< false when the node budget ran out
+};
+
+/// Result of a brute-force search.
+struct BruteForceResult {
+  /// True / false when decided; nullopt when `max_states` was exhausted.
+  std::optional<bool> decided;
+  /// The witness schedule when decided == true.
+  std::optional<Schedule> witness;
+  BruteForceStats stats;
+
+  bool IsYes() const { return decided.has_value() && *decided; }
+  bool IsNo() const { return decided.has_value() && !*decided; }
+};
+
+/// Farrag–Özsu relative consistency: does a relatively atomic schedule
+/// conflict-equivalent to `schedule` exist? `max_states` bounds the
+/// search (0 = unlimited). `memoize` enables failed-cursor-state caching
+/// (exponential space); disabling it yields the textbook backtracking
+/// procedure whose running time bench_complexity measures.
+BruteForceResult IsRelativelyConsistent(const TransactionSet& txns,
+                                        const Schedule& schedule,
+                                        const AtomicitySpec& spec,
+                                        std::uint64_t max_states = 0,
+                                        bool memoize = true);
+
+/// Brute-force relative serializability (oracle for Theorem 1): does a
+/// relatively serial schedule conflict-equivalent to `schedule` exist?
+BruteForceResult BruteForceRelativelySerializable(
+    const TransactionSet& txns, const Schedule& schedule,
+    const AtomicitySpec& spec, std::uint64_t max_states = 0);
+
+}  // namespace relser
+
+#endif  // RELSER_CORE_BRUTE_H_

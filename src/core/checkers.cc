@@ -1,0 +1,108 @@
+#include "core/checkers.h"
+
+#include <algorithm>
+
+#include "model/text.h"
+#include "util/strings.h"
+
+namespace relser {
+
+namespace {
+
+// positions[l][j] = schedule position of o_{l,j}; rows ascend because a
+// schedule preserves program order.
+std::vector<std::vector<std::size_t>> PositionRows(
+    const TransactionSet& txns, const Schedule& schedule) {
+  std::vector<std::vector<std::size_t>> rows(txns.txn_count());
+  for (TxnId l = 0; l < txns.txn_count(); ++l) {
+    rows[l].reserve(txns.txn(l).size());
+    for (std::uint32_t j = 0; j < txns.txn(l).size(); ++j) {
+      rows[l].push_back(schedule.PositionOf(l, j));
+    }
+  }
+  return rows;
+}
+
+// Core scan shared by both definitions. `require_dependency` selects
+// Definition 2 (violation only when a depends-on relationship crosses the
+// unit boundary); `depends` may be null for Definition 1.
+std::optional<AtomicityViolation> Scan(const TransactionSet& txns,
+                                       const Schedule& schedule,
+                                       const AtomicitySpec& spec,
+                                       const DependsOnRelation* depends,
+                                       bool require_dependency) {
+  const auto rows = PositionRows(txns, schedule);
+  for (std::size_t pos = 0; pos < schedule.size(); ++pos) {
+    const Operation& op = schedule.op(pos);
+    for (TxnId l = 0; l < txns.txn_count(); ++l) {
+      if (l == op.txn) continue;
+      const auto& row = rows[l];
+      // Last operation of T_l scheduled before `op`.
+      const auto it = std::lower_bound(row.begin(), row.end(), pos);
+      if (it == row.begin()) continue;  // nothing of T_l precedes op
+      const auto before =
+          static_cast<std::uint32_t>((it - row.begin()) - 1);
+      if (before + 1 == row.size()) continue;  // all of T_l precedes op
+      // `op` sits between o_{l,before} and o_{l,before+1}; it is
+      // interleaved with the unit containing `before` iff that unit
+      // continues past `before`.
+      const std::uint32_t unit_last = spec.PushForward(l, op.txn, before);
+      if (unit_last == before) continue;  // unit boundary; allowed
+      const std::size_t unit = spec.UnitOfOp(l, op.txn, before);
+      if (!require_dependency) {
+        return AtomicityViolation{op, l, unit, std::nullopt};
+      }
+      // Definition 2: offensive only if `op` is related by depends-on to
+      // some operation of the unit (either direction).
+      const std::uint32_t unit_first = spec.PullBackward(l, op.txn, before);
+      for (std::uint32_t m = unit_first; m <= unit_last; ++m) {
+        const Operation& unit_op = txns.txn(l).op(m);
+        if (depends->Related(op, unit_op)) {
+          return AtomicityViolation{op, l, unit, unit_op};
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<AtomicityViolation> FindRelativeAtomicityViolation(
+    const TransactionSet& txns, const Schedule& schedule,
+    const AtomicitySpec& spec) {
+  return Scan(txns, schedule, spec, nullptr, /*require_dependency=*/false);
+}
+
+bool IsRelativelyAtomic(const TransactionSet& txns, const Schedule& schedule,
+                        const AtomicitySpec& spec) {
+  return !FindRelativeAtomicityViolation(txns, schedule, spec).has_value();
+}
+
+std::optional<AtomicityViolation> FindRelativeSerialityViolation(
+    const TransactionSet& txns, const Schedule& schedule,
+    const AtomicitySpec& spec, const DependsOnRelation& depends) {
+  return Scan(txns, schedule, spec, &depends, /*require_dependency=*/true);
+}
+
+bool IsRelativelySerial(const TransactionSet& txns, const Schedule& schedule,
+                        const AtomicitySpec& spec) {
+  const DependsOnRelation depends(txns, schedule);
+  return !FindRelativeSerialityViolation(txns, schedule, spec, depends)
+              .has_value();
+}
+
+std::string ViolationToString(const TransactionSet& txns,
+                              const AtomicityViolation& violation) {
+  std::string out =
+      StrCat(ToString(txns, violation.op), " of T", violation.op.txn + 1,
+             " is interleaved with AtomicUnit(", violation.unit + 1, ", T",
+             violation.violated_txn + 1, ", T", violation.op.txn + 1, ")");
+  if (violation.dependency_witness.has_value()) {
+    out += StrCat(" and is dependency-related to ",
+                  ToString(txns, *violation.dependency_witness));
+  }
+  return out;
+}
+
+}  // namespace relser

@@ -1,0 +1,58 @@
+// Definitional schedule checkers:
+//   Definition 1 — relatively atomic schedules,
+//   Definition 2 — relatively serial schedules,
+// with violation reporting for diagnostics and scheduler explanations.
+#ifndef RELSER_CORE_CHECKERS_H_
+#define RELSER_CORE_CHECKERS_H_
+
+#include <optional>
+#include <string>
+
+#include "core/depends.h"
+#include "model/schedule.h"
+#include "spec/atomicity_spec.h"
+
+namespace relser {
+
+/// One interleaving that breaks Definition 1 or 2: operation `op` of T_i
+/// sits inside AtomicUnit(`unit`, T_violated, T_i).
+struct AtomicityViolation {
+  Operation op;          ///< the interleaved operation
+  TxnId violated_txn;    ///< the transaction whose unit was entered
+  std::size_t unit;      ///< which atomic unit (k in the paper)
+  /// For Definition 2 only: a unit operation related to `op` by
+  /// depends-on (in either direction).
+  std::optional<Operation> dependency_witness;
+};
+
+/// Definition 1: S is *relatively atomic* iff no operation of any T_i is
+/// interleaved with any AtomicUnit(k, T_l, T_i). Returns the first
+/// violation in schedule order, or nullopt when S is relatively atomic.
+std::optional<AtomicityViolation> FindRelativeAtomicityViolation(
+    const TransactionSet& txns, const Schedule& schedule,
+    const AtomicitySpec& spec);
+
+/// Convenience wrapper over FindRelativeAtomicityViolation.
+bool IsRelativelyAtomic(const TransactionSet& txns, const Schedule& schedule,
+                        const AtomicitySpec& spec);
+
+/// Definition 2: S is *relatively serial* iff whenever an operation o of
+/// T_i is interleaved with AtomicUnit(k, T_l, T_i), o neither depends on
+/// nor is depended on by any operation of that unit. `depends` must have
+/// been computed for `schedule` (or any conflict-equivalent schedule over
+/// the same set). Returns the first violation, or nullopt.
+std::optional<AtomicityViolation> FindRelativeSerialityViolation(
+    const TransactionSet& txns, const Schedule& schedule,
+    const AtomicitySpec& spec, const DependsOnRelation& depends);
+
+/// Convenience wrapper computing depends-on internally.
+bool IsRelativelySerial(const TransactionSet& txns, const Schedule& schedule,
+                        const AtomicitySpec& spec);
+
+/// Renders a violation as a human-readable sentence.
+std::string ViolationToString(const TransactionSet& txns,
+                              const AtomicityViolation& violation);
+
+}  // namespace relser
+
+#endif  // RELSER_CORE_CHECKERS_H_

@@ -1,0 +1,74 @@
+#include "core/classify.h"
+
+#include "core/brute.h"
+#include "core/checkers.h"
+#include "core/rsr.h"
+#include "graph/cycle.h"
+#include "model/conflict.h"
+#include "util/check.h"
+
+namespace relser {
+
+std::string ScheduleClassification::ToFlags() const {
+  std::string out;
+  auto add = [&out](bool member, const char* name) {
+    if (member) {
+      if (!out.empty()) out += ' ';
+      out += name;
+    }
+  };
+  add(serial, "SER");
+  add(relatively_atomic, "RA");
+  add(relatively_serial, "RS");
+  if (relatively_consistent.has_value() && *relatively_consistent) {
+    if (!out.empty()) out += ' ';
+    out += "RC";
+  }
+  add(relatively_serializable, "RSR");
+  add(conflict_serializable, "CSR");
+  if (out.empty()) return "-";
+  return out;
+}
+
+ScheduleClassification Classify(const TransactionSet& txns,
+                                const Schedule& schedule,
+                                const AtomicitySpec& spec,
+                                const ClassifyOptions& options) {
+  ScheduleClassification c;
+  c.serial = schedule.IsSerial();
+  c.relatively_atomic = IsRelativelyAtomic(txns, schedule, spec);
+  const DependsOnRelation depends(txns, schedule);
+  c.relatively_serial =
+      !FindRelativeSerialityViolation(txns, schedule, spec, depends)
+           .has_value();
+  const RelativeSerializationGraph rsg(txns, schedule, spec, depends);
+  c.relatively_serializable = !HasCycle(rsg.graph());
+  c.conflict_serializable = IsConflictSerializable(txns, schedule);
+  if (options.with_relative_consistency) {
+    const BruteForceResult result = IsRelativelyConsistent(
+        txns, schedule, spec, options.brute_force_budget);
+    c.relatively_consistent = result.decided;
+  }
+  return c;
+}
+
+void CheckLatticeInvariants(const ScheduleClassification& c) {
+  // Figure 5 containments.
+  RELSER_CHECK_MSG(!c.serial || c.relatively_atomic,
+                   "serial schedule must be relatively atomic");
+  RELSER_CHECK_MSG(!c.relatively_atomic || c.relatively_serial,
+                   "relatively atomic schedule must be relatively serial");
+  RELSER_CHECK_MSG(!c.relatively_serial || c.relatively_serializable,
+                   "relatively serial schedule must be relatively "
+                   "serializable");
+  if (c.relatively_consistent.has_value()) {
+    RELSER_CHECK_MSG(!c.relatively_atomic || *c.relatively_consistent,
+                     "relatively atomic schedule must be relatively "
+                     "consistent");
+    RELSER_CHECK_MSG(!*c.relatively_consistent || c.relatively_serializable,
+                     "relatively consistent schedule must be relatively "
+                     "serializable");
+  }
+}
+
+}  // namespace relser

@@ -1,0 +1,56 @@
+// Full classification of a schedule against every correctness class in
+// the paper's Figure 5 lattice:
+//
+//        relatively serializable
+//          ⊇ relatively serial      ⊇ relatively atomic ⊇ serial
+//          ⊇ relatively consistent  ⊇ relatively atomic
+//
+// plus classical conflict serializability for the Lemma 1 comparison.
+// The census bench uses this to reproduce Figure 5 statistically.
+#ifndef RELSER_CORE_CLASSIFY_H_
+#define RELSER_CORE_CLASSIFY_H_
+
+#include <optional>
+#include <string>
+
+#include "model/schedule.h"
+#include "spec/atomicity_spec.h"
+
+namespace relser {
+
+/// Membership of one schedule in each correctness class.
+struct ScheduleClassification {
+  bool serial = false;                  ///< classical serial
+  bool relatively_atomic = false;       ///< Definition 1
+  bool relatively_serial = false;       ///< Definition 2
+  bool relatively_serializable = false; ///< Theorem 1 (RSG acyclic)
+  bool conflict_serializable = false;   ///< SG(S) acyclic [Pap79]
+  /// Farrag–Özsu class; nullopt when the brute-force search was skipped
+  /// or exceeded its budget.
+  std::optional<bool> relatively_consistent;
+
+  /// Compact flag string like "RA RS RSR CSR" for tables.
+  std::string ToFlags() const;
+};
+
+/// Options for Classify.
+struct ClassifyOptions {
+  /// Run the exponential relative-consistency search.
+  bool with_relative_consistency = false;
+  /// Node budget for that search (0 = unlimited).
+  std::uint64_t brute_force_budget = 0;
+};
+
+/// Classifies `schedule` under `spec`.
+ScheduleClassification Classify(const TransactionSet& txns,
+                                const Schedule& schedule,
+                                const AtomicitySpec& spec,
+                                const ClassifyOptions& options = {});
+
+/// CHECK-fails if `c` violates any containment of Figure 5 (used by the
+/// census and property tests as a structural invariant).
+void CheckLatticeInvariants(const ScheduleClassification& c);
+
+}  // namespace relser
+
+#endif  // RELSER_CORE_CLASSIFY_H_

@@ -1,0 +1,47 @@
+#include "core/depends.h"
+
+namespace relser {
+
+DependsOnRelation::DependsOnRelation(const TransactionSet& txns,
+                                     const Schedule& schedule)
+    : schedule_(&schedule) {
+  (void)txns;
+  const std::size_t n = schedule.size();
+  reach_.assign(n, DenseBitset(n));
+  // Backward sweep: reach(p) = union over direct successors q of
+  // {q} ∪ reach(q). Direct successors of p are the later ops of the same
+  // transaction (the immediate next one suffices: program order chains)
+  // plus every later conflicting op (conflicts do not chain, so each edge
+  // is enumerated explicitly).
+  for (std::size_t p = n; p-- > 0;) {
+    const Operation& earlier = schedule.op(p);
+    DenseBitset& row = reach_[p];
+    bool next_same_txn_found = false;
+    for (std::size_t q = p + 1; q < n; ++q) {
+      const Operation& later = schedule.op(q);
+      const bool same_txn = later.txn == earlier.txn;
+      if (same_txn && next_same_txn_found) continue;
+      if (same_txn || Conflicts(earlier, later)) {
+        row.Set(q);
+        row.UnionWith(reach_[q]);
+        if (same_txn) next_same_txn_found = true;
+      }
+    }
+  }
+}
+
+bool DependsOnRelation::DirectlyDependsOn(const Operation& later,
+                                          const Operation& earlier) const {
+  if (!schedule_->Precedes(earlier, later)) return false;
+  return earlier.txn == later.txn || Conflicts(earlier, later);
+}
+
+std::size_t DependsOnRelation::PairCount() const {
+  std::size_t total = 0;
+  for (const DenseBitset& row : reach_) {
+    total += row.Count();
+  }
+  return total;
+}
+
+}  // namespace relser

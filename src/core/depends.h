@@ -1,0 +1,72 @@
+// The paper's `depends on` relation (Section 2).
+//
+// "We say that o2 *directly depends on* o1 if o1 precedes o2 in S and
+// either o1 and o2 are operations of the same transaction or o1 conflicts
+// with o2. The *depends on* relation is the transitive closure of the
+// directly depends on relation."
+//
+// Because every directly-depends edge points forward in schedule order,
+// the edges form a DAG whose topological order is the schedule itself;
+// the closure is computed with one backward sweep of bitset unions over
+// schedule positions (O(n^2/64) words). Conflict-equivalent schedules
+// have identical directly-depends edges and hence an identical closure,
+// which the brute-force searches exploit.
+#ifndef RELSER_CORE_DEPENDS_H_
+#define RELSER_CORE_DEPENDS_H_
+
+#include <vector>
+
+#include "model/schedule.h"
+#include "model/transaction.h"
+#include "util/bitset.h"
+
+namespace relser {
+
+/// Immutable snapshot of the depends-on relation of one schedule.
+class DependsOnRelation {
+ public:
+  /// Computes the relation for `schedule` over `txns`.
+  DependsOnRelation(const TransactionSet& txns, const Schedule& schedule);
+
+  /// True iff `later` depends on `earlier` (a chain of directly-depends
+  /// steps leads from `earlier` to `later`). Irreflexive.
+  bool DependsOn(const Operation& later, const Operation& earlier) const {
+    const std::size_t from = schedule_->PositionOf(earlier);
+    const std::size_t to = schedule_->PositionOf(later);
+    return reach_[from].Test(to);
+  }
+
+  /// True iff `a` and `b` are related in either direction.
+  bool Related(const Operation& a, const Operation& b) const {
+    return DependsOn(a, b) || DependsOn(b, a);
+  }
+
+  /// True iff o at schedule position `to` depends on the op at `from`.
+  bool DependsOnByPosition(std::size_t to, std::size_t from) const {
+    return reach_[from].Test(to);
+  }
+
+  /// Direct edge test (one step of the relation).
+  bool DirectlyDependsOn(const Operation& later,
+                         const Operation& earlier) const;
+
+  /// Schedule positions affected by the op at position `from`
+  /// (its forward dependency cone).
+  const DenseBitset& AffectedPositions(std::size_t from) const {
+    return reach_[from];
+  }
+
+  /// Number of (earlier, later) pairs in the relation.
+  std::size_t PairCount() const;
+
+  std::size_t size() const { return reach_.size(); }
+
+ private:
+  const Schedule* schedule_;
+  // reach_[p] = set of schedule positions that depend on the op at p.
+  std::vector<DenseBitset> reach_;
+};
+
+}  // namespace relser
+
+#endif  // RELSER_CORE_DEPENDS_H_

@@ -1,0 +1,50 @@
+// Human-readable explanations for schedule rejections.
+//
+// When the RSG test rejects a schedule, the raw cycle is a list of
+// operation ids; ExplainRejection reconstructs the story a database
+// developer needs: which operations form the cycle, which arc kinds
+// connect them, which atomic units forced the F/B arcs, and which
+// depends-on chains underlie the D arcs.
+#ifndef RELSER_CORE_EXPLAIN_H_
+#define RELSER_CORE_EXPLAIN_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/rsg.h"
+#include "model/schedule.h"
+#include "spec/atomicity_spec.h"
+
+namespace relser {
+
+/// One arc of the offending cycle, annotated.
+struct ExplainedArc {
+  Operation from;
+  Operation to;
+  std::uint8_t kinds = 0;  ///< ArcKind bitmask
+  /// For F/B arcs: the atomic unit (of `unit_txn` relative to
+  /// `observer_txn`) whose boundary induced the arc.
+  std::optional<UnitRange> unit;
+  TxnId unit_txn = 0;
+  TxnId observer_txn = 0;
+};
+
+/// A full rejection explanation; empty cycle when the schedule is
+/// relatively serializable.
+struct RejectionExplanation {
+  bool relatively_serializable = false;
+  std::vector<ExplainedArc> cycle;
+  /// Rendered multi-line report.
+  std::string text;
+};
+
+/// Analyzes `schedule` and, if it is not relatively serializable,
+/// explains one offending RSG cycle.
+RejectionExplanation ExplainRejection(const TransactionSet& txns,
+                                      const Schedule& schedule,
+                                      const AtomicitySpec& spec);
+
+}  // namespace relser
+
+#endif  // RELSER_CORE_EXPLAIN_H_

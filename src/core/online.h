@@ -1,0 +1,83 @@
+// OnlineRsrChecker: a streaming certifier for relative serializability.
+//
+// Feeds one operation at a time (in each transaction's program order,
+// arbitrary interleaving across transactions) and maintains the relative
+// serialization graph incrementally: an operation is accepted iff the
+// graph stays acyclic, i.e. iff the executed prefix remains relatively
+// serializable (Theorem 1 applied online). Rejected operations leave the
+// checker unchanged, so the caller may retry, drop, or abort.
+//
+// This is the reusable core of the paper's proposed SGT-style protocol
+// (Section 3): RSGTScheduler wraps it with the simulator's abort /
+// restart bookkeeping, and offline tools use FirstRejection to locate the
+// earliest operation at which a schedule leaves the class.
+#ifndef RELSER_CORE_ONLINE_H_
+#define RELSER_CORE_ONLINE_H_
+
+#include <map>
+#include <vector>
+
+#include "graph/dynamic_topo.h"
+#include "model/op_indexer.h"
+#include "model/schedule.h"
+#include "spec/atomicity_spec.h"
+#include "util/bitset.h"
+
+namespace relser {
+
+/// Incremental relative-serializability certification.
+class OnlineRsrChecker {
+ public:
+  /// `txns` and `spec` must outlive the checker.
+  OnlineRsrChecker(const TransactionSet& txns, const AtomicitySpec& spec);
+  /// Guard against binding a temporary specification.
+  OnlineRsrChecker(const TransactionSet&, AtomicitySpec&&) = delete;
+
+  /// Attempts to append `op`, which must be the next unfed operation of
+  /// its transaction. Returns true (arcs committed) when the extended
+  /// prefix is still relatively serializable; false (state unchanged)
+  /// otherwise.
+  bool TryAppend(const Operation& op);
+
+  /// Forgets every fed operation of `txn` (scheduler abort). Stale
+  /// transitive-dependency bits that flowed through the removed
+  /// operations are kept as a sound over-approximation.
+  void RemoveTransaction(TxnId txn);
+
+  /// True iff o_{txn,index} has been fed and accepted.
+  bool Executed(TxnId txn, std::uint32_t index) const {
+    return executed_[indexer_.GlobalId(txn, index)];
+  }
+
+  /// Number of operations currently accepted.
+  std::size_t executed_count() const { return executed_count_; }
+
+  /// Cycle rejections so far.
+  std::size_t rejections() const { return rejections_; }
+
+  /// The maintained graph (for diagnostics / DOT export).
+  const IncrementalTopology& topology() const { return topo_; }
+  const OpIndexer& indexer() const { return indexer_; }
+
+  /// Streams `schedule` through a fresh checker; returns the position of
+  /// the first rejected operation, or schedule.size() when the whole
+  /// schedule is accepted (equivalently: is relatively serializable).
+  static std::size_t FirstRejection(const TransactionSet& txns,
+                                    const AtomicitySpec& spec,
+                                    const Schedule& schedule);
+
+ private:
+  const TransactionSet& txns_;
+  const AtomicitySpec& spec_;
+  OpIndexer indexer_;
+  IncrementalTopology topo_;
+  std::vector<DenseBitset> ancestors_;
+  std::vector<bool> executed_;
+  std::map<ObjectId, std::vector<std::size_t>> history_;
+  std::size_t executed_count_ = 0;
+  std::size_t rejections_ = 0;
+};
+
+}  // namespace relser
+
+#endif  // RELSER_CORE_ONLINE_H_

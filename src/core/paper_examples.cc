@@ -1,0 +1,136 @@
+#include "core/paper_examples.h"
+
+#include "model/text.h"
+#include "spec/text.h"
+#include "util/check.h"
+
+namespace relser {
+
+namespace {
+
+// Builds an example from the text notations; CHECK-fails on parse errors
+// (the inputs are compiled-in constants).
+PaperExample MakeExample(
+    std::string name, std::string_view txns_text, std::string_view spec_text,
+    const std::vector<std::pair<std::string, std::string>>& schedules) {
+  auto txns = ParseTransactionSet(txns_text);
+  RELSER_CHECK_MSG(txns.ok(), name << ": " << txns.status().ToString());
+  auto spec = ParseAtomicitySpec(*txns, spec_text);
+  RELSER_CHECK_MSG(spec.ok(), name << ": " << spec.status().ToString());
+  PaperExample example{std::move(name), *std::move(txns), *std::move(spec),
+                       {}};
+  for (const auto& [schedule_name, text] : schedules) {
+    auto schedule = ParseSchedule(example.txns, text);
+    RELSER_CHECK_MSG(schedule.ok(), example.name << "/" << schedule_name
+                                                 << ": "
+                                                 << schedule.status()
+                                                        .ToString());
+    example.schedules.emplace_back(schedule_name, *std::move(schedule));
+  }
+  return example;
+}
+
+}  // namespace
+
+const Schedule& PaperExample::schedule(
+    const std::string& schedule_name) const {
+  for (const auto& [candidate_name, candidate] : schedules) {
+    if (candidate_name == schedule_name) return candidate;
+  }
+  RELSER_CHECK_MSG(false, "no schedule named " << schedule_name << " in "
+                                               << name);
+  __builtin_unreachable();
+}
+
+PaperExample Figure1() {
+  return MakeExample(
+      "Figure1",
+      "T1 = r1[x] w1[x] w1[z] r1[y]\n"
+      "T2 = r2[y] w2[y] r2[x]\n"
+      "T3 = w3[x] w3[y] w3[z]\n",
+      "Atomicity(T1,T2): r1[x] w1[x] | w1[z] r1[y]\n"
+      "Atomicity(T1,T3): r1[x] w1[x] | w1[z] | r1[y]\n"
+      "Atomicity(T2,T1): r2[y] | w2[y] r2[x]\n"
+      "Atomicity(T2,T3): r2[y] w2[y] | r2[x]\n"
+      "Atomicity(T3,T1): w3[x] w3[y] | w3[z]\n"
+      "Atomicity(T3,T2): w3[x] w3[y] | w3[z]\n",
+      {
+          // Section 2: relatively atomic (correct) but not serial.
+          {"Sra",
+           "r2[y] r1[x] w1[x] w2[y] r2[x] w1[z] w3[x] w3[y] r1[y] w3[z]"},
+          // Section 2: relatively serial but not relatively atomic.
+          {"Srs",
+           "r1[x] r2[y] w1[x] w2[y] w3[x] w1[z] w3[y] r2[x] r1[y] w3[z]"},
+          // Section 2: relatively serializable but not relatively serial
+          // (conflict equivalent to Srs).
+          {"S2",
+           "r1[x] r2[y] w2[y] w1[x] w3[x] r2[x] w1[z] w3[y] r1[y] w3[z]"},
+      });
+}
+
+PaperExample Figure2() {
+  return MakeExample("Figure2",
+                     "T1 = w1[x] r1[z]\n"
+                     "T2 = w2[y]\n"
+                     "T3 = r3[y] w3[z]\n",
+                     // Single-operation transactions have no gaps, so
+                     // Atomicity(T2,*) lines are single units implicitly.
+                     "Atomicity(T1,T2): w1[x] r1[z]\n"
+                     "Atomicity(T1,T3): w1[x] | r1[z]\n"
+                     "Atomicity(T3,T1): r3[y] | w3[z]\n"
+                     "Atomicity(T3,T2): r3[y] | w3[z]\n",
+                     {
+                         {"S1", "w1[x] w2[y] r3[y] w3[z] r1[z]"},
+                     });
+}
+
+PaperExample Figure3() {
+  return MakeExample("Figure3",
+                     "T1 = w1[x] r1[z]\n"
+                     "T2 = r2[x] w2[y]\n"
+                     "T3 = r3[z] r3[y]\n",
+                     "Atomicity(T1,T3): w1[x] | r1[z]\n"
+                     "Atomicity(T1,T2): w1[x] r1[z]\n"
+                     "Atomicity(T2,T3): r2[x] | w2[y]\n"
+                     "Atomicity(T2,T1): r2[x] | w2[y]\n"
+                     "Atomicity(T3,T1): r3[z] | r3[y]\n"
+                     "Atomicity(T3,T2): r3[z] r3[y]\n",
+                     {
+                         {"S2", "w1[x] r2[x] r3[z] w2[y] r3[y] r1[z]"},
+                     });
+}
+
+PaperExample Figure4() {
+  return MakeExample(
+      "Figure4",
+      "T1 = w1[x] w1[y]\n"
+      "T2 = w2[z] w2[y]\n"
+      "T3 = w3[t] w3[z]\n"
+      "T4 = w4[x] w4[t]\n",
+      "Atomicity(T1,T2): w1[x] w1[y]\n"
+      "Atomicity(T1,T3): w1[x] w1[y]\n"
+      "Atomicity(T1,T4): w1[x] w1[y]\n"
+      "Atomicity(T2,T1): w2[z] w2[y]\n"
+      "Atomicity(T2,T3): w2[z] w2[y]\n"
+      "Atomicity(T2,T4): w2[z] | w2[y]\n"
+      "Atomicity(T3,T1): w3[t] w3[z]\n"
+      "Atomicity(T3,T2): w3[t] | w3[z]\n"
+      "Atomicity(T3,T4): w3[t] | w3[z]\n"
+      "Atomicity(T4,T1): w4[x] w4[t]\n"
+      "Atomicity(T4,T2): w4[x] | w4[t]\n"
+      "Atomicity(T4,T3): w4[x] | w4[t]\n",
+      {
+          {"S", "w4[x] w3[t] w4[t] w1[x] w1[y] w2[z] w2[y] w3[z]"},
+      });
+}
+
+std::vector<PaperExample> AllPaperExamples() {
+  std::vector<PaperExample> examples;
+  examples.push_back(Figure1());
+  examples.push_back(Figure2());
+  examples.push_back(Figure3());
+  examples.push_back(Figure4());
+  return examples;
+}
+
+}  // namespace relser

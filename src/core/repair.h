@@ -1,0 +1,63 @@
+// Specification repair: which atomicity concessions would make a
+// rejected schedule acceptable?
+//
+// When RSG(S) is cyclic, every cycle necessarily contains an F- or
+// B-arc (I- and D-arcs always point forward in S), and each such arc is
+// induced by a specific atomic unit. Adding a breakpoint inside that
+// unit — right after the dependency's source (F) or right before its
+// target (B) — removes the arc. Iterating the repair is guaranteed to
+// terminate: under the fully relaxed specification the RSG is I+D only
+// and therefore acyclic.
+//
+// The result tells a user *which* relative-atomicity concessions their
+// workload's interleaving actually requires — turning the paper's
+// "specifications tend to be conservative" observation (Section 2) into
+// an actionable diagnosis.
+#ifndef RELSER_CORE_REPAIR_H_
+#define RELSER_CORE_REPAIR_H_
+
+#include <string>
+#include <vector>
+
+#include "model/schedule.h"
+#include "spec/atomicity_spec.h"
+
+namespace relser {
+
+/// One suggested concession: a breakpoint in T_txn (as seen by
+/// T_observer) after operation index `gap`.
+struct SuggestedBreakpoint {
+  TxnId txn;
+  TxnId observer;
+  std::uint32_t gap;
+
+  friend bool operator==(const SuggestedBreakpoint& a,
+                         const SuggestedBreakpoint& b) = default;
+};
+
+/// Result of RepairSpec.
+struct SpecRepair {
+  /// True when `schedule` was already relatively serializable under the
+  /// input specification (no suggestions needed).
+  bool already_serializable = false;
+  /// Breakpoints added, in the order the repair chose them.
+  std::vector<SuggestedBreakpoint> added;
+  /// The input specification plus every added breakpoint; `schedule` is
+  /// relatively serializable under it.
+  AtomicitySpec repaired;
+};
+
+/// Greedily relaxes `spec` until `schedule` becomes relatively
+/// serializable. The suggestion set is minimal in the greedy sense (one
+/// concession per offending cycle), not globally minimum.
+SpecRepair RepairSpec(const TransactionSet& txns, const Schedule& schedule,
+                      const AtomicitySpec& spec);
+
+/// Renders suggestions as "T2 should expose a breakpoint after w2[y] to
+/// T1"-style lines.
+std::string SuggestionsToString(const TransactionSet& txns,
+                                const SpecRepair& repair);
+
+}  // namespace relser
+
+#endif  // RELSER_CORE_REPAIR_H_

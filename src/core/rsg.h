@@ -1,0 +1,101 @@
+// The Relative Serialization Graph RSG(S) — Definition 3, the paper's
+// central tool. Vertices are the operations of T; arcs are:
+//
+//   I-arcs  o_{i,j} -> o_{i,j+1}                 (program order)
+//   D-arcs  o_{i,j} -> o_{k,l}, i != k, where o_{k,l} depends on o_{i,j}
+//   F-arcs  PushForward(o_{i,j}, T_k) -> o_{k,l}  for each D-arc
+//   B-arcs  o_{k,l} -> PullBackward(o_{i,j}, T_k) for each D-arc (reversed
+//           orientation in the paper's statement; both rules instantiate
+//           once per D-arc)
+//
+// Theorem 1: S is relatively serializable iff RSG(S) is acyclic.
+#ifndef RELSER_CORE_RSG_H_
+#define RELSER_CORE_RSG_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/depends.h"
+#include "graph/digraph.h"
+#include "model/op_indexer.h"
+#include "model/schedule.h"
+#include "spec/atomicity_spec.h"
+
+namespace relser {
+
+/// Bitmask of the rule(s) that contributed an arc.
+enum ArcKind : std::uint8_t {
+  kInternalArc = 1 << 0,      ///< I-arc
+  kDependencyArc = 1 << 1,    ///< D-arc
+  kPushForwardArc = 1 << 2,   ///< F-arc
+  kPullBackwardArc = 1 << 3,  ///< B-arc
+};
+
+/// Renders a kind bitmask as e.g. "D,F,B".
+std::string ArcKindsToString(std::uint8_t kinds);
+
+/// Ablation/testing API: builds the RSG with only the selected arc kinds
+/// (I- and D-arcs are always included; `with_f` / `with_b` toggle rules 3
+/// and 4 of Definition 3). The paper observes that prior work [Lyn83,
+/// FÖ89] used push-forward only; bench_arc_ablation shows both arc
+/// families are necessary for a sound-and-complete test.
+Digraph BuildPartialRsg(const TransactionSet& txns, const Schedule& schedule,
+                        const AtomicitySpec& spec, bool with_f, bool with_b);
+
+/// RSG(S) with per-arc provenance. Vertex v is the operation with global
+/// id v under the OpIndexer of the defining TransactionSet.
+class RelativeSerializationGraph {
+ public:
+  /// Builds RSG(S) for `schedule` under `spec`, reusing a precomputed
+  /// depends-on relation for the same schedule.
+  RelativeSerializationGraph(const TransactionSet& txns,
+                             const Schedule& schedule,
+                             const AtomicitySpec& spec,
+                             const DependsOnRelation& depends);
+
+  /// Convenience constructor computing depends-on internally.
+  RelativeSerializationGraph(const TransactionSet& txns,
+                             const Schedule& schedule,
+                             const AtomicitySpec& spec);
+
+  const Digraph& graph() const { return graph_; }
+  const OpIndexer& indexer() const { return indexer_; }
+
+  /// Kind bitmask of arc u -> v; 0 when the arc is absent.
+  std::uint8_t KindsOf(NodeId from, NodeId to) const;
+
+  /// True iff the arc exists with (at least) the given kind.
+  bool HasArc(NodeId from, NodeId to, ArcKind kind) const {
+    return (KindsOf(from, to) & kind) != 0;
+  }
+
+  std::size_t arc_count() const { return graph_.edge_count(); }
+
+  /// Multi-line dump "u -> v [kinds]" using the set's op names.
+  std::string ToString(const TransactionSet& txns) const;
+
+  /// Graphviz DOT rendering with operation labels and arc-kind edge
+  /// labels (render with `dot -Tpng`).
+  std::string ToDot(const TransactionSet& txns) const;
+
+ private:
+  void Build(const TransactionSet& txns, const Schedule& schedule,
+             const AtomicitySpec& spec, const DependsOnRelation& depends);
+
+  void AddArc(NodeId from, NodeId to, ArcKind kind);
+
+  static std::uint64_t ArcKey(NodeId from, NodeId to) {
+    return (static_cast<std::uint64_t>(from) << 32) |
+           static_cast<std::uint64_t>(to);
+  }
+
+  OpIndexer indexer_;
+  Digraph graph_;
+  std::unordered_map<std::uint64_t, std::uint8_t> kinds_;
+};
+
+}  // namespace relser
+
+#endif  // RELSER_CORE_RSG_H_

@@ -1,0 +1,53 @@
+// Relative serializability testing (Theorem 1) and witness extraction.
+//
+// A schedule S is *relatively serializable* iff it is conflict equivalent
+// to some relatively serial schedule, and Theorem 1 shows this holds iff
+// RSG(S) is acyclic. The constructive half of the proof — any topological
+// sort of an acyclic RSG(S) is a conflict-equivalent relatively serial
+// schedule — is implemented by ExtractRelativelySerialWitness.
+#ifndef RELSER_CORE_RSR_H_
+#define RELSER_CORE_RSR_H_
+
+#include <optional>
+#include <vector>
+
+#include "core/rsg.h"
+#include "model/schedule.h"
+#include "spec/atomicity_spec.h"
+
+namespace relser {
+
+/// Theorem 1 decision procedure: builds RSG(S) and tests acyclicity.
+/// Polynomial: O(n^2) arcs, O(V+E) cycle check.
+bool IsRelativelySerializable(const TransactionSet& txns,
+                              const Schedule& schedule,
+                              const AtomicitySpec& spec);
+
+/// Full analysis result for diagnostics and tooling.
+struct RsrAnalysis {
+  bool relatively_serializable = false;
+  /// A cycle of RSG(S) (operation global-ids) when not serializable.
+  std::optional<std::vector<NodeId>> cycle;
+  /// A conflict-equivalent relatively serial schedule when serializable.
+  std::optional<Schedule> witness;
+  std::size_t rsg_arc_count = 0;
+  std::size_t depends_pair_count = 0;
+};
+
+/// Runs the full pipeline: depends-on, RSG, acyclicity, and (on success)
+/// witness extraction biased toward the original schedule order.
+RsrAnalysis AnalyzeRelativeSerializability(const TransactionSet& txns,
+                                           const Schedule& schedule,
+                                           const AtomicitySpec& spec);
+
+/// Topologically sorts `rsg` (preferring the original schedule order of
+/// `schedule` among ready operations) and returns the resulting schedule;
+/// nullopt when the RSG is cyclic. By Theorem 1 the result is conflict
+/// equivalent to `schedule` and relatively serial under `spec`.
+std::optional<Schedule> ExtractRelativelySerialWitness(
+    const TransactionSet& txns, const Schedule& schedule,
+    const RelativeSerializationGraph& rsg);
+
+}  // namespace relser
+
+#endif  // RELSER_CORE_RSR_H_

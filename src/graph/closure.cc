@@ -1,0 +1,50 @@
+#include "graph/closure.h"
+
+#include <algorithm>
+
+namespace relser {
+
+TransitiveClosure TransitiveClosure::FromDagOrder(
+    const Digraph& graph, const std::vector<NodeId>& topo_order) {
+  const std::size_t n = graph.node_count();
+  RELSER_CHECK_MSG(topo_order.size() == n,
+                   "topological order covers " << topo_order.size() << " of "
+                                               << n << " nodes");
+  TransitiveClosure closure(n);
+  // Process sinks first: reach(v) = union over successors s of {s} ∪ reach(s).
+  for (auto it = topo_order.rbegin(); it != topo_order.rend(); ++it) {
+    const NodeId node = *it;
+    DenseBitset& row = closure.rows_[node];
+    for (const NodeId succ : graph.OutNeighbors(node)) {
+      row.Set(succ);
+      row.UnionWith(closure.rows_[succ]);
+    }
+  }
+  return closure;
+}
+
+TransitiveClosure TransitiveClosure::FromAnyGraph(const Digraph& graph) {
+  const std::size_t n = graph.node_count();
+  TransitiveClosure closure(n);
+  std::vector<NodeId> stack;
+  std::vector<bool> seen(n);
+  for (NodeId source = 0; source < n; ++source) {
+    std::fill(seen.begin(), seen.end(), false);
+    stack.assign(graph.OutNeighbors(source).begin(),
+                 graph.OutNeighbors(source).end());
+    DenseBitset& row = closure.rows_[source];
+    while (!stack.empty()) {
+      const NodeId node = stack.back();
+      stack.pop_back();
+      if (seen[node]) continue;
+      seen[node] = true;
+      row.Set(node);
+      for (const NodeId succ : graph.OutNeighbors(node)) {
+        if (!seen[succ]) stack.push_back(succ);
+      }
+    }
+  }
+  return closure;
+}
+
+}  // namespace relser

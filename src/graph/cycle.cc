@@ -1,0 +1,98 @@
+#include "graph/cycle.h"
+
+#include <algorithm>
+
+namespace relser {
+
+namespace {
+
+enum class Color : unsigned char { kWhite, kGray, kBlack };
+
+}  // namespace
+
+bool HasCycle(const Digraph& graph) {
+  return FindCycle(graph).has_value();
+}
+
+std::optional<std::vector<NodeId>> FindCycle(const Digraph& graph) {
+  const std::size_t n = graph.node_count();
+  std::vector<Color> color(n, Color::kWhite);
+  std::vector<NodeId> parent(n, n);  // n == "no parent"
+  // Explicit stack of (node, next-neighbor-index) to avoid recursion on
+  // large RSGs (one node per schedule operation).
+  std::vector<std::pair<NodeId, std::size_t>> stack;
+  for (NodeId root = 0; root < n; ++root) {
+    if (color[root] != Color::kWhite) continue;
+    color[root] = Color::kGray;
+    stack.emplace_back(root, 0);
+    while (!stack.empty()) {
+      auto& [node, next] = stack.back();
+      const auto& succs = graph.OutNeighbors(node);
+      if (next < succs.size()) {
+        const NodeId succ = succs[next++];
+        if (color[succ] == Color::kGray) {
+          // Found a back edge node -> succ; unwind the gray path.
+          std::vector<NodeId> cycle;
+          cycle.push_back(succ);
+          for (NodeId walk = node; walk != succ; walk = parent[walk]) {
+            cycle.push_back(walk);
+          }
+          std::reverse(cycle.begin() + 1, cycle.end());
+          return cycle;
+        }
+        if (color[succ] == Color::kWhite) {
+          color[succ] = Color::kGray;
+          parent[succ] = node;
+          stack.emplace_back(succ, 0);
+        }
+      } else {
+        color[node] = Color::kBlack;
+        stack.pop_back();
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+bool Reachable(const Digraph& graph, NodeId from, NodeId to) {
+  if (from == to) return true;
+  const std::size_t n = graph.node_count();
+  std::vector<bool> seen(n, false);
+  std::vector<NodeId> stack = {from};
+  seen[from] = true;
+  while (!stack.empty()) {
+    const NodeId node = stack.back();
+    stack.pop_back();
+    for (const NodeId succ : graph.OutNeighbors(node)) {
+      if (succ == to) return true;
+      if (!seen[succ]) {
+        seen[succ] = true;
+        stack.push_back(succ);
+      }
+    }
+  }
+  return false;
+}
+
+std::vector<NodeId> ReachableSet(const Digraph& graph, NodeId from) {
+  const std::size_t n = graph.node_count();
+  std::vector<bool> seen(n, false);
+  std::vector<NodeId> stack = {from};
+  std::vector<NodeId> out;
+  seen[from] = true;
+  while (!stack.empty()) {
+    const NodeId node = stack.back();
+    stack.pop_back();
+    out.push_back(node);
+    for (const NodeId succ : graph.OutNeighbors(node)) {
+      if (!seen[succ]) {
+        seen[succ] = true;
+        stack.push_back(succ);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace relser

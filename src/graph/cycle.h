@@ -1,0 +1,33 @@
+// Cycle detection and cycle extraction for Digraph.
+//
+// Theorem 1 of the paper reduces relative serializability to acyclicity of
+// RSG(S); these routines provide the acyclicity test plus an explicit
+// cycle witness (used for diagnostics: the RSG builder reports *why* a
+// schedule was rejected in terms of the offending arcs).
+#ifndef RELSER_GRAPH_CYCLE_H_
+#define RELSER_GRAPH_CYCLE_H_
+
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace relser {
+
+/// True iff `graph` contains a directed cycle (iterative three-color DFS).
+bool HasCycle(const Digraph& graph);
+
+/// Returns some directed cycle as a node sequence v0, v1, ..., vk with
+/// edges v0->v1->...->vk->v0, or nullopt if the graph is acyclic.
+std::optional<std::vector<NodeId>> FindCycle(const Digraph& graph);
+
+/// True iff `to` is reachable from `from` by a directed path of length >= 0
+/// (every node reaches itself). Iterative DFS; O(V + E).
+bool Reachable(const Digraph& graph, NodeId from, NodeId to);
+
+/// All nodes reachable from `from` (including `from` itself).
+std::vector<NodeId> ReachableSet(const Digraph& graph, NodeId from);
+
+}  // namespace relser
+
+#endif  // RELSER_GRAPH_CYCLE_H_

@@ -1,0 +1,74 @@
+#include "graph/digraph.h"
+
+#include <algorithm>
+
+namespace relser {
+
+bool Digraph::AddEdge(NodeId from, NodeId to) {
+  RELSER_CHECK_MSG(from < out_.size() && to < out_.size(),
+                   "edge (" << from << "," << to << ") out of range for "
+                            << out_.size() << " nodes");
+  if (HasEdge(from, to)) {
+    return false;
+  }
+  out_[from].push_back(to);
+  in_[to].push_back(from);
+  ++edge_count_;
+  return true;
+}
+
+bool Digraph::HasEdge(NodeId from, NodeId to) const {
+  RELSER_DCHECK(from < out_.size() && to < out_.size());
+  // Scan whichever adjacency list is shorter.
+  if (out_[from].size() <= in_[to].size()) {
+    return std::find(out_[from].begin(), out_[from].end(), to) !=
+           out_[from].end();
+  }
+  return std::find(in_[to].begin(), in_[to].end(), from) != in_[to].end();
+}
+
+bool Digraph::RemoveEdge(NodeId from, NodeId to) {
+  RELSER_DCHECK(from < out_.size() && to < out_.size());
+  auto& succs = out_[from];
+  const auto it = std::find(succs.begin(), succs.end(), to);
+  if (it == succs.end()) return false;
+  succs.erase(it);
+  auto& preds = in_[to];
+  preds.erase(std::find(preds.begin(), preds.end(), from));
+  --edge_count_;
+  return true;
+}
+
+void Digraph::IsolateNode(NodeId node) {
+  RELSER_CHECK(node < out_.size());
+  // Copy the incident lists first so a self-loop cannot invalidate the
+  // iteration below.
+  const std::vector<NodeId> succs = out_[node];
+  const std::vector<NodeId> preds = in_[node];
+  out_[node].clear();
+  in_[node].clear();
+  edge_count_ -= succs.size();
+  for (const NodeId succ : succs) {
+    auto& list = in_[succ];
+    list.erase(std::remove(list.begin(), list.end(), node), list.end());
+  }
+  for (const NodeId pred : preds) {
+    if (pred == node) continue;  // self-loop already accounted for
+    auto& list = out_[pred];
+    list.erase(std::remove(list.begin(), list.end(), node), list.end());
+    --edge_count_;
+  }
+}
+
+std::vector<std::pair<NodeId, NodeId>> Digraph::Edges() const {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(edge_count_);
+  for (NodeId from = 0; from < out_.size(); ++from) {
+    for (const NodeId to : out_[from]) {
+      edges.emplace_back(from, to);
+    }
+  }
+  return edges;
+}
+
+}  // namespace relser

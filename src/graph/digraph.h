@@ -1,0 +1,86 @@
+// Digraph: a simple directed graph over dense node ids 0..n-1.
+//
+// This is the shared substrate for every graph in relser: the
+// serialization graph SG(S), the relative serialization graph RSG(S), the
+// waits-for graph of the 2PL scheduler, and the dynamic graphs of the
+// online SGT / RSGT protocols. Nodes are pre-sized; edges are stored in
+// forward and reverse adjacency lists with optional de-duplication.
+#ifndef RELSER_GRAPH_DIGRAPH_H_
+#define RELSER_GRAPH_DIGRAPH_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/check.h"
+
+namespace relser {
+
+/// Node identifier; dense in [0, node_count).
+using NodeId = std::size_t;
+
+/// Directed graph with dense node ids and multigraph-free edges.
+class Digraph {
+ public:
+  Digraph() = default;
+  /// Creates a graph with `node_count` isolated nodes.
+  explicit Digraph(std::size_t node_count)
+      : out_(node_count), in_(node_count) {}
+
+  std::size_t node_count() const { return out_.size(); }
+  std::size_t edge_count() const { return edge_count_; }
+
+  /// Adds node(s) so the graph has at least `node_count` nodes.
+  void EnsureNodes(std::size_t node_count) {
+    if (node_count > out_.size()) {
+      out_.resize(node_count);
+      in_.resize(node_count);
+    }
+  }
+
+  /// Adds the edge from -> to if not already present.
+  /// Returns true when the edge was newly inserted. Self-loops are
+  /// permitted (they make the graph cyclic).
+  bool AddEdge(NodeId from, NodeId to);
+
+  /// True if the edge from -> to exists (linear scan of the shorter list).
+  bool HasEdge(NodeId from, NodeId to) const;
+
+  /// Removes the edge from -> to if present; returns true when removed.
+  /// Used by online schedulers to roll back trial insertions.
+  bool RemoveEdge(NodeId from, NodeId to);
+
+  /// Successors of `node` (insertion order).
+  const std::vector<NodeId>& OutNeighbors(NodeId node) const {
+    RELSER_DCHECK(node < out_.size());
+    return out_[node];
+  }
+
+  /// Predecessors of `node` (insertion order).
+  const std::vector<NodeId>& InNeighbors(NodeId node) const {
+    RELSER_DCHECK(node < in_.size());
+    return in_[node];
+  }
+
+  /// In-degree of `node`.
+  std::size_t InDegree(NodeId node) const { return InNeighbors(node).size(); }
+  /// Out-degree of `node`.
+  std::size_t OutDegree(NodeId node) const {
+    return OutNeighbors(node).size();
+  }
+
+  /// Removes every edge incident to `node` (used by online schedulers when
+  /// a transaction commits or aborts and its node is retired).
+  void IsolateNode(NodeId node);
+
+  /// All edges as (from, to) pairs, grouped by source.
+  std::vector<std::pair<NodeId, NodeId>> Edges() const;
+
+ private:
+  std::vector<std::vector<NodeId>> out_;
+  std::vector<std::vector<NodeId>> in_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace relser
+
+#endif  // RELSER_GRAPH_DIGRAPH_H_

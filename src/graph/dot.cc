@@ -1,0 +1,46 @@
+#include "graph/dot.h"
+
+#include "util/strings.h"
+
+namespace relser {
+
+namespace {
+
+// Escapes '"' and '\' for DOT string literals.
+std::string Escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ToDot(const Digraph& graph, const DotOptions& options) {
+  std::string out = StrCat("digraph ", options.name, " {\n");
+  if (options.include_isolated_nodes) {
+    for (NodeId node = 0; node < graph.node_count(); ++node) {
+      const std::string label = options.node_label
+                                    ? options.node_label(node)
+                                    : StrCat("n", node);
+      out += StrCat("  n", node, " [label=\"", Escape(label), "\"];\n");
+    }
+  }
+  for (const auto& [from, to] : graph.Edges()) {
+    out += StrCat("  n", from, " -> n", to);
+    if (options.edge_label) {
+      const std::string label = options.edge_label(from, to);
+      if (!label.empty()) {
+        out += StrCat(" [label=\"", Escape(label), "\"]");
+      }
+    }
+    out += ";\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace relser

@@ -1,0 +1,33 @@
+// Graphviz DOT export for Digraph-based structures.
+//
+// Used by the classify tool and by developers debugging RSG rejections:
+// `dot -Tpng` of the output renders the graph with per-arc labels (arc
+// kinds for RSGs, conflict labels for SGs).
+#ifndef RELSER_GRAPH_DOT_H_
+#define RELSER_GRAPH_DOT_H_
+
+#include <functional>
+#include <string>
+
+#include "graph/digraph.h"
+
+namespace relser {
+
+/// Callbacks customizing the rendering.
+struct DotOptions {
+  /// Graph name (DOT identifier; keep it alphanumeric).
+  std::string name = "relser";
+  /// Node label; defaults to the node id.
+  std::function<std::string(NodeId)> node_label;
+  /// Edge label; empty string suppresses the label.
+  std::function<std::string(NodeId, NodeId)> edge_label;
+  /// Nodes for which to emit a declaration even when isolated.
+  bool include_isolated_nodes = true;
+};
+
+/// Renders `graph` as a DOT digraph.
+std::string ToDot(const Digraph& graph, const DotOptions& options = {});
+
+}  // namespace relser
+
+#endif  // RELSER_GRAPH_DOT_H_

@@ -1,0 +1,158 @@
+#include "graph/dynamic_topo.h"
+
+#include <algorithm>
+
+#include "graph/cycle.h"
+
+namespace relser {
+
+IncrementalTopology::IncrementalTopology(std::size_t node_count)
+    : graph_(node_count),
+      position_(node_count),
+      order_(node_count),
+      visited_(node_count, false) {
+  for (NodeId node = 0; node < node_count; ++node) {
+    position_[node] = node;
+    order_[node] = node;
+  }
+}
+
+void IncrementalTopology::EnsureNodes(std::size_t node_count) {
+  const std::size_t old = graph_.node_count();
+  if (node_count <= old) return;
+  graph_.EnsureNodes(node_count);
+  position_.resize(node_count);
+  order_.resize(node_count);
+  visited_.resize(node_count, false);
+  for (NodeId node = old; node < node_count; ++node) {
+    position_[node] = node;
+    order_[node] = node;
+  }
+}
+
+IncrementalTopology::AddResult IncrementalTopology::AddEdge(NodeId from,
+                                                            NodeId to) {
+  RELSER_CHECK(from < graph_.node_count() && to < graph_.node_count());
+  if (from == to) return AddResult::kCycle;
+  if (graph_.HasEdge(from, to)) return AddResult::kDuplicate;
+  const std::size_t lower = position_[to];
+  const std::size_t upper = position_[from];
+  if (lower > upper) {
+    // Order already consistent with the new edge.
+    graph_.AddEdge(from, to);
+    return AddResult::kInserted;
+  }
+  // Affected region is [lower, upper]; discover it.
+  delta_forward_.clear();
+  delta_backward_.clear();
+  const bool acyclic = DiscoverForward(to, upper, from);
+  if (!acyclic) {
+    for (const NodeId node : delta_forward_) visited_[node] = false;
+    return AddResult::kCycle;
+  }
+  DiscoverBackward(from, lower);
+  Reorder();
+  graph_.AddEdge(from, to);
+  return AddResult::kInserted;
+}
+
+bool IncrementalTopology::WouldCreateCycle(NodeId from, NodeId to) const {
+  if (from == to) return true;
+  if (position_[to] > position_[from]) return false;
+  // Any path to -> ... -> from must stay within positions <= pos(from).
+  std::vector<NodeId> stack = {to};
+  std::vector<NodeId> touched;
+  // visited_ is mutable scratch in spirit; keep const by using a local set.
+  std::vector<bool> seen(graph_.node_count(), false);
+  seen[to] = true;
+  const std::size_t bound = position_[from];
+  while (!stack.empty()) {
+    const NodeId node = stack.back();
+    stack.pop_back();
+    if (node == from) return true;
+    for (const NodeId succ : graph_.OutNeighbors(node)) {
+      if (!seen[succ] && position_[succ] <= bound) {
+        seen[succ] = true;
+        stack.push_back(succ);
+      }
+    }
+  }
+  (void)touched;
+  return false;
+}
+
+bool IncrementalTopology::DiscoverForward(NodeId start, std::size_t bound,
+                                          NodeId target) {
+  std::vector<NodeId> stack = {start};
+  visited_[start] = true;
+  delta_forward_.push_back(start);
+  while (!stack.empty()) {
+    const NodeId node = stack.back();
+    stack.pop_back();
+    if (node == target) return false;
+    for (const NodeId succ : graph_.OutNeighbors(node)) {
+      if (succ == target) return false;
+      if (!visited_[succ] && position_[succ] <= bound) {
+        visited_[succ] = true;
+        delta_forward_.push_back(succ);
+        stack.push_back(succ);
+      }
+    }
+  }
+  return true;
+}
+
+void IncrementalTopology::DiscoverBackward(NodeId start, std::size_t bound) {
+  std::vector<NodeId> stack = {start};
+  visited_[start] = true;
+  delta_backward_.push_back(start);
+  while (!stack.empty()) {
+    const NodeId node = stack.back();
+    stack.pop_back();
+    for (const NodeId pred : graph_.InNeighbors(node)) {
+      if (!visited_[pred] && position_[pred] >= bound) {
+        visited_[pred] = true;
+        delta_backward_.push_back(pred);
+        stack.push_back(pred);
+      }
+    }
+  }
+}
+
+void IncrementalTopology::Reorder() {
+  // Sort both deltas by current position, pool their position indices,
+  // and reassign: backward set first, then forward set.
+  auto by_position = [this](NodeId a, NodeId b) {
+    return position_[a] < position_[b];
+  };
+  std::sort(delta_backward_.begin(), delta_backward_.end(), by_position);
+  std::sort(delta_forward_.begin(), delta_forward_.end(), by_position);
+
+  std::vector<std::size_t> pool;
+  pool.reserve(delta_backward_.size() + delta_forward_.size());
+  for (const NodeId node : delta_backward_) pool.push_back(position_[node]);
+  for (const NodeId node : delta_forward_) pool.push_back(position_[node]);
+  std::sort(pool.begin(), pool.end());
+
+  std::size_t slot = 0;
+  for (const NodeId node : delta_backward_) {
+    position_[node] = pool[slot];
+    order_[pool[slot]] = node;
+    visited_[node] = false;
+    ++slot;
+  }
+  for (const NodeId node : delta_forward_) {
+    position_[node] = pool[slot];
+    order_[pool[slot]] = node;
+    visited_[node] = false;
+    ++slot;
+  }
+}
+
+void IncrementalTopology::IsolateNode(NodeId node) {
+  graph_.IsolateNode(node);
+}
+
+std::vector<NodeId> IncrementalTopology::Order() const { return order_; }
+
+}  // namespace relser

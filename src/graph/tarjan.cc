@@ -1,0 +1,78 @@
+#include "graph/tarjan.h"
+
+#include <algorithm>
+
+namespace relser {
+
+SccResult StronglyConnectedComponents(const Digraph& graph) {
+  const std::size_t n = graph.node_count();
+  constexpr std::size_t kUnvisited = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> index(n, kUnvisited);
+  std::vector<std::size_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<NodeId> scc_stack;
+  std::size_t next_index = 0;
+
+  SccResult result;
+  result.component.assign(n, kUnvisited);
+
+  // Iterative Tarjan: frames of (node, next neighbor position).
+  std::vector<std::pair<NodeId, std::size_t>> frames;
+  for (NodeId root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    frames.emplace_back(root, 0);
+    while (!frames.empty()) {
+      auto& [node, next] = frames.back();
+      if (next == 0) {
+        index[node] = lowlink[node] = next_index++;
+        scc_stack.push_back(node);
+        on_stack[node] = true;
+      }
+      const auto& succs = graph.OutNeighbors(node);
+      bool descended = false;
+      while (next < succs.size()) {
+        const NodeId succ = succs[next++];
+        if (index[succ] == kUnvisited) {
+          frames.emplace_back(succ, 0);
+          descended = true;
+          break;
+        }
+        if (on_stack[succ]) {
+          lowlink[node] = std::min(lowlink[node], index[succ]);
+        }
+      }
+      if (descended) continue;
+      if (lowlink[node] == index[node]) {
+        std::vector<NodeId> members;
+        while (true) {
+          const NodeId member = scc_stack.back();
+          scc_stack.pop_back();
+          on_stack[member] = false;
+          result.component[member] = result.members.size();
+          members.push_back(member);
+          if (member == node) break;
+        }
+        std::sort(members.begin(), members.end());
+        result.members.push_back(std::move(members));
+      }
+      const NodeId finished = node;
+      frames.pop_back();
+      if (!frames.empty()) {
+        const NodeId parent = frames.back().first;
+        lowlink[parent] = std::min(lowlink[parent], lowlink[finished]);
+      }
+    }
+  }
+  return result;
+}
+
+bool IsAcyclicByScc(const Digraph& graph) {
+  const SccResult sccs = StronglyConnectedComponents(graph);
+  for (const auto& members : sccs.members) {
+    if (members.size() > 1) return false;
+    if (graph.HasEdge(members[0], members[0])) return false;
+  }
+  return true;
+}
+
+}  // namespace relser

@@ -1,0 +1,36 @@
+// Tarjan strongly connected components.
+//
+// Used for diagnostics (enumerating all cyclic clusters of an RSG, not
+// just one witness cycle) and by tests as an independent oracle for the
+// acyclicity routines: a graph is acyclic iff every SCC is a singleton
+// without a self-loop.
+#ifndef RELSER_GRAPH_TARJAN_H_
+#define RELSER_GRAPH_TARJAN_H_
+
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace relser {
+
+/// Result of an SCC decomposition.
+struct SccResult {
+  /// component[v] = dense component id of node v; components are numbered
+  /// in reverse topological order (Tarjan's natural output).
+  std::vector<std::size_t> component;
+  /// Members of each component, by component id.
+  std::vector<std::vector<NodeId>> members;
+
+  std::size_t component_count() const { return members.size(); }
+};
+
+/// Computes strongly connected components (iterative Tarjan, O(V + E)).
+SccResult StronglyConnectedComponents(const Digraph& graph);
+
+/// True iff the graph is acyclic according to the SCC decomposition
+/// (all components singletons, no self-loops). Oracle for HasCycle.
+bool IsAcyclicByScc(const Digraph& graph);
+
+}  // namespace relser
+
+#endif  // RELSER_GRAPH_TARJAN_H_

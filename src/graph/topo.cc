@@ -1,0 +1,71 @@
+#include "graph/topo.h"
+
+#include <queue>
+
+namespace relser {
+
+std::optional<std::vector<NodeId>> TopologicalSort(const Digraph& graph) {
+  const std::size_t n = graph.node_count();
+  std::vector<std::size_t> in_degree(n);
+  std::vector<NodeId> ready;
+  for (NodeId node = 0; node < n; ++node) {
+    in_degree[node] = graph.InDegree(node);
+    if (in_degree[node] == 0) ready.push_back(node);
+  }
+  std::vector<NodeId> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    const NodeId node = ready.back();
+    ready.pop_back();
+    order.push_back(node);
+    for (const NodeId succ : graph.OutNeighbors(node)) {
+      if (--in_degree[succ] == 0) ready.push_back(succ);
+    }
+  }
+  if (order.size() != n) return std::nullopt;  // cycle
+  return order;
+}
+
+namespace {
+
+// Shared implementation: pop the ready node minimizing `key`.
+std::optional<std::vector<NodeId>> KeyedTopologicalSort(
+    const Digraph& graph, const std::vector<std::size_t>& key) {
+  const std::size_t n = graph.node_count();
+  RELSER_CHECK(key.size() == n);
+  using Entry = std::pair<std::size_t, NodeId>;  // (key, node)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> ready;
+  std::vector<std::size_t> in_degree(n);
+  for (NodeId node = 0; node < n; ++node) {
+    in_degree[node] = graph.InDegree(node);
+    if (in_degree[node] == 0) ready.emplace(key[node], node);
+  }
+  std::vector<NodeId> order;
+  order.reserve(n);
+  while (!ready.empty()) {
+    const NodeId node = ready.top().second;
+    ready.pop();
+    order.push_back(node);
+    for (const NodeId succ : graph.OutNeighbors(node)) {
+      if (--in_degree[succ] == 0) ready.emplace(key[succ], succ);
+    }
+  }
+  if (order.size() != n) return std::nullopt;
+  return order;
+}
+
+}  // namespace
+
+std::optional<std::vector<NodeId>> LexMinTopologicalSort(
+    const Digraph& graph) {
+  std::vector<std::size_t> identity(graph.node_count());
+  for (NodeId node = 0; node < identity.size(); ++node) identity[node] = node;
+  return KeyedTopologicalSort(graph, identity);
+}
+
+std::optional<std::vector<NodeId>> PriorityTopologicalSort(
+    const Digraph& graph, const std::vector<std::size_t>& priority) {
+  return KeyedTopologicalSort(graph, priority);
+}
+
+}  // namespace relser

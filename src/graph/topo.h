@@ -1,0 +1,34 @@
+// Topological sorting for Digraph.
+//
+// The constructive half of Theorem 1 obtains an equivalent *relatively
+// serial* schedule by topologically sorting RSG(S); these routines supply
+// the sort plus a deterministic (lexicographically smallest) variant so
+// witnesses are stable across runs and platforms.
+#ifndef RELSER_GRAPH_TOPO_H_
+#define RELSER_GRAPH_TOPO_H_
+
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.h"
+
+namespace relser {
+
+/// Kahn topological sort. Returns the node order, or nullopt if the graph
+/// has a cycle. O(V + E).
+std::optional<std::vector<NodeId>> TopologicalSort(const Digraph& graph);
+
+/// Topological sort that always removes the smallest-id ready node first,
+/// producing the lexicographically smallest order. O((V + E) log V).
+std::optional<std::vector<NodeId>> LexMinTopologicalSort(const Digraph& graph);
+
+/// Topological sort preferring ready nodes in the order given by `priority`
+/// (lower value first; must have one entry per node). Used to bias the
+/// Theorem-1 witness toward the original schedule order so the extracted
+/// relatively serial schedule differs minimally from S. O((V+E) log V).
+std::optional<std::vector<NodeId>> PriorityTopologicalSort(
+    const Digraph& graph, const std::vector<std::size_t>& priority);
+
+}  // namespace relser
+
+#endif  // RELSER_GRAPH_TOPO_H_

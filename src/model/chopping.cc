@@ -1,0 +1,193 @@
+#include "model/chopping.h"
+
+#include <algorithm>
+
+#include "model/operation.h"
+#include "util/check.h"
+
+namespace relser {
+
+namespace {
+
+// Undirected edge with a type tag.
+struct Edge {
+  std::size_t u;
+  std::size_t v;
+  bool is_c;  // true: C-edge (sibling pieces); false: S-edge (conflict)
+};
+
+// Assigns every edge to a biconnected component (iterative Hopcroft-
+// Tarjan on the undirected multigraph) and returns, per component, the
+// edge indices it contains.
+std::vector<std::vector<std::size_t>> BiconnectedEdgeComponents(
+    std::size_t vertex_count, const std::vector<Edge>& edges) {
+  // Adjacency: (neighbor, edge index).
+  std::vector<std::vector<std::pair<std::size_t, std::size_t>>> adj(
+      vertex_count);
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    adj[edges[e].u].emplace_back(edges[e].v, e);
+    adj[edges[e].v].emplace_back(edges[e].u, e);
+  }
+  constexpr std::size_t kUnset = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> depth(vertex_count, kUnset);
+  std::vector<std::size_t> low(vertex_count, 0);
+  std::vector<std::size_t> edge_stack;
+  std::vector<std::vector<std::size_t>> components;
+
+  struct Frame {
+    std::size_t vertex;
+    std::size_t parent_edge;
+    std::size_t next = 0;
+  };
+  for (std::size_t root = 0; root < vertex_count; ++root) {
+    if (depth[root] != kUnset) continue;
+    std::vector<Frame> stack;
+    stack.push_back(Frame{root, kUnset});
+    depth[root] = 0;
+    low[root] = 0;
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      const std::size_t u = frame.vertex;
+      if (frame.next < adj[u].size()) {
+        const auto [v, e] = adj[u][frame.next++];
+        if (e == frame.parent_edge) continue;
+        if (depth[v] == kUnset) {
+          edge_stack.push_back(e);
+          depth[v] = depth[u] + 1;
+          low[v] = depth[v];
+          stack.push_back(Frame{v, e});
+        } else if (depth[v] < depth[u]) {
+          edge_stack.push_back(e);  // back edge
+          low[u] = std::min(low[u], depth[v]);
+        }
+        continue;
+      }
+      // Finished u; propagate lowpoint and pop components at
+      // articulation boundaries.
+      const std::size_t tree_edge = frame.parent_edge;
+      stack.pop_back();  // invalidates `frame`
+      if (stack.empty()) continue;
+      const std::size_t parent = stack.back().vertex;
+      low[parent] = std::min(low[parent], low[u]);
+      if (low[u] >= depth[parent]) {
+        // Pop the component delimited by the tree edge parent-u.
+        std::vector<std::size_t> component;
+        while (!edge_stack.empty()) {
+          const std::size_t e = edge_stack.back();
+          edge_stack.pop_back();
+          component.push_back(e);
+          if (e == tree_edge) break;
+        }
+        if (!component.empty()) components.push_back(std::move(component));
+      }
+    }
+  }
+  return components;
+}
+
+}  // namespace
+
+ChoppingAnalysis AnalyzeChopping(
+    const TransactionSet& txns,
+    const std::vector<std::vector<std::uint32_t>>& piece_gaps) {
+  RELSER_CHECK_MSG(piece_gaps.size() == txns.txn_count(),
+                   "piece_gaps must cover every transaction");
+  ChoppingAnalysis analysis;
+
+  // Build pieces.
+  std::vector<std::size_t> first_piece_of_txn(txns.txn_count());
+  for (TxnId t = 0; t < txns.txn_count(); ++t) {
+    first_piece_of_txn[t] = analysis.pieces.size();
+    std::uint32_t start = 0;
+    std::vector<std::uint32_t> gaps = piece_gaps[t];
+    std::sort(gaps.begin(), gaps.end());
+    for (const std::uint32_t gap : gaps) {
+      RELSER_CHECK_MSG(gap + 1 < txns.txn(t).size(),
+                       "gap " << gap << " out of range for T" << t + 1);
+      analysis.pieces.push_back(Piece{t, start, gap});
+      start = gap + 1;
+    }
+    analysis.pieces.push_back(
+        Piece{t, start, static_cast<std::uint32_t>(txns.txn(t).size() - 1)});
+  }
+
+  // piece_of(t, op index).
+  auto piece_of = [&](TxnId t, std::uint32_t index) {
+    std::size_t p = first_piece_of_txn[t];
+    while (!(analysis.pieces[p].first <= index &&
+             index <= analysis.pieces[p].last)) {
+      ++p;
+    }
+    return p;
+  };
+
+  std::vector<Edge> edges;
+  // C-edges: consecutive sibling pieces (a path suffices: any cycle
+  // through two pieces of one transaction uses some consecutive pair...
+  // more precisely, connectivity within the transaction is what matters
+  // for biconnectivity, and the path gives exactly that).
+  for (TxnId t = 0; t < txns.txn_count(); ++t) {
+    const std::size_t begin = first_piece_of_txn[t];
+    const std::size_t end = (t + 1 < txns.txn_count())
+                                ? first_piece_of_txn[t + 1]
+                                : analysis.pieces.size();
+    for (std::size_t p = begin; p + 1 < end; ++p) {
+      edges.push_back(Edge{p, p + 1, true});
+      ++analysis.c_edges;
+    }
+  }
+  // S-edges: one per conflicting piece pair.
+  std::vector<std::vector<bool>> s_seen(
+      analysis.pieces.size(), std::vector<bool>(analysis.pieces.size()));
+  for (TxnId a = 0; a < txns.txn_count(); ++a) {
+    for (TxnId b = static_cast<TxnId>(a + 1); b < txns.txn_count(); ++b) {
+      for (std::uint32_t i = 0; i < txns.txn(a).size(); ++i) {
+        for (std::uint32_t j = 0; j < txns.txn(b).size(); ++j) {
+          if (!Conflicts(txns.txn(a).op(i), txns.txn(b).op(j))) continue;
+          const std::size_t pa = piece_of(a, i);
+          const std::size_t pb = piece_of(b, j);
+          if (s_seen[pa][pb]) continue;
+          s_seen[pa][pb] = true;
+          s_seen[pb][pa] = true;
+          edges.push_back(Edge{pa, pb, false});
+          ++analysis.s_edges;
+        }
+      }
+    }
+  }
+
+  const auto components =
+      BiconnectedEdgeComponents(analysis.pieces.size(), edges);
+  analysis.correct = true;
+  for (const auto& component : components) {
+    bool has_c = false;
+    bool has_s = false;
+    for (const std::size_t e : component) {
+      has_c = has_c || edges[e].is_c;
+      has_s = has_s || !edges[e].is_c;
+    }
+    if (has_c && has_s) {
+      analysis.correct = false;
+      std::vector<Piece> member_pieces;
+      std::vector<bool> seen(analysis.pieces.size(), false);
+      for (const std::size_t e : component) {
+        for (const std::size_t vertex : {edges[e].u, edges[e].v}) {
+          if (!seen[vertex]) {
+            seen[vertex] = true;
+            member_pieces.push_back(analysis.pieces[vertex]);
+          }
+        }
+      }
+      analysis.mixed_component = std::move(member_pieces);
+      break;
+    }
+  }
+  return analysis;
+}
+
+ChoppingAnalysis AnalyzeUnchopped(const TransactionSet& txns) {
+  return AnalyzeChopping(
+      txns, std::vector<std::vector<std::uint32_t>>(txns.txn_count()));
+}
+
+}  // namespace relser

@@ -1,0 +1,62 @@
+// Transaction chopping (Shasha, Simon & Valduriez [SSV92]) — the
+// related-work mechanism the paper contrasts with in Section 4: chop
+// transactions into pieces, run each piece as its own 2PL transaction,
+// and the execution stays serializable iff the *chopping graph* has no
+// SC-cycle.
+//
+// Chopping graph: vertices are pieces; undirected C-edges join sibling
+// pieces of one transaction; undirected S-edges join conflicting pieces
+// of different transactions. An SC-cycle is a simple cycle containing at
+// least one C and at least one S edge. Because any two edges of a
+// biconnected component lie on a common simple cycle, the test reduces
+// to: no biconnected component may contain both edge types.
+//
+// The bridge to this repository: a relative atomicity specification's
+// *universal* breakpoints (gaps every observer sees) induce a chopping;
+// when that chopping is correct, the unit-locking scheduler's executions
+// are fully conflict serializable, not merely relatively serializable —
+// an ablation bench_chopping quantifies.
+#ifndef RELSER_MODEL_CHOPPING_H_
+#define RELSER_MODEL_CHOPPING_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "model/transaction.h"
+
+namespace relser {
+
+/// A piece of a chopped transaction: ops [first, last] of txn.
+struct Piece {
+  TxnId txn;
+  std::uint32_t first;
+  std::uint32_t last;
+
+  friend bool operator==(const Piece& a, const Piece& b) = default;
+};
+
+/// Result of the SC-cycle test.
+struct ChoppingAnalysis {
+  bool correct = false;       ///< no SC-cycle
+  std::vector<Piece> pieces;  ///< all pieces, grouped by transaction
+  std::size_t c_edges = 0;
+  std::size_t s_edges = 0;
+  /// Pieces of one offending biconnected component when incorrect.
+  std::optional<std::vector<Piece>> mixed_component;
+};
+
+/// Analyzes the chopping given per-transaction gap sets: `piece_gaps[t]`
+/// lists the gaps of T_t after which a new piece starts (empty = the
+/// whole transaction is one piece).
+ChoppingAnalysis AnalyzeChopping(
+    const TransactionSet& txns,
+    const std::vector<std::vector<std::uint32_t>>& piece_gaps);
+
+/// Convenience: every transaction is a single piece — always correct
+/// (no C-edges at all).
+ChoppingAnalysis AnalyzeUnchopped(const TransactionSet& txns);
+
+}  // namespace relser
+
+#endif  // RELSER_MODEL_CHOPPING_H_

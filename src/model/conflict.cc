@@ -1,0 +1,73 @@
+#include "model/conflict.h"
+
+#include <algorithm>
+
+#include "graph/cycle.h"
+#include "graph/topo.h"
+
+namespace relser {
+
+std::vector<ConflictPair> ConflictPairs(const Schedule& schedule) {
+  std::vector<ConflictPair> pairs;
+  const auto& ops = schedule.ops();
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    for (std::size_t j = i + 1; j < ops.size(); ++j) {
+      if (Conflicts(ops[i], ops[j])) {
+        pairs.push_back(ConflictPair{ops[i], ops[j]});
+      }
+    }
+  }
+  return pairs;
+}
+
+bool ConflictEquivalent(const TransactionSet& txns, const Schedule& a,
+                        const Schedule& b) {
+  RELSER_CHECK(a.size() == b.size());
+  (void)txns;
+  // Two complete schedules over the same set are conflict equivalent iff
+  // every conflicting pair of operations appears in the same relative
+  // order. Checking a's pairs suffices: conflict pairs are symmetric in
+  // membership, only order differs.
+  const auto& ops = a.ops();
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    for (std::size_t j = i + 1; j < ops.size(); ++j) {
+      if (Conflicts(ops[i], ops[j]) && !b.Precedes(ops[i], ops[j])) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+Digraph SerializationGraph(const TransactionSet& txns,
+                           const Schedule& schedule) {
+  Digraph graph(txns.txn_count());
+  const auto& ops = schedule.ops();
+  for (std::size_t i = 0; i < ops.size(); ++i) {
+    for (std::size_t j = i + 1; j < ops.size(); ++j) {
+      if (Conflicts(ops[i], ops[j])) {
+        graph.AddEdge(ops[i].txn, ops[j].txn);
+      }
+    }
+  }
+  return graph;
+}
+
+bool IsConflictSerializable(const TransactionSet& txns,
+                            const Schedule& schedule) {
+  return !HasCycle(SerializationGraph(txns, schedule));
+}
+
+std::optional<std::vector<TxnId>> SerializationOrder(
+    const TransactionSet& txns, const Schedule& schedule) {
+  const auto order = TopologicalSort(SerializationGraph(txns, schedule));
+  if (!order.has_value()) return std::nullopt;
+  std::vector<TxnId> txn_order;
+  txn_order.reserve(order->size());
+  for (const NodeId node : *order) {
+    txn_order.push_back(static_cast<TxnId>(node));
+  }
+  return txn_order;
+}
+
+}  // namespace relser

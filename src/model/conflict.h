@@ -1,0 +1,53 @@
+// Conflict analysis: conflict pairs, conflict equivalence, the classical
+// serialization graph SG(S), and the conflict-serializability test
+// [Pap79, BSW79] that the paper uses as its baseline correctness notion.
+#ifndef RELSER_MODEL_CONFLICT_H_
+#define RELSER_MODEL_CONFLICT_H_
+
+#include <optional>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "model/schedule.h"
+#include "model/transaction.h"
+
+namespace relser {
+
+/// An ordered conflicting pair: `first` precedes `second` in the schedule
+/// and Conflicts(first, second) holds.
+struct ConflictPair {
+  Operation first;
+  Operation second;
+
+  friend bool operator==(const ConflictPair& a,
+                         const ConflictPair& b) = default;
+};
+
+/// All ordered conflict pairs of `schedule`, in lexicographic schedule-
+/// position order. O(n^2) over the schedule length.
+std::vector<ConflictPair> ConflictPairs(const Schedule& schedule);
+
+/// True iff `a` and `b` are schedules over the same transaction set that
+/// order every conflicting pair identically (Section 2's equivalence).
+/// Both schedules must be complete schedules over `txns`.
+bool ConflictEquivalent(const TransactionSet& txns, const Schedule& a,
+                        const Schedule& b);
+
+/// The serialization graph SG(S): one node per transaction; edge
+/// Ti -> Tk iff some operation of Ti conflicts with and precedes some
+/// operation of Tk in S (used by Lemma 1).
+Digraph SerializationGraph(const TransactionSet& txns,
+                           const Schedule& schedule);
+
+/// Classical test: S is conflict serializable iff SG(S) is acyclic.
+bool IsConflictSerializable(const TransactionSet& txns,
+                            const Schedule& schedule);
+
+/// If S is conflict serializable, returns a serialization order of the
+/// transactions (a topological order of SG(S)); nullopt otherwise.
+std::optional<std::vector<TxnId>> SerializationOrder(
+    const TransactionSet& txns, const Schedule& schedule);
+
+}  // namespace relser
+
+#endif  // RELSER_MODEL_CONFLICT_H_

@@ -1,0 +1,86 @@
+#include "model/enumerate.h"
+
+#include <limits>
+
+#include "util/check.h"
+
+namespace relser {
+
+namespace {
+
+// Recursive backtracking over which transaction supplies the next
+// operation. Depth equals total op count (small by contract).
+class Enumerator {
+ public:
+  Enumerator(const TransactionSet& txns, const ScheduleVisitor& visitor)
+      : txns_(txns),
+        visitor_(visitor),
+        cursor_(txns.txn_count(), 0),
+        total_(0) {
+    for (const Transaction& txn : txns.txns()) {
+      total_ += txn.size();
+    }
+    prefix_.reserve(total_);
+  }
+
+  std::uint64_t Run() {
+    Extend();
+    return visited_;
+  }
+
+ private:
+  // Returns false when the visitor asked to stop.
+  bool Extend() {
+    if (prefix_.size() == total_) {
+      auto schedule = Schedule::Over(txns_, prefix_);
+      RELSER_CHECK_MSG(schedule.ok(), schedule.status().ToString());
+      ++visited_;
+      return visitor_(*schedule);
+    }
+    for (TxnId t = 0; t < txns_.txn_count(); ++t) {
+      const Transaction& txn = txns_.txn(t);
+      if (cursor_[t] >= txn.size()) continue;
+      prefix_.push_back(txn.op(cursor_[t]));
+      ++cursor_[t];
+      const bool keep_going = Extend();
+      --cursor_[t];
+      prefix_.pop_back();
+      if (!keep_going) return false;
+    }
+    return true;
+  }
+
+  const TransactionSet& txns_;
+  const ScheduleVisitor& visitor_;
+  std::vector<std::uint32_t> cursor_;
+  std::vector<Operation> prefix_;
+  std::size_t total_;
+  std::uint64_t visited_ = 0;
+};
+
+}  // namespace
+
+std::uint64_t EnumerateSchedules(const TransactionSet& txns,
+                                 const ScheduleVisitor& visitor) {
+  Enumerator enumerator(txns, visitor);
+  return enumerator.Run();
+}
+
+std::uint64_t EnumerationCount(const TransactionSet& txns) {
+  // Multinomial computed incrementally as prod over txns of
+  // C(running_total, n_i); saturate on overflow.
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t result = 1;
+  std::uint64_t placed = 0;
+  for (const Transaction& txn : txns.txns()) {
+    for (std::uint64_t k = 1; k <= txn.size(); ++k) {
+      ++placed;
+      // result *= placed / k, keeping exactness: result * placed first.
+      if (result > kMax / placed) return kMax;
+      result = result * placed / k;
+    }
+  }
+  return result;
+}
+
+}  // namespace relser

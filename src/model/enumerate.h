@@ -1,0 +1,35 @@
+// Exhaustive enumeration of the interleavings of a TransactionSet.
+//
+// Used only on small instances: as the oracle behind the brute-force
+// relative-consistency test, for the Figure 5 census, and by property
+// tests that compare the polynomial RSG test against ground truth. The
+// number of interleavings is the multinomial (sum n_i)! / prod n_i!, so
+// callers must keep the instance tiny; EnumerationCount says how big.
+#ifndef RELSER_MODEL_ENUMERATE_H_
+#define RELSER_MODEL_ENUMERATE_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "model/schedule.h"
+#include "model/transaction.h"
+
+namespace relser {
+
+/// Visitor for EnumerateSchedules; return false to stop the enumeration.
+using ScheduleVisitor = std::function<bool(const Schedule&)>;
+
+/// Visits every complete schedule over `txns` (each transaction's
+/// operations in program order) in lexicographic transaction-choice
+/// order. Returns the number of schedules visited (enumeration may stop
+/// early when the visitor returns false).
+std::uint64_t EnumerateSchedules(const TransactionSet& txns,
+                                 const ScheduleVisitor& visitor);
+
+/// Number of distinct interleavings of `txns` = (Σ|Ti|)! / Π(|Ti|!),
+/// saturating at UINT64_MAX on overflow.
+std::uint64_t EnumerationCount(const TransactionSet& txns);
+
+}  // namespace relser
+
+#endif  // RELSER_MODEL_ENUMERATE_H_

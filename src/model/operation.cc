@@ -1,0 +1,22 @@
+#include "model/operation.h"
+
+#include "util/strings.h"
+
+namespace relser {
+
+const char* OpTypeName(OpType type) {
+  return type == OpType::kRead ? "r" : "w";
+}
+
+std::string OperationToString(const Operation& op,
+                              const std::string& object_name) {
+  return StrCat(OpTypeName(op.type), op.txn + 1, "[", object_name, "]");
+}
+
+std::ostream& operator<<(std::ostream& os, const Operation& op) {
+  // Without a symbol table the object prints as its numeric id.
+  return os << OpTypeName(op.type) << (op.txn + 1) << "[#" << op.object
+            << "]";
+}
+
+}  // namespace relser

@@ -1,0 +1,61 @@
+// Operation: the atomic read/write steps of the paper's model (Section 2).
+//
+// "A database is modeled as a set of objects ... accessed through atomic
+// read and write operations."  An Operation records which transaction
+// issued it, its position within that transaction, whether it reads or
+// writes, and the object it touches. Two operations of *different*
+// transactions conflict if they access the same object and at least one
+// writes (the classical notion the paper builds on).
+#ifndef RELSER_MODEL_OPERATION_H_
+#define RELSER_MODEL_OPERATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+
+namespace relser {
+
+/// Dense transaction id, 0-based internally (printed 1-based, as in the
+/// paper's T1, T2, ...).
+using TxnId = std::uint32_t;
+
+/// Dense database-object id assigned by TransactionSet's symbol table.
+using ObjectId = std::uint32_t;
+
+/// Read or write access.
+enum class OpType : std::uint8_t { kRead, kWrite };
+
+/// Returns "r" or "w".
+const char* OpTypeName(OpType type);
+
+/// One read/write step. o_{ij} in the paper is Operation{txn=i, index=j}.
+struct Operation {
+  TxnId txn = 0;
+  std::uint32_t index = 0;  ///< position within the transaction, 0-based
+  OpType type = OpType::kRead;
+  ObjectId object = 0;
+
+  bool is_read() const { return type == OpType::kRead; }
+  bool is_write() const { return type == OpType::kWrite; }
+
+  /// Identity comparison (all fields).
+  friend bool operator==(const Operation& a, const Operation& b) = default;
+};
+
+/// True iff `a` and `b` are operations of different transactions accessing
+/// the same object with at least one write (Section 2's conflict relation).
+inline bool Conflicts(const Operation& a, const Operation& b) {
+  return a.txn != b.txn && a.object == b.object &&
+         (a.is_write() || b.is_write());
+}
+
+/// Renders e.g. "r1[x]" when `object_name` is the object's print name.
+std::string OperationToString(const Operation& op,
+                              const std::string& object_name);
+
+std::ostream& operator<<(std::ostream& os, const Operation& op);
+
+}  // namespace relser
+
+#endif  // RELSER_MODEL_OPERATION_H_

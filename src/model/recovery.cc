@@ -1,0 +1,80 @@
+#include "model/recovery.h"
+
+#include <vector>
+
+#include "util/check.h"
+
+namespace relser {
+
+std::string RecoveryClassification::ToFlags() const {
+  std::string out;
+  if (strict) out += "ST ";
+  if (avoids_cascading) out += "ACA ";
+  if (recoverable) out += "RC";
+  if (out.empty()) return "-";
+  if (out.back() == ' ') out.pop_back();
+  return out;
+}
+
+RecoveryClassification ClassifyRecovery(const TransactionSet& txns,
+                                        const Schedule& schedule) {
+  // commit position of each transaction = position of its last op.
+  std::vector<std::size_t> commit_pos(txns.txn_count());
+  for (TxnId t = 0; t < txns.txn_count(); ++t) {
+    commit_pos[t] = schedule.PositionOf(
+        t, static_cast<std::uint32_t>(txns.txn(t).size() - 1));
+  }
+
+  RecoveryClassification c;
+  c.recoverable = true;
+  c.avoids_cascading = true;
+  c.strict = true;
+
+  const auto& ops = schedule.ops();
+  for (std::size_t pos = 0; pos < ops.size(); ++pos) {
+    const Operation& op = ops[pos];
+    // The latest write to op.object before pos, by another transaction,
+    // and whether any such uncommitted write precedes pos.
+    std::size_t last_writer_pos = static_cast<std::size_t>(-1);
+    TxnId last_writer = 0;
+    for (std::size_t q = 0; q < pos; ++q) {
+      const Operation& earlier = ops[q];
+      if (earlier.object != op.object || !earlier.is_write()) continue;
+      if (earlier.txn == op.txn) {
+        // Own write resets the reads-from chain.
+        last_writer_pos = static_cast<std::size_t>(-1);
+        continue;
+      }
+      last_writer_pos = q;
+      last_writer = earlier.txn;
+    }
+    const bool reads_from_other =
+        op.is_read() && last_writer_pos != static_cast<std::size_t>(-1);
+    if (reads_from_other) {
+      // Recoverable: the writer commits before the reader commits.
+      if (commit_pos[last_writer] > commit_pos[op.txn]) {
+        c.recoverable = false;
+      }
+      // ACA: the writer is committed at the time of the read.
+      if (commit_pos[last_writer] > pos) {
+        c.avoids_cascading = false;
+      }
+    }
+    // Strict: no operation may read or overwrite a value written by an
+    // uncommitted other transaction.
+    if (last_writer_pos != static_cast<std::size_t>(-1) &&
+        commit_pos[last_writer] > pos) {
+      c.strict = false;
+    }
+  }
+  return c;
+}
+
+void CheckRecoveryInvariants(const RecoveryClassification& c) {
+  RELSER_CHECK_MSG(!c.strict || c.avoids_cascading,
+                   "strict schedule must avoid cascading aborts");
+  RELSER_CHECK_MSG(!c.avoids_cascading || c.recoverable,
+                   "ACA schedule must be recoverable");
+}
+
+}  // namespace relser

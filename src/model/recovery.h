@@ -1,0 +1,42 @@
+// Recovery-theoretic schedule classes: recoverable (RC), avoids
+// cascading aborts (ACA), and strict (ST), with the textbook containment
+// ST ⊆ ACA ⊆ RC.
+//
+// The paper's theory treats committed complete schedules; the simulator,
+// however, aborts and cascades, and protocols that release early
+// (unit-2PL, altruistic locking, the certification schedulers) trade
+// recovery guarantees for concurrency. These checkers quantify that
+// trade-off on committed executions (bench_recovery): relative
+// serializability says which *orders* are acceptable; RC/ACA/ST say how
+// expensive *aborts* would have been along the way.
+//
+// Convention: a transaction commits at its last operation's position
+// (the simulator commits exactly there).
+#ifndef RELSER_MODEL_RECOVERY_H_
+#define RELSER_MODEL_RECOVERY_H_
+
+#include "model/schedule.h"
+#include "model/transaction.h"
+
+namespace relser {
+
+/// Membership in the recovery classes.
+struct RecoveryClassification {
+  bool recoverable = false;       ///< readers commit after their writers
+  bool avoids_cascading = false;  ///< reads only from committed writers
+  bool strict = false;            ///< no read/overwrite of uncommitted data
+
+  /// "ST ACA RC", "ACA RC", "RC" or "-".
+  std::string ToFlags() const;
+};
+
+/// Classifies a complete schedule under the commit-at-last-op convention.
+RecoveryClassification ClassifyRecovery(const TransactionSet& txns,
+                                        const Schedule& schedule);
+
+/// CHECK-fails if the classification violates ST ⊆ ACA ⊆ RC.
+void CheckRecoveryInvariants(const RecoveryClassification& c);
+
+}  // namespace relser
+
+#endif  // RELSER_MODEL_RECOVERY_H_

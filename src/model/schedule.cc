@@ -1,0 +1,101 @@
+#include "model/schedule.h"
+
+#include "util/strings.h"
+
+namespace relser {
+
+Result<Schedule> Schedule::Over(const TransactionSet& txns,
+                                std::vector<Operation> ops) {
+  const OpIndexer indexer(txns);
+  if (ops.size() != indexer.total_ops()) {
+    return Status::InvalidArgument(
+        StrCat("schedule has ", ops.size(), " operations, transaction set ",
+               "has ", indexer.total_ops()));
+  }
+  constexpr auto kUnset = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> positions(indexer.total_ops(), kUnset);
+  // next_index[t] = number of operations of txn t already seen; enforces
+  // program order as we scan.
+  std::vector<std::uint32_t> next_index(txns.txn_count(), 0);
+  for (std::size_t pos = 0; pos < ops.size(); ++pos) {
+    const Operation& op = ops[pos];
+    if (op.txn >= txns.txn_count()) {
+      return Status::InvalidArgument(
+          StrCat("operation at position ", pos, " names unknown T",
+                 op.txn + 1));
+    }
+    const Transaction& txn = txns.txn(op.txn);
+    if (op.index != next_index[op.txn]) {
+      return Status::InvalidArgument(
+          StrCat("operations of T", op.txn + 1, " out of program order at ",
+                 "position ", pos, " (saw index ", op.index, ", expected ",
+                 next_index[op.txn], ")"));
+    }
+    if (op.index >= txn.size() || !(txn.op(op.index) == op)) {
+      return Status::InvalidArgument(
+          StrCat("operation at position ", pos,
+                 " does not match the transaction set's T", op.txn + 1, "[",
+                 op.index, "]"));
+    }
+    positions[indexer.GlobalId(op)] = pos;
+    ++next_index[op.txn];
+  }
+  for (TxnId t = 0; t < txns.txn_count(); ++t) {
+    if (next_index[t] != txns.txn(t).size()) {
+      return Status::InvalidArgument(
+          StrCat("schedule is missing operations of T", t + 1));
+    }
+  }
+  std::vector<std::size_t> offsets(txns.txn_count() + 1, 0);
+  for (TxnId t = 0; t < txns.txn_count(); ++t) {
+    offsets[t + 1] = offsets[t] + txns.txn(t).size();
+  }
+  return Schedule(std::move(ops), std::move(positions), std::move(offsets));
+}
+
+Result<Schedule> Schedule::Serial(const TransactionSet& txns,
+                                  const std::vector<TxnId>& order) {
+  if (order.size() != txns.txn_count()) {
+    return Status::InvalidArgument(
+        StrCat("serial order names ", order.size(), " of ", txns.txn_count(),
+               " transactions"));
+  }
+  std::vector<Operation> ops;
+  ops.reserve(OpIndexer(txns).total_ops());
+  for (const TxnId t : order) {
+    if (t >= txns.txn_count()) {
+      return Status::InvalidArgument(StrCat("unknown transaction T", t + 1));
+    }
+    for (const Operation& op : txns.txn(t).ops()) {
+      ops.push_back(op);
+    }
+  }
+  return Over(txns, std::move(ops));
+}
+
+bool Schedule::IsSerial() const {
+  TxnId current = ops_.empty() ? 0 : ops_[0].txn;
+  std::vector<bool> finished(txn_count(), false);
+  for (const Operation& op : ops_) {
+    if (op.txn != current) {
+      finished[current] = true;
+      current = op.txn;
+      if (finished[current]) return false;  // transaction resumed
+    }
+  }
+  return true;
+}
+
+std::vector<TxnId> Schedule::TxnsByFirstOp() const {
+  std::vector<TxnId> order;
+  std::vector<bool> seen(txn_count(), false);
+  for (const Operation& op : ops_) {
+    if (!seen[op.txn]) {
+      seen[op.txn] = true;
+      order.push_back(op.txn);
+    }
+  }
+  return order;
+}
+
+}  // namespace relser

@@ -1,0 +1,83 @@
+// Schedule: an interleaved total order of all operations of a
+// TransactionSet, preserving each transaction's internal order (Section 2).
+#ifndef RELSER_MODEL_SCHEDULE_H_
+#define RELSER_MODEL_SCHEDULE_H_
+
+#include <vector>
+
+#include "model/op_indexer.h"
+#include "model/operation.h"
+#include "model/transaction.h"
+#include "util/status.h"
+
+namespace relser {
+
+/// A complete schedule over a TransactionSet. Immutable once built.
+class Schedule {
+ public:
+  Schedule() = default;
+
+  /// Builds a schedule from `ops`, validating against `txns` that
+  /// (a) every operation of every transaction occurs exactly once, and
+  /// (b) each transaction's operations appear in program order.
+  static Result<Schedule> Over(const TransactionSet& txns,
+                               std::vector<Operation> ops);
+
+  /// Builds the serial schedule T_{order[0]} T_{order[1]} ...; `order`
+  /// must be a permutation of all transaction ids.
+  static Result<Schedule> Serial(const TransactionSet& txns,
+                                 const std::vector<TxnId>& order);
+
+  std::size_t size() const { return ops_.size(); }
+  bool empty() const { return ops_.empty(); }
+
+  /// Operation at schedule position `pos` (0-based).
+  const Operation& op(std::size_t pos) const {
+    RELSER_DCHECK(pos < ops_.size());
+    return ops_[pos];
+  }
+
+  const std::vector<Operation>& ops() const { return ops_; }
+
+  /// Schedule position of o_{txn,index}; O(1).
+  std::size_t PositionOf(TxnId txn, std::uint32_t index) const {
+    RELSER_DCHECK(txn + 1 < offsets_.size());
+    return positions_[offsets_[txn] + index];
+  }
+  std::size_t PositionOf(const Operation& op) const {
+    return PositionOf(op.txn, op.index);
+  }
+
+  /// True iff `a` precedes `b` in the schedule.
+  bool Precedes(const Operation& a, const Operation& b) const {
+    return PositionOf(a) < PositionOf(b);
+  }
+
+  /// Number of transactions the schedule interleaves.
+  std::size_t txn_count() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+
+  /// True iff the schedule runs transactions back to back (a *serial*
+  /// schedule in the classical sense).
+  bool IsSerial() const;
+
+  /// Transaction ids in order of their first operation.
+  std::vector<TxnId> TxnsByFirstOp() const;
+
+ private:
+  Schedule(std::vector<Operation> ops, std::vector<std::size_t> positions,
+           std::vector<std::size_t> offsets)
+      : ops_(std::move(ops)),
+        positions_(std::move(positions)),
+        offsets_(std::move(offsets)) {}
+
+  std::vector<Operation> ops_;
+  // positions_[offsets_[txn] + index] = schedule position of o_{txn,index}.
+  std::vector<std::size_t> positions_;
+  std::vector<std::size_t> offsets_;  // per-txn prefix sums; size txn_count+1
+};
+
+}  // namespace relser
+
+#endif  // RELSER_MODEL_SCHEDULE_H_

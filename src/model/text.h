@@ -1,0 +1,55 @@
+// Text notation for transactions and schedules, matching the paper:
+//
+//   operation      r1[x]      w3[z]
+//   transaction    T1 = r1[x] w1[x] w1[z] r1[y]      (whitespace optional)
+//   txn set        one transaction per line (or ';'-separated)
+//   schedule       r2[y] r1[x] w1[x] w2[y] r2[x] ...
+//
+// Transaction numbers in the text are 1-based (T1, r1[...]) and map to the
+// 0-based internal TxnId space. Object names are interned in the
+// TransactionSet's symbol table.
+#ifndef RELSER_MODEL_TEXT_H_
+#define RELSER_MODEL_TEXT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "model/schedule.h"
+#include "model/transaction.h"
+#include "util/status.h"
+
+namespace relser {
+
+/// Parses a whole transaction set. Each non-empty line (or ';'-separated
+/// segment) is one transaction "Tk = <ops>"; the "Tk =" prefix is optional
+/// but, when present, must match the transaction's position (T1 first).
+Result<TransactionSet> ParseTransactionSet(std::string_view text);
+
+/// Parses a schedule string (a permutation of all operations of `txns`)
+/// and validates it with Schedule::Over.
+Result<Schedule> ParseSchedule(const TransactionSet& txns,
+                               std::string_view text);
+
+/// Parses a bare operation sequence against `txns` without completeness
+/// validation (used by the spec parser for atomic-unit lists). Repeated
+/// identical operations resolve to successive program-order occurrences.
+Result<std::vector<Operation>> ParseOperationList(const TransactionSet& txns,
+                                                  std::string_view text);
+
+/// Counts the operation tokens in `text` without resolving them (used by
+/// the spec parser to derive unit lengths).
+Result<std::size_t> CountOperationTokens(std::string_view text);
+
+/// Renders one operation using the set's object names.
+std::string ToString(const TransactionSet& txns, const Operation& op);
+
+/// Renders a transaction as "r1[x]w1[x]..." (no spaces, as in the paper).
+std::string ToString(const TransactionSet& txns, const Transaction& txn);
+
+/// Renders a schedule as "r2[y]r1[x]..." (no spaces, as in the paper).
+std::string ToString(const TransactionSet& txns, const Schedule& schedule);
+
+}  // namespace relser
+
+#endif  // RELSER_MODEL_TEXT_H_

@@ -1,0 +1,107 @@
+#include "model/transaction.h"
+
+#include "util/strings.h"
+
+namespace relser {
+
+Transaction* TransactionSet::AddTransaction() {
+  offsets_stale_ = true;
+  const auto id = static_cast<TxnId>(txns_.size());
+  txns_.emplace_back(id);
+  return &txns_.back();
+}
+
+ObjectId TransactionSet::InternObject(const std::string& name) {
+  const auto it = object_ids_.find(name);
+  if (it != object_ids_.end()) return it->second;
+  const auto id = static_cast<ObjectId>(object_names_.size());
+  object_names_.push_back(name);
+  object_ids_.emplace(name, id);
+  return id;
+}
+
+const std::string& TransactionSet::ObjectName(ObjectId object) const {
+  RELSER_CHECK_MSG(object < object_names_.size(),
+                   "object id " << object << " out of range");
+  return object_names_[object];
+}
+
+ObjectId TransactionSet::AddObjects(std::size_t count) {
+  const auto first = static_cast<ObjectId>(object_names_.size());
+  for (std::size_t i = 0; i < count; ++i) {
+    InternObject(StrCat("o", object_names_.size()));
+  }
+  return first;
+}
+
+std::size_t TransactionSet::total_ops() const {
+  RebuildOffsetsIfStale();
+  return offsets_.empty() ? 0 : offsets_.back();
+}
+
+void TransactionSet::RebuildOffsetsIfStale() const {
+  // offsets_[i] = first global id of txn i; offsets_.back() = total ops.
+  // Rebuild unconditionally when marked stale *or* when any transaction
+  // grew since the last rebuild (ops appended through AddTransaction's
+  // pointer do not flip the flag).
+  offsets_.assign(txns_.size() + 1, 0);
+  for (std::size_t i = 0; i < txns_.size(); ++i) {
+    offsets_[i + 1] = offsets_[i] + txns_[i].size();
+  }
+  offsets_stale_ = false;
+}
+
+std::size_t TransactionSet::GlobalOpId(TxnId txn, std::uint32_t index) const {
+  RebuildOffsetsIfStale();
+  RELSER_CHECK(txn < txns_.size());
+  RELSER_CHECK_MSG(index < txns_[txn].size(),
+                   "op index " << index << " out of range for T" << txn + 1);
+  return offsets_[txn] + index;
+}
+
+const Operation& TransactionSet::OpByGlobalId(std::size_t global_id) const {
+  RebuildOffsetsIfStale();
+  RELSER_CHECK_MSG(global_id < total_ops(),
+                   "global op id " << global_id << " out of range");
+  // Binary search over prefix sums.
+  std::size_t lo = 0;
+  std::size_t hi = txns_.size();
+  while (lo + 1 < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (offsets_[mid] <= global_id) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return txns_[lo].op(global_id - offsets_[lo]);
+}
+
+Status TransactionSet::Validate() const {
+  for (std::size_t i = 0; i < txns_.size(); ++i) {
+    const Transaction& txn = txns_[i];
+    if (txn.id() != i) {
+      return Status::Internal(StrCat("transaction at slot ", i, " has id ",
+                                     txn.id()));
+    }
+    if (txn.empty()) {
+      return Status::InvalidArgument(
+          StrCat("transaction T", i + 1, " is empty"));
+    }
+    for (std::size_t j = 0; j < txn.size(); ++j) {
+      const Operation& op = txn.op(j);
+      if (op.txn != i || op.index != j) {
+        return Status::Internal(
+            StrCat("operation at T", i + 1, "[", j, "] mislabeled"));
+      }
+      if (op.object >= object_names_.size()) {
+        return Status::Internal(
+            StrCat("operation at T", i + 1, "[", j, "] references unknown ",
+                   "object ", op.object));
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace relser

@@ -1,0 +1,57 @@
+#include "model/view.h"
+
+#include <algorithm>
+
+#include "model/op_indexer.h"
+#include "util/check.h"
+
+namespace relser {
+
+ViewProfile ComputeViewProfile(const TransactionSet& txns,
+                               const Schedule& schedule) {
+  const OpIndexer indexer(txns);
+  ViewProfile profile;
+  profile.reads_from.assign(indexer.total_ops(), kInitialTxn);
+  profile.final_writer.assign(txns.object_count(), kInitialTxn);
+  // last_writer[object] while scanning the schedule.
+  std::vector<TxnId> last_writer(txns.object_count(), kInitialTxn);
+  for (const Operation& op : schedule.ops()) {
+    if (op.is_read()) {
+      // A transaction reading an object it previously wrote observes its
+      // own write; the scan handles this naturally via last_writer.
+      profile.reads_from[indexer.GlobalId(op)] = last_writer[op.object];
+    } else {
+      last_writer[op.object] = op.txn;
+    }
+  }
+  profile.final_writer = std::move(last_writer);
+  return profile;
+}
+
+bool ViewEquivalent(const TransactionSet& txns, const Schedule& a,
+                    const Schedule& b) {
+  return ComputeViewProfile(txns, a) == ComputeViewProfile(txns, b);
+}
+
+std::optional<std::vector<TxnId>> ViewSerializationOrder(
+    const TransactionSet& txns, const Schedule& schedule) {
+  const ViewProfile target = ComputeViewProfile(txns, schedule);
+  std::vector<TxnId> order(txns.txn_count());
+  for (TxnId t = 0; t < txns.txn_count(); ++t) order[t] = t;
+  std::sort(order.begin(), order.end());
+  do {
+    auto serial = Schedule::Serial(txns, order);
+    RELSER_CHECK(serial.ok());
+    if (ComputeViewProfile(txns, *serial) == target) {
+      return order;
+    }
+  } while (std::next_permutation(order.begin(), order.end()));
+  return std::nullopt;
+}
+
+bool IsViewSerializable(const TransactionSet& txns,
+                        const Schedule& schedule) {
+  return ViewSerializationOrder(txns, schedule).has_value();
+}
+
+}  // namespace relser

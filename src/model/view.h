@@ -1,0 +1,57 @@
+// View equivalence and view serializability: the historically
+// "intuitive" correctness notion whose intractability motivated conflict
+// serializability — the same story the paper retells in Section 5 for
+// relative consistency vs relative serializability. Provided as a
+// baseline so that analogy can be exercised empirically.
+//
+// Conventions: a read with no preceding write on its object reads from
+// the *initial transaction* (kInitialTxn); the last write on each object
+// is that object's *final write*. Two schedules are view equivalent iff
+// every read reads from the same writer and every object has the same
+// final writer. Deciding view serializability is NP-complete; the test
+// here enumerates the n! serial orders and is for small n only.
+#ifndef RELSER_MODEL_VIEW_H_
+#define RELSER_MODEL_VIEW_H_
+
+#include <optional>
+#include <vector>
+
+#include "model/schedule.h"
+#include "model/transaction.h"
+
+namespace relser {
+
+/// Pseudo transaction-id for the initial database state.
+inline constexpr TxnId kInitialTxn = static_cast<TxnId>(-1);
+
+/// reads_from[g] = writer observed by the read with global op id g
+/// (kInitialTxn when it precedes every write of its object; also
+/// kInitialTxn, vacuously, for write operations). final_writer maps
+/// object -> last writer (kInitialTxn when never written).
+struct ViewProfile {
+  std::vector<TxnId> reads_from;    ///< indexed by global op id
+  std::vector<TxnId> final_writer;  ///< indexed by ObjectId
+
+  friend bool operator==(const ViewProfile& a,
+                         const ViewProfile& b) = default;
+};
+
+/// Computes the reads-from / final-write profile of `schedule`.
+ViewProfile ComputeViewProfile(const TransactionSet& txns,
+                               const Schedule& schedule);
+
+/// True iff the schedules have identical view profiles.
+bool ViewEquivalent(const TransactionSet& txns, const Schedule& a,
+                    const Schedule& b);
+
+/// Exhaustive test: is some serial schedule view equivalent to S?
+/// O(n! * |S|); callers must keep txn_count small (<= ~8).
+bool IsViewSerializable(const TransactionSet& txns, const Schedule& schedule);
+
+/// The witnessing serial order, when one exists.
+std::optional<std::vector<TxnId>> ViewSerializationOrder(
+    const TransactionSet& txns, const Schedule& schedule);
+
+}  // namespace relser
+
+#endif  // RELSER_MODEL_VIEW_H_

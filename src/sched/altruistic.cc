@@ -1,0 +1,179 @@
+#include "sched/altruistic.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace relser {
+
+AltruisticScheduler::AltruisticScheduler(const TransactionSet& txns)
+    : txns_(txns), order_(txns.txn_count()) {}
+
+bool AltruisticScheduler::AccessesAtOrAfter(TxnId txn, ObjectId object,
+                                            std::uint32_t from) const {
+  const Transaction& transaction = txns_.txn(txn);
+  for (std::uint32_t k = from; k < transaction.size(); ++k) {
+    if (transaction.op(k).object == object) return true;
+  }
+  return false;
+}
+
+Decision AltruisticScheduler::OnRequest(const Operation& op) {
+  const bool exclusive = op.is_write();
+
+  // Wake restriction: an indebted transaction may only lock objects its
+  // uncommitted donors donated or never access at all. Indebtedness is
+  // transitive (being in the wake of a transaction that is itself in a
+  // wake), so walk the debt closure.
+  std::vector<TxnId> wake_blockers;
+  {
+    std::set<TxnId> donors;
+    std::vector<TxnId> frontier = {op.txn};
+    while (!frontier.empty()) {
+      const TxnId current = frontier.back();
+      frontier.pop_back();
+      const auto debt_it = indebted_to_.find(current);
+      if (debt_it == indebted_to_.end()) continue;
+      for (const TxnId donor : debt_it->second) {
+        if (donors.insert(donor).second) frontier.push_back(donor);
+      }
+    }
+    for (const TxnId donor : donors) {
+      const bool donated = donated_[donor].contains(op.object);
+      const bool donor_touches =
+          AccessesAtOrAfter(donor, op.object, /*from=*/0);
+      if (!donated && donor_touches) {
+        wake_blockers.push_back(donor);
+      }
+    }
+  }
+
+  // Lock availability: conflicting holders must all have donated the
+  // object (wake grant) for the request to bypass them.
+  std::vector<TxnId> lock_blockers;
+  bool through_donation = false;
+  auto& object_holds = holds_[op.object];
+  for (const Hold& hold : object_holds) {
+    if (hold.txn == op.txn) continue;
+    if (!hold.exclusive && !exclusive) continue;  // S/S compatible
+    if (donated_[hold.txn].contains(op.object)) {
+      through_donation = true;
+    } else {
+      lock_blockers.push_back(hold.txn);
+    }
+  }
+
+  if (!wake_blockers.empty() || !lock_blockers.empty()) {
+    std::vector<TxnId> blockers = std::move(lock_blockers);
+    blockers.insert(blockers.end(), wake_blockers.begin(),
+                    wake_blockers.end());
+    waits_.SetWaits(op.txn, blockers);
+    if (waits_.CycleThrough(op.txn)) {
+      waits_.ClearWaits(op.txn);
+      return Decision::kAbort;
+    }
+    return Decision::kBlock;
+  }
+  waits_.ClearWaits(op.txn);
+
+  // Certification: the conflict edges this grant induces must keep the
+  // transaction-level serialization order acyclic (see header).
+  {
+    std::vector<std::pair<NodeId, NodeId>> edges;
+    const auto hist_it = history_.find(op.object);
+    if (hist_it != history_.end()) {
+      for (const Access& access : hist_it->second) {
+        if (access.txn != op.txn && (access.write || exclusive)) {
+          edges.emplace_back(access.txn, op.txn);
+        }
+      }
+    }
+    std::vector<std::pair<NodeId, NodeId>> inserted;
+    bool cycle = false;
+    for (const auto& [from, to] : edges) {
+      const auto result = order_.AddEdge(from, to);
+      if (result == IncrementalTopology::AddResult::kInserted) {
+        inserted.emplace_back(from, to);
+      } else if (result == IncrementalTopology::AddResult::kCycle) {
+        cycle = true;
+        break;
+      }
+    }
+    if (cycle) {
+      for (const auto& [from, to] : inserted) {
+        order_.RemoveEdge(from, to);
+      }
+      ++certification_aborts_;
+      return Decision::kAbort;
+    }
+  }
+  history_[op.object].push_back(Access{op.txn, exclusive});
+
+  // Take (or upgrade) the hold.
+  bool already_held = false;
+  for (Hold& hold : object_holds) {
+    if (hold.txn == op.txn) {
+      hold.exclusive = hold.exclusive || exclusive;
+      already_held = true;
+      break;
+    }
+  }
+  if (!already_held) {
+    object_holds.push_back(Hold{op.txn, exclusive});
+  }
+  if (through_donation) {
+    ++wake_grants_;
+    // Record the debts toward every donor still formally holding the
+    // object.
+    for (const Hold& hold : object_holds) {
+      if (hold.txn != op.txn && donated_[hold.txn].contains(op.object)) {
+        indebted_to_[op.txn].insert(hold.txn);
+      }
+    }
+  }
+
+  // Donation pass: give away every held object this transaction will not
+  // touch again (including, possibly, op.object itself).
+  auto& given = donated_[op.txn];
+  for (auto& [object, hold_list] : holds_) {
+    const bool held = std::any_of(
+        hold_list.begin(), hold_list.end(),
+        [&](const Hold& hold) { return hold.txn == op.txn; });
+    if (!held || given.contains(object)) continue;
+    if (!AccessesAtOrAfter(op.txn, object, op.index + 1)) {
+      given.insert(object);
+      ++donations_;
+    }
+  }
+  return Decision::kGrant;
+}
+
+void AltruisticScheduler::Cleanup(TxnId txn) {
+  for (auto& [object, hold_list] : holds_) {
+    std::erase_if(hold_list,
+                  [txn](const Hold& hold) { return hold.txn == txn; });
+  }
+  donated_.erase(txn);
+  indebted_to_.erase(txn);
+  for (auto& [debtor, donors] : indebted_to_) {
+    donors.erase(txn);
+  }
+  waits_.RemoveTxn(txn);
+}
+
+void AltruisticScheduler::OnCommit(TxnId txn) {
+  // Certification history and order edges of committed transactions stay
+  // (they constrain future serialization), as in SGT.
+  Cleanup(txn);
+}
+
+void AltruisticScheduler::OnAbort(TxnId txn) {
+  Cleanup(txn);
+  order_.IsolateNode(txn);
+  for (auto& [object, accesses] : history_) {
+    std::erase_if(accesses,
+                  [txn](const Access& access) { return access.txn == txn; });
+  }
+}
+
+}  // namespace relser

@@ -1,0 +1,200 @@
+#include "sched/engine.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace relser {
+
+namespace {
+
+enum class TxnStatus { kIdle, kRunning, kCommitted };
+
+struct TxnState {
+  TxnStatus status = TxnStatus::kIdle;
+  std::uint32_t next_op = 0;        ///< program-order cursor
+  std::size_t wake_tick = 0;        ///< think-time / backoff gate
+  std::size_t attempts = 0;         ///< abort count (drives backoff)
+  std::vector<std::size_t> executed_log_slots;  ///< indices into raw log
+};
+
+struct LogEntry {
+  Operation op;
+  std::size_t tick;
+  bool committed = false;  ///< attempt survived to commit
+  bool discarded = false;  ///< attempt aborted
+};
+
+}  // namespace
+
+Result<Schedule> SimResult::CommittedSchedule(
+    const TransactionSet& txns) const {
+  std::vector<Operation> ops;
+  ops.reserve(log.size());
+  for (const CommittedOp& entry : log) {
+    ops.push_back(entry.op);
+  }
+  return Schedule::Over(txns, std::move(ops));
+}
+
+SimResult RunSimulation(const TransactionSet& txns, Scheduler* scheduler,
+                        const SimParams& params) {
+  RELSER_CHECK(scheduler != nullptr);
+  const std::size_t n = txns.txn_count();
+  auto per_txn = [n](const std::vector<std::size_t>& values,
+                     TxnId t) -> std::size_t {
+    if (values.empty()) return 0;
+    if (values.size() == 1) return values[0];
+    RELSER_CHECK_MSG(values.size() == n,
+                     "per-txn vector must be empty, size 1, or one per txn");
+    return values[t];
+  };
+  auto think = [&params, &per_txn](TxnId t) {
+    return per_txn(params.think_time, t);
+  };
+
+  Rng rng(params.seed);
+  std::vector<TxnState> state(n);
+  for (TxnId t = 0; t < n; ++t) {
+    state[t].wake_tick = per_txn(params.start_tick, t);
+  }
+  std::vector<LogEntry> raw_log;
+  SimMetrics metrics;
+  std::size_t committed_txns = 0;
+  double active_ticks_sum = 0.0;
+
+  // Abort `victim` plus every uncommitted transaction whose executed
+  // operations (transitively) conflict-after the victim's. Cascades are
+  // computed on the raw log; strict 2PL never produces any.
+  auto abort_with_cascades = [&](TxnId victim, std::size_t now,
+                                 bool scheduler_initiated) {
+    std::vector<bool> doomed(n, false);
+    doomed[victim] = true;
+    bool grew = true;
+    while (grew) {
+      grew = false;
+      for (TxnId t = 0; t < n; ++t) {
+        if (doomed[t] || state[t].status != TxnStatus::kRunning) continue;
+        // Does t's executed set include an op that conflicts with and
+        // follows a doomed transaction's executed op?
+        bool depends = false;
+        for (const std::size_t slot : state[t].executed_log_slots) {
+          const LogEntry& mine = raw_log[slot];
+          for (TxnId d = 0; d < n && !depends; ++d) {
+            if (!doomed[d]) continue;
+            for (const std::size_t dslot : state[d].executed_log_slots) {
+              const LogEntry& theirs = raw_log[dslot];
+              if (dslot < slot && Conflicts(theirs.op, mine.op)) {
+                depends = true;
+                break;
+              }
+            }
+          }
+          if (depends) break;
+        }
+        if (depends) {
+          doomed[t] = true;
+          grew = true;
+        }
+      }
+    }
+    std::size_t order = 0;
+    for (TxnId t = 0; t < n; ++t) {
+      if (!doomed[t]) continue;
+      if (state[t].status == TxnStatus::kIdle && t != victim) continue;
+      scheduler->OnAbort(t);
+      for (const std::size_t slot : state[t].executed_log_slots) {
+        raw_log[slot].discarded = true;
+        ++metrics.wasted_ops;
+      }
+      state[t].executed_log_slots.clear();
+      state[t].next_op = 0;
+      state[t].status = TxnStatus::kIdle;
+      ++state[t].attempts;
+      // Randomized backoff with a window growing in the attempt count:
+      // deterministic backoff can let conflicting transactions restart in
+      // lockstep and replay the same cycle forever.
+      const std::size_t window =
+          params.backoff_base * state[t].attempts * 2 + 2;
+      state[t].wake_tick = now + 1 + order +
+                           static_cast<std::size_t>(rng.UniformIndex(window));
+      ++order;  // stagger cascaded restarts
+      if (t == victim && scheduler_initiated) {
+        ++metrics.aborts;
+      } else {
+        ++metrics.cascade_aborts;
+      }
+    }
+  };
+
+  std::vector<TxnId> order(n);
+  for (TxnId t = 0; t < n; ++t) order[t] = t;
+  std::vector<std::size_t> commit_tick(n, static_cast<std::size_t>(-1));
+
+  std::size_t tick = 0;
+  for (; tick < params.max_ticks && committed_txns < n; ++tick) {
+    rng.Shuffle(&order);
+    std::size_t active = 0;
+    for (const TxnId t : order) {
+      if (state[t].status == TxnStatus::kCommitted) continue;
+      if (state[t].status == TxnStatus::kRunning) ++active;
+      if (state[t].wake_tick > tick) continue;
+      const Transaction& txn = txns.txn(t);
+      const Operation& op = txn.op(state[t].next_op);
+      switch (scheduler->OnRequest(op)) {
+        case Decision::kGrant: {
+          ++metrics.grants;
+          state[t].status = TxnStatus::kRunning;
+          state[t].executed_log_slots.push_back(raw_log.size());
+          raw_log.push_back(LogEntry{op, tick, false, false});
+          ++state[t].next_op;
+          if (state[t].next_op == txn.size()) {
+            scheduler->OnCommit(t);
+            for (const std::size_t slot : state[t].executed_log_slots) {
+              raw_log[slot].committed = true;
+            }
+            state[t].status = TxnStatus::kCommitted;
+            commit_tick[t] = tick + 1;
+            ++committed_txns;
+            metrics.makespan = tick + 1;
+          } else {
+            state[t].wake_tick = tick + 1 + think(t);
+          }
+          break;
+        }
+        case Decision::kBlock:
+          ++metrics.blocks;
+          state[t].status = TxnStatus::kRunning;
+          break;
+        case Decision::kAbort:
+          abort_with_cascades(t, tick, /*scheduler_initiated=*/true);
+          break;
+      }
+    }
+    active_ticks_sum += static_cast<double>(active);
+  }
+
+  metrics.completed = committed_txns == n;
+  if (!metrics.completed) metrics.makespan = tick;
+  metrics.mean_active_txns =
+      tick == 0 ? 0.0 : active_ticks_sum / static_cast<double>(tick);
+
+  SimResult result;
+  result.commit_tick = commit_tick;
+  result.latency.resize(n, static_cast<std::size_t>(-1));
+  for (TxnId t = 0; t < n; ++t) {
+    if (commit_tick[t] != static_cast<std::size_t>(-1)) {
+      result.latency[t] = commit_tick[t] - per_txn(params.start_tick, t);
+    }
+  }
+  for (const LogEntry& entry : raw_log) {
+    if (entry.committed) {
+      result.log.push_back(CommittedOp{entry.op, entry.tick});
+      ++metrics.committed_ops;
+    }
+  }
+  result.metrics = metrics;
+  return result;
+}
+
+}  // namespace relser

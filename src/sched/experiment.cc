@@ -1,0 +1,65 @@
+#include "sched/experiment.h"
+
+#include <cmath>
+
+#include "sched/factory.h"
+#include "sched/verify.h"
+#include "util/check.h"
+
+namespace relser {
+
+void Aggregate::Add(double sample) {
+  if (count_ == 0) {
+    min_ = sample;
+    max_ = sample;
+  } else {
+    min_ = std::min(min_, sample);
+    max_ = std::max(max_, sample);
+  }
+  ++count_;
+  const double delta = sample - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (sample - mean_);
+}
+
+double Aggregate::stddev() const {
+  if (count_ < 2) return 0.0;
+  return std::sqrt(m2_ / static_cast<double>(count_ - 1));
+}
+
+std::vector<SchedulerAggregate> RunComparison(
+    const TransactionSet& txns, const AtomicitySpec& spec,
+    const std::vector<std::string>& scheduler_names,
+    const ComparisonParams& params) {
+  std::vector<SchedulerAggregate> results;
+  results.reserve(scheduler_names.size());
+  for (const std::string& name : scheduler_names) {
+    SchedulerAggregate aggregate;
+    aggregate.scheduler = name;
+    for (std::size_t run = 0; run < params.runs; ++run) {
+      auto scheduler = MakeScheduler(name, txns, spec);
+      RELSER_CHECK_MSG(scheduler != nullptr, "unknown scheduler " << name);
+      SimParams sim = params.sim;
+      sim.seed = params.sim.seed + run;
+      const SimResult result = RunSimulation(txns, scheduler.get(), sim);
+      const RunVerification verification =
+          VerifyRun(txns, spec, result, GuaranteeOf(name));
+      aggregate.all_completed =
+          aggregate.all_completed && result.metrics.completed;
+      aggregate.all_guarantees_held =
+          aggregate.all_guarantees_held && verification.guarantee_held;
+      aggregate.makespan.Add(static_cast<double>(result.metrics.makespan));
+      aggregate.throughput.Add(result.metrics.Throughput());
+      aggregate.blocks.Add(static_cast<double>(result.metrics.blocks));
+      aggregate.aborts.Add(static_cast<double>(result.metrics.aborts));
+      aggregate.cascades.Add(
+          static_cast<double>(result.metrics.cascade_aborts));
+      aggregate.wasted_ops.Add(
+          static_cast<double>(result.metrics.wasted_ops));
+    }
+    results.push_back(std::move(aggregate));
+  }
+  return results;
+}
+
+}  // namespace relser

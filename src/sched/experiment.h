@@ -1,0 +1,66 @@
+// Multi-run experiment harness: runs every scheduler over the same
+// workload with varied seeds and aggregates the metrics, so benches and
+// applications report statistically meaningful comparisons rather than
+// single-run noise.
+#ifndef RELSER_SCHED_EXPERIMENT_H_
+#define RELSER_SCHED_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "sched/engine.h"
+#include "spec/atomicity_spec.h"
+
+namespace relser {
+
+/// Streaming mean / stddev / min / max accumulator (Welford).
+class Aggregate {
+ public:
+  void Add(double sample);
+  std::size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Sample standard deviation (0 for fewer than two samples).
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Aggregated outcome of `runs` simulations of one scheduler.
+struct SchedulerAggregate {
+  std::string scheduler;
+  Aggregate makespan;
+  Aggregate throughput;
+  Aggregate blocks;
+  Aggregate aborts;
+  Aggregate cascades;
+  Aggregate wasted_ops;
+  bool all_completed = true;
+  bool all_guarantees_held = true;
+};
+
+/// Options for RunComparison.
+struct ComparisonParams {
+  /// Base simulation parameters; the seed is varied per run.
+  SimParams sim;
+  /// Number of runs per scheduler (seeds sim.seed, sim.seed+1, ...).
+  std::size_t runs = 5;
+};
+
+/// Runs every scheduler in `scheduler_names` (see MakeScheduler) over the
+/// same transaction set and specification, verifying each run against the
+/// scheduler's advertised guarantee.
+std::vector<SchedulerAggregate> RunComparison(
+    const TransactionSet& txns, const AtomicitySpec& spec,
+    const std::vector<std::string>& scheduler_names,
+    const ComparisonParams& params);
+
+}  // namespace relser
+
+#endif  // RELSER_SCHED_EXPERIMENT_H_

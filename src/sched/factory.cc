@@ -1,0 +1,40 @@
+#include "sched/factory.h"
+
+#include "sched/altruistic.h"
+#include "sched/graph_based.h"
+#include "sched/relatively_atomic.h"
+#include "sched/lock_based.h"
+#include "sched/serial.h"
+#include "sched/timestamp.h"
+
+namespace relser {
+
+const std::vector<std::string>& AllSchedulerNames() {
+  static const std::vector<std::string>* const kNames =
+      new std::vector<std::string>{"serial",     "2pl", "unit2pl",
+                                   "altruistic", "to",  "sgt",
+                                   "ra",         "rsgt"};
+  return *kNames;
+}
+
+std::unique_ptr<Scheduler> MakeScheduler(const std::string& name,
+                                         const TransactionSet& txns,
+                                         const AtomicitySpec& spec) {
+  if (name == "serial") return std::make_unique<SerialScheduler>();
+  if (name == "2pl") return std::make_unique<Strict2PLScheduler>();
+  if (name == "unit2pl") {
+    return std::make_unique<UnitLockScheduler>(txns, spec);
+  }
+  if (name == "altruistic") {
+    return std::make_unique<AltruisticScheduler>(txns);
+  }
+  if (name == "to") return std::make_unique<TimestampScheduler>(txns);
+  if (name == "sgt") return std::make_unique<SGTScheduler>(txns);
+  if (name == "ra") {
+    return std::make_unique<RelativelyAtomicScheduler>(txns, spec);
+  }
+  if (name == "rsgt") return std::make_unique<RSGTScheduler>(txns, spec);
+  return nullptr;
+}
+
+}  // namespace relser

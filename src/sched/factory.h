@@ -1,0 +1,26 @@
+// Scheduler factory: construct any protocol by name.
+#ifndef RELSER_SCHED_FACTORY_H_
+#define RELSER_SCHED_FACTORY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model/transaction.h"
+#include "sched/scheduler.h"
+#include "spec/atomicity_spec.h"
+
+namespace relser {
+
+/// Names accepted by MakeScheduler, in canonical bench order.
+const std::vector<std::string>& AllSchedulerNames();
+
+/// Constructs a scheduler; `txns` and `spec` must outlive it.
+/// Returns nullptr for unknown names.
+std::unique_ptr<Scheduler> MakeScheduler(const std::string& name,
+                                         const TransactionSet& txns,
+                                         const AtomicitySpec& spec);
+
+}  // namespace relser
+
+#endif  // RELSER_SCHED_FACTORY_H_

@@ -1,0 +1,74 @@
+#include "sched/graph_based.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace relser {
+
+namespace {
+
+// Inserts `arcs` into `topo` one by one; on a cycle, removes the arcs
+// inserted so far and returns false. Duplicate arcs are skipped (and not
+// rolled back).
+bool TryInsertArcs(IncrementalTopology* topo,
+                   const std::vector<std::pair<NodeId, NodeId>>& arcs) {
+  std::vector<std::pair<NodeId, NodeId>> inserted;
+  inserted.reserve(arcs.size());
+  for (const auto& [from, to] : arcs) {
+    switch (topo->AddEdge(from, to)) {
+      case IncrementalTopology::AddResult::kInserted:
+        inserted.emplace_back(from, to);
+        break;
+      case IncrementalTopology::AddResult::kDuplicate:
+        break;
+      case IncrementalTopology::AddResult::kCycle:
+        for (const auto& [f, t] : inserted) {
+          topo->RemoveEdge(f, t);
+        }
+        return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+SGTScheduler::SGTScheduler(const TransactionSet& txns)
+    : topo_(txns.txn_count()) {}
+
+Decision SGTScheduler::OnRequest(const Operation& op) {
+  std::vector<std::pair<NodeId, NodeId>> arcs;
+  const auto it = history_.find(op.object);
+  if (it != history_.end()) {
+    for (const Access& access : it->second) {
+      if (access.txn != op.txn && (access.write || op.is_write())) {
+        arcs.emplace_back(access.txn, op.txn);
+      }
+    }
+  }
+  if (!TryInsertArcs(&topo_, arcs)) {
+    ++cycle_rejections_;
+    return Decision::kAbort;
+  }
+  history_[op.object].push_back(Access{op.txn, op.is_write()});
+  return Decision::kGrant;
+}
+
+void SGTScheduler::OnCommit(TxnId txn) {
+  // Committed transactions stay in the graph: a committed node can still
+  // lie on a future cycle, so removing it eagerly would be unsound. (A
+  // production implementation garbage-collects source nodes; the
+  // simulator's universes are small enough to keep everything.)
+  (void)txn;
+}
+
+void SGTScheduler::OnAbort(TxnId txn) {
+  topo_.IsolateNode(txn);
+  for (auto& [object, accesses] : history_) {
+    std::erase_if(accesses,
+                  [txn](const Access& access) { return access.txn == txn; });
+  }
+}
+
+}  // namespace relser

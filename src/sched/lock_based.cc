@@ -1,0 +1,77 @@
+#include "sched/lock_based.h"
+
+namespace relser {
+
+Decision Strict2PLScheduler::OnRequest(const Operation& op) {
+  const bool exclusive = op.is_write();
+  if (locks_.CanAcquire(op.txn, op.object, exclusive)) {
+    locks_.Acquire(op.txn, op.object, exclusive);
+    waits_.ClearWaits(op.txn);
+    AfterGrant(op);
+    return Decision::kGrant;
+  }
+  waits_.SetWaits(op.txn, locks_.Blockers(op.txn, op.object, exclusive));
+  if (waits_.CycleThrough(op.txn)) {
+    // Deadlock: the requester is the victim (simple, starvation-free in
+    // combination with the engine's restart backoff).
+    waits_.ClearWaits(op.txn);
+    return Decision::kAbort;
+  }
+  return Decision::kBlock;
+}
+
+void Strict2PLScheduler::AfterGrant(const Operation& op) { (void)op; }
+
+void Strict2PLScheduler::OnCommit(TxnId txn) {
+  locks_.ReleaseAll(txn);
+  waits_.RemoveTxn(txn);
+}
+
+void Strict2PLScheduler::OnAbort(TxnId txn) {
+  locks_.ReleaseAll(txn);
+  waits_.RemoveTxn(txn);
+}
+
+UnitLockScheduler::UnitLockScheduler(const TransactionSet& txns,
+                                     const AtomicitySpec& spec)
+    : txns_(txns), spec_(spec) {
+  universal_gap_.resize(txns.txn_count());
+  for (TxnId t = 0; t < txns.txn_count(); ++t) {
+    const std::size_t gaps =
+        txns.txn(t).size() < 2 ? 0 : txns.txn(t).size() - 1;
+    universal_gap_[t].assign(gaps, true);
+    for (std::uint32_t g = 0; g < gaps; ++g) {
+      for (TxnId j = 0; j < txns.txn_count(); ++j) {
+        if (j == t) continue;
+        if (!spec_.HasBreakpoint(t, j, g)) {
+          universal_gap_[t][static_cast<std::size_t>(g)] = false;
+          break;
+        }
+      }
+    }
+  }
+}
+
+void UnitLockScheduler::AfterGrant(const Operation& op) {
+  // After executing op `index`, the transaction stands at gap `index`.
+  // If that gap is a universal unit boundary, release every lock on
+  // objects the transaction will not access again.
+  const Transaction& txn = txns_.txn(op.txn);
+  if (op.index + 1 >= txn.size()) return;  // commit releases the rest
+  if (!universal_gap_[op.txn][op.index]) return;
+  for (const ObjectId object : locks_.HeldObjects(op.txn)) {
+    bool needed_again = false;
+    for (std::uint32_t k = op.index + 1; k < txn.size(); ++k) {
+      if (txn.op(k).object == object) {
+        needed_again = true;
+        break;
+      }
+    }
+    if (!needed_again) {
+      locks_.Release(op.txn, object);
+      ++early_releases_;
+    }
+  }
+}
+
+}  // namespace relser

@@ -1,0 +1,120 @@
+#include "sched/lock_table.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace relser {
+
+bool LockTable::CanAcquire(TxnId txn, ObjectId object, bool exclusive) const {
+  const auto it = entries_.find(object);
+  if (it == entries_.end()) return true;
+  const Entry& entry = it->second;
+  if (entry.exclusive.has_value()) {
+    return *entry.exclusive == txn;  // re-entrant; X covers S
+  }
+  if (!exclusive) return true;  // S joins S
+  // X wanted while S held: allowed only as an upgrade by the sole sharer.
+  return entry.shared.size() == 1 && entry.shared.contains(txn);
+}
+
+void LockTable::Acquire(TxnId txn, ObjectId object, bool exclusive) {
+  RELSER_CHECK_MSG(CanAcquire(txn, object, exclusive),
+                   "T" << txn + 1 << " cannot lock object " << object);
+  Entry& entry = entries_[object];
+  if (exclusive) {
+    entry.shared.erase(txn);  // upgrade
+    entry.exclusive = txn;
+  } else if (!entry.exclusive.has_value()) {
+    entry.shared.insert(txn);
+  }
+  // Read under own X lock: nothing to record.
+}
+
+std::vector<TxnId> LockTable::Blockers(TxnId txn, ObjectId object,
+                                       bool exclusive) const {
+  std::vector<TxnId> blockers;
+  const auto it = entries_.find(object);
+  if (it == entries_.end()) return blockers;
+  const Entry& entry = it->second;
+  if (entry.exclusive.has_value() && *entry.exclusive != txn) {
+    blockers.push_back(*entry.exclusive);
+    return blockers;
+  }
+  if (exclusive) {
+    for (const TxnId holder : entry.shared) {
+      if (holder != txn) blockers.push_back(holder);
+    }
+  }
+  return blockers;
+}
+
+void LockTable::Release(TxnId txn, ObjectId object) {
+  const auto it = entries_.find(object);
+  if (it == entries_.end()) return;
+  Entry& entry = it->second;
+  entry.shared.erase(txn);
+  if (entry.exclusive == txn) entry.exclusive.reset();
+  if (entry.Empty()) entries_.erase(it);
+}
+
+void LockTable::ReleaseAll(TxnId txn) {
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    Entry& entry = it->second;
+    entry.shared.erase(txn);
+    if (entry.exclusive == txn) entry.exclusive.reset();
+    it = entry.Empty() ? entries_.erase(it) : std::next(it);
+  }
+}
+
+std::vector<ObjectId> LockTable::HeldObjects(TxnId txn) const {
+  std::vector<ObjectId> held;
+  for (const auto& [object, entry] : entries_) {
+    if (entry.exclusive == txn || entry.shared.contains(txn)) {
+      held.push_back(object);
+    }
+  }
+  return held;
+}
+
+bool LockTable::Holds(TxnId txn, ObjectId object, bool exclusive) const {
+  const auto it = entries_.find(object);
+  if (it == entries_.end()) return false;
+  const Entry& entry = it->second;
+  if (entry.exclusive == txn) return true;
+  return !exclusive && entry.shared.contains(txn);
+}
+
+void WaitsForGraph::SetWaits(TxnId waiter, const std::vector<TxnId>& holders) {
+  auto& targets = waits_[waiter];
+  targets.clear();
+  targets.insert(holders.begin(), holders.end());
+}
+
+void WaitsForGraph::ClearWaits(TxnId waiter) { waits_.erase(waiter); }
+
+void WaitsForGraph::RemoveTxn(TxnId txn) {
+  waits_.erase(txn);
+  for (auto& [waiter, targets] : waits_) {
+    targets.erase(txn);
+  }
+}
+
+bool WaitsForGraph::CycleThrough(TxnId txn) const {
+  // DFS from txn looking for a path back to txn.
+  std::vector<TxnId> stack = {txn};
+  std::set<TxnId> seen;
+  while (!stack.empty()) {
+    const TxnId node = stack.back();
+    stack.pop_back();
+    const auto it = waits_.find(node);
+    if (it == waits_.end()) continue;
+    for (const TxnId next : it->second) {
+      if (next == txn) return true;
+      if (seen.insert(next).second) stack.push_back(next);
+    }
+  }
+  return false;
+}
+
+}  // namespace relser

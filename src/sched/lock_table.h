@@ -1,0 +1,73 @@
+// Shared/exclusive lock table with upgrade support, plus a waits-for
+// graph for deadlock detection — the substrate of the lock-based
+// schedulers (strict 2PL and unit-locking).
+#ifndef RELSER_SCHED_LOCK_TABLE_H_
+#define RELSER_SCHED_LOCK_TABLE_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "model/operation.h"
+
+namespace relser {
+
+/// Per-object S/X locks. A transaction may re-acquire locks it holds and
+/// upgrade S to X when it is the only sharer.
+class LockTable {
+ public:
+  /// True iff `txn` could take the lock right now.
+  bool CanAcquire(TxnId txn, ObjectId object, bool exclusive) const;
+
+  /// Takes the lock; CHECK-fails if CanAcquire is false.
+  void Acquire(TxnId txn, ObjectId object, bool exclusive);
+
+  /// Transactions currently preventing `txn` from taking the lock.
+  std::vector<TxnId> Blockers(TxnId txn, ObjectId object,
+                              bool exclusive) const;
+
+  /// Releases one lock held by `txn` (no-op when not held).
+  void Release(TxnId txn, ObjectId object);
+
+  /// Releases every lock held by `txn`.
+  void ReleaseAll(TxnId txn);
+
+  /// Objects on which `txn` currently holds any lock.
+  std::vector<ObjectId> HeldObjects(TxnId txn) const;
+
+  /// True iff `txn` holds a lock on `object` (of at least the given
+  /// strength when `exclusive`).
+  bool Holds(TxnId txn, ObjectId object, bool exclusive) const;
+
+ private:
+  struct Entry {
+    std::set<TxnId> shared;
+    std::optional<TxnId> exclusive;
+    bool Empty() const { return shared.empty() && !exclusive.has_value(); }
+  };
+  std::map<ObjectId, Entry> entries_;
+};
+
+/// Waits-for graph over transactions with O(V+E) cycle probing.
+class WaitsForGraph {
+ public:
+  /// Replaces `waiter`'s outgoing edges with waits on `holders`.
+  void SetWaits(TxnId waiter, const std::vector<TxnId>& holders);
+
+  /// Removes all edges out of `waiter` (request granted or abandoned).
+  void ClearWaits(TxnId waiter);
+
+  /// Removes all edges incident to `txn` (commit/abort).
+  void RemoveTxn(TxnId txn);
+
+  /// True iff a waits-for cycle passes through `txn`.
+  bool CycleThrough(TxnId txn) const;
+
+ private:
+  std::map<TxnId, std::set<TxnId>> waits_;
+};
+
+}  // namespace relser
+
+#endif  // RELSER_SCHED_LOCK_TABLE_H_

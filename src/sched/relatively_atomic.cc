@@ -1,0 +1,54 @@
+#include "sched/relatively_atomic.h"
+
+#include "util/check.h"
+
+namespace relser {
+
+RelativelyAtomicScheduler::RelativelyAtomicScheduler(
+    const TransactionSet& txns, const AtomicitySpec& spec)
+    : txns_(txns), spec_(spec), cursor_(txns.txn_count(), 0) {
+  RELSER_CHECK_MSG(spec.ValidateAgainst(txns).ok(),
+                   "specification does not match the transaction set");
+}
+
+bool RelativelyAtomicScheduler::OpenUnitAgainst(TxnId i, TxnId j) const {
+  const std::uint32_t c = cursor_[i];
+  if (c == 0 || c >= txns_.txn(i).size()) return false;
+  // The unit of T_i (relative to T_j) containing the last executed op is
+  // open iff it continues past that op, i.e. gap c-1 is not a breakpoint.
+  return !spec_.HasBreakpoint(i, j, c - 1);
+}
+
+Decision RelativelyAtomicScheduler::OnRequest(const Operation& op) {
+  RELSER_CHECK_MSG(op.index == cursor_[op.txn],
+                   "engine must request operations in program order");
+  std::vector<TxnId> blockers;
+  for (TxnId i = 0; i < txns_.txn_count(); ++i) {
+    if (i != op.txn && OpenUnitAgainst(i, op.txn)) {
+      blockers.push_back(i);
+    }
+  }
+  if (!blockers.empty()) {
+    waits_.SetWaits(op.txn, blockers);
+    if (waits_.CycleThrough(op.txn)) {
+      waits_.ClearWaits(op.txn);
+      return Decision::kAbort;
+    }
+    return Decision::kBlock;
+  }
+  waits_.ClearWaits(op.txn);
+  ++cursor_[op.txn];
+  return Decision::kGrant;
+}
+
+void RelativelyAtomicScheduler::OnCommit(TxnId txn) {
+  waits_.RemoveTxn(txn);
+  // cursor_ stays at size(): no open units against anyone.
+}
+
+void RelativelyAtomicScheduler::OnAbort(TxnId txn) {
+  cursor_[txn] = 0;
+  waits_.RemoveTxn(txn);
+}
+
+}  // namespace relser

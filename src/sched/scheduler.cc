@@ -1,0 +1,17 @@
+#include "sched/scheduler.h"
+
+namespace relser {
+
+const char* DecisionName(Decision decision) {
+  switch (decision) {
+    case Decision::kGrant:
+      return "grant";
+    case Decision::kBlock:
+      return "block";
+    case Decision::kAbort:
+      return "abort";
+  }
+  return "unknown";
+}
+
+}  // namespace relser

@@ -1,0 +1,57 @@
+// Scheduler interface for the online concurrency-control simulator.
+//
+// The paper (Section 3) proposes using the RSG "as the basis for a
+// concurrency control protocol similar to serialization graph testing".
+// The simulator runs that protocol (RSGTScheduler) against classical
+// baselines (serial execution, strict two-phase locking, conflict-SGT)
+// and a lock-based protocol exploiting unit boundaries, quantifying the
+// concurrency claims of the abstract and Section 5.
+//
+// Contract with SimulationEngine:
+//   * OnRequest(op) is called with the next program-order operation of a
+//     live transaction. The scheduler returns:
+//       kGrant — the operation executes now; the scheduler has recorded
+//                any internal state (locks, graph arcs, histories).
+//       kBlock — not now; the engine retries in a later tick. The call
+//                must leave no partial state besides wait bookkeeping.
+//       kAbort — the requesting transaction must abort; the scheduler has
+//                rolled back any trial state for this request (OnAbort
+//                will additionally clean up previously granted state).
+//   * OnCommit(txn) after the last operation of `txn` was granted.
+//   * OnAbort(txn) when `txn` aborts (own abort or cascade); the
+//     scheduler must forget all of the transaction's executed operations.
+#ifndef RELSER_SCHED_SCHEDULER_H_
+#define RELSER_SCHED_SCHEDULER_H_
+
+#include <string>
+
+#include "model/operation.h"
+
+namespace relser {
+
+/// Outcome of an operation request.
+enum class Decision { kGrant, kBlock, kAbort };
+
+const char* DecisionName(Decision decision);
+
+/// Abstract online concurrency-control protocol.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Decides the fate of the next operation of a live transaction.
+  virtual Decision OnRequest(const Operation& op) = 0;
+
+  /// The transaction finished its last operation and commits.
+  virtual void OnCommit(TxnId txn) = 0;
+
+  /// The transaction aborts; forget its executed operations.
+  virtual void OnAbort(TxnId txn) = 0;
+
+  /// Stable display name ("rsgt", "2pl", ...).
+  virtual std::string name() const = 0;
+};
+
+}  // namespace relser
+
+#endif  // RELSER_SCHED_SCHEDULER_H_

@@ -1,0 +1,38 @@
+// SerialScheduler: the degenerate baseline — one transaction at a time.
+//
+// The first transaction to request an operation becomes the active one;
+// every other transaction blocks until it commits. Provides the
+// zero-concurrency floor for the concurrency benches.
+#ifndef RELSER_SCHED_SERIAL_H_
+#define RELSER_SCHED_SERIAL_H_
+
+#include <optional>
+
+#include "sched/scheduler.h"
+
+namespace relser {
+
+class SerialScheduler : public Scheduler {
+ public:
+  Decision OnRequest(const Operation& op) override {
+    if (!active_.has_value()) active_ = op.txn;
+    return *active_ == op.txn ? Decision::kGrant : Decision::kBlock;
+  }
+
+  void OnCommit(TxnId txn) override {
+    if (active_ == txn) active_.reset();
+  }
+
+  void OnAbort(TxnId txn) override {
+    if (active_ == txn) active_.reset();
+  }
+
+  std::string name() const override { return "serial"; }
+
+ private:
+  std::optional<TxnId> active_;
+};
+
+}  // namespace relser
+
+#endif  // RELSER_SCHED_SERIAL_H_

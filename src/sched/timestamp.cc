@@ -1,0 +1,41 @@
+#include "sched/timestamp.h"
+
+namespace relser {
+
+TimestampScheduler::TimestampScheduler(const TransactionSet& txns)
+    : ts_(txns.txn_count(), 0) {}
+
+Decision TimestampScheduler::OnRequest(const Operation& op) {
+  if (ts_[op.txn] == 0) {
+    ts_[op.txn] = next_ts_++;  // (re)started: fresh timestamp
+  }
+  const std::uint64_t ts = ts_[op.txn];
+  ObjectStamps& object = stamps_[op.object];
+  if (op.is_read()) {
+    if (ts < object.write) {
+      ++late_rejections_;
+      return Decision::kAbort;
+    }
+    object.read = std::max(object.read, ts);
+    return Decision::kGrant;
+  }
+  if (ts < object.read || ts < object.write) {
+    ++late_rejections_;
+    return Decision::kAbort;
+  }
+  object.write = ts;
+  return Decision::kGrant;
+}
+
+void TimestampScheduler::OnCommit(TxnId txn) {
+  ts_[txn] = 0;  // slot reusable; stamps persist (they bound the future)
+}
+
+void TimestampScheduler::OnAbort(TxnId txn) {
+  // The aborted attempt's accesses stay in the stamp tables as harmless
+  // over-approximations (stamps only ever grow); the restart gets a
+  // fresh, larger timestamp.
+  ts_[txn] = 0;
+}
+
+}  // namespace relser

@@ -1,0 +1,50 @@
+// Basic timestamp ordering (TO) — the classical non-locking baseline:
+// every transaction gets a timestamp at (re)start; an operation is
+// admitted iff it does not arrive "too late" with respect to the
+// timestamps of accesses already performed on its object. Late
+// operations abort the requester, which restarts with a fresh (larger)
+// timestamp. Guarantees conflict serializability in timestamp order.
+//
+// Rules (reads/writes, no Thomas write rule — rejected writes abort):
+//   read(x)  by T: reject if ts(T) < wts(x); else rts(x) = max(rts, ts).
+//   write(x) by T: reject if ts(T) < rts(x) or ts(T) < wts(x);
+//                  else wts(x) = ts(T).
+#ifndef RELSER_SCHED_TIMESTAMP_H_
+#define RELSER_SCHED_TIMESTAMP_H_
+
+#include <map>
+#include <vector>
+
+#include "model/transaction.h"
+#include "sched/scheduler.h"
+
+namespace relser {
+
+/// Basic TO concurrency control.
+class TimestampScheduler : public Scheduler {
+ public:
+  explicit TimestampScheduler(const TransactionSet& txns);
+
+  Decision OnRequest(const Operation& op) override;
+  void OnCommit(TxnId txn) override;
+  void OnAbort(TxnId txn) override;
+  std::string name() const override { return "to"; }
+
+  /// Operations rejected as too late so far.
+  std::size_t late_rejections() const { return late_rejections_; }
+
+ private:
+  struct ObjectStamps {
+    std::uint64_t read = 0;
+    std::uint64_t write = 0;
+  };
+
+  std::uint64_t next_ts_ = 1;
+  std::vector<std::uint64_t> ts_;  ///< per txn; 0 = not started
+  std::map<ObjectId, ObjectStamps> stamps_;
+  std::size_t late_rejections_ = 0;
+};
+
+}  // namespace relser
+
+#endif  // RELSER_SCHED_TIMESTAMP_H_

@@ -1,0 +1,37 @@
+#include "sched/verify.h"
+
+#include "util/check.h"
+
+namespace relser {
+
+Guarantee GuaranteeOf(const std::string& scheduler_name) {
+  if (scheduler_name == "rsgt" || scheduler_name == "unit2pl" ||
+      scheduler_name == "ra") {
+    return Guarantee::kRelativelySerializable;
+  }
+  return Guarantee::kConflictSerializable;
+}
+
+RunVerification VerifyRun(const TransactionSet& txns,
+                          const AtomicitySpec& spec, const SimResult& result,
+                          Guarantee guarantee) {
+  RunVerification verification;
+  verification.completed = result.metrics.completed;
+  if (!verification.completed) return verification;
+  auto schedule = result.CommittedSchedule(txns);
+  RELSER_CHECK_MSG(schedule.ok(), schedule.status().ToString());
+  verification.classification = Classify(txns, *schedule, spec);
+  switch (guarantee) {
+    case Guarantee::kConflictSerializable:
+      verification.guarantee_held =
+          verification.classification.conflict_serializable;
+      break;
+    case Guarantee::kRelativelySerializable:
+      verification.guarantee_held =
+          verification.classification.relatively_serializable;
+      break;
+  }
+  return verification;
+}
+
+}  // namespace relser

@@ -1,0 +1,40 @@
+// Post-hoc verification of simulator output: rebuilds the committed
+// execution as a Schedule and classifies it against the correctness
+// classes, checking each protocol's guarantee (2PL/SGT/serial -> conflict
+// serializable; RSGT/unit-2PL -> relatively serializable).
+#ifndef RELSER_SCHED_VERIFY_H_
+#define RELSER_SCHED_VERIFY_H_
+
+#include <string>
+
+#include "core/classify.h"
+#include "sched/engine.h"
+#include "spec/atomicity_spec.h"
+
+namespace relser {
+
+/// Verification outcome of one run.
+struct RunVerification {
+  bool completed = false;
+  ScheduleClassification classification;
+  /// The protocol's advertised guarantee held.
+  bool guarantee_held = false;
+};
+
+/// Guarantee levels a scheduler advertises.
+enum class Guarantee {
+  kConflictSerializable,    ///< serial, 2pl, sgt
+  kRelativelySerializable,  ///< rsgt, unit2pl
+};
+
+/// Guarantee advertised by a scheduler name (as returned by name()).
+Guarantee GuaranteeOf(const std::string& scheduler_name);
+
+/// Classifies the committed schedule of `result` and checks `guarantee`.
+RunVerification VerifyRun(const TransactionSet& txns,
+                          const AtomicitySpec& spec, const SimResult& result,
+                          Guarantee guarantee);
+
+}  // namespace relser
+
+#endif  // RELSER_SCHED_VERIFY_H_

@@ -1,0 +1,163 @@
+#include "spec/atomicity_spec.h"
+
+#include "util/strings.h"
+
+namespace relser {
+
+AtomicitySpec::AtomicitySpec(const TransactionSet& txns) {
+  txn_sizes_.reserve(txns.txn_count());
+  for (const Transaction& txn : txns.txns()) {
+    txn_sizes_.push_back(txn.size());
+  }
+  gaps_.resize(txn_sizes_.size() * txn_sizes_.size());
+  for (TxnId i = 0; i < txn_count(); ++i) {
+    for (TxnId j = 0; j < txn_count(); ++j) {
+      if (i == j) continue;
+      const std::size_t gap_count =
+          txn_sizes_[i] == 0 ? 0 : txn_sizes_[i] - 1;
+      gaps_[static_cast<std::size_t>(i) * txn_count() + j].assign(gap_count,
+                                                                  false);
+    }
+  }
+}
+
+void AtomicitySpec::SetBreakpoint(TxnId i, TxnId j, std::uint32_t gap) {
+  RELSER_CHECK_MSG(i != j, "Atomicity(Ti,Ti) is not defined");
+  auto& gaps = gaps_[PairSlot(i, j)];
+  RELSER_CHECK_MSG(gap < gaps.size(), "gap " << gap << " out of range for T"
+                                             << i + 1 << " (" << gaps.size()
+                                             << " gaps)");
+  gaps[gap] = true;
+}
+
+void AtomicitySpec::ClearBreakpoint(TxnId i, TxnId j, std::uint32_t gap) {
+  RELSER_CHECK(i != j);
+  auto& gaps = gaps_[PairSlot(i, j)];
+  RELSER_CHECK(gap < gaps.size());
+  gaps[gap] = false;
+}
+
+bool AtomicitySpec::HasBreakpoint(TxnId i, TxnId j, std::uint32_t gap) const {
+  RELSER_CHECK(i != j);
+  const auto& gaps = gaps_[PairSlot(i, j)];
+  RELSER_CHECK(gap < gaps.size());
+  return gaps[gap];
+}
+
+void AtomicitySpec::RelaxFully(TxnId i, TxnId j) {
+  RELSER_CHECK(i != j);
+  auto& gaps = gaps_[PairSlot(i, j)];
+  gaps.assign(gaps.size(), true);
+}
+
+std::size_t AtomicitySpec::UnitCount(TxnId i, TxnId j) const {
+  RELSER_CHECK(i != j);
+  const auto& gaps = gaps_[PairSlot(i, j)];
+  std::size_t count = 1;
+  for (const bool gap : gaps) {
+    if (gap) ++count;
+  }
+  return count;
+}
+
+std::size_t AtomicitySpec::UnitOfOp(TxnId i, TxnId j,
+                                    std::uint32_t index) const {
+  RELSER_CHECK(i != j);
+  RELSER_CHECK_MSG(index < txn_sizes_[i],
+                   "op index " << index << " out of range for T" << i + 1);
+  const auto& gaps = gaps_[PairSlot(i, j)];
+  std::size_t unit = 0;
+  for (std::uint32_t g = 0; g < index; ++g) {
+    if (gaps[g]) ++unit;
+  }
+  return unit;
+}
+
+std::vector<UnitRange> AtomicitySpec::Units(TxnId i, TxnId j) const {
+  RELSER_CHECK(i != j);
+  const auto& gaps = gaps_[PairSlot(i, j)];
+  std::vector<UnitRange> units;
+  std::uint32_t first = 0;
+  for (std::uint32_t g = 0; g < gaps.size(); ++g) {
+    if (gaps[g]) {
+      units.push_back(UnitRange{first, g});
+      first = g + 1;
+    }
+  }
+  units.push_back(
+      UnitRange{first, static_cast<std::uint32_t>(txn_sizes_[i] - 1)});
+  return units;
+}
+
+UnitRange AtomicitySpec::UnitBounds(TxnId i, TxnId j, std::size_t k) const {
+  const std::vector<UnitRange> units = Units(i, j);
+  RELSER_CHECK_MSG(k < units.size(), "unit " << k << " out of range");
+  return units[k];
+}
+
+std::uint32_t AtomicitySpec::PushForward(TxnId i, TxnId j,
+                                         std::uint32_t index) const {
+  RELSER_CHECK(i != j);
+  RELSER_CHECK(index < txn_sizes_[i]);
+  const auto& gaps = gaps_[PairSlot(i, j)];
+  // Last op of the containing unit: scan forward to the next breakpoint.
+  std::uint32_t last = index;
+  while (last < gaps.size() && !gaps[last]) {
+    ++last;
+  }
+  return last;
+}
+
+std::uint32_t AtomicitySpec::PullBackward(TxnId i, TxnId j,
+                                          std::uint32_t index) const {
+  RELSER_CHECK(i != j);
+  RELSER_CHECK(index < txn_sizes_[i]);
+  const auto& gaps = gaps_[PairSlot(i, j)];
+  // First op of the containing unit: scan backward to the previous
+  // breakpoint.
+  std::uint32_t first = index;
+  while (first > 0 && !gaps[first - 1]) {
+    --first;
+  }
+  return first;
+}
+
+bool AtomicitySpec::IsAbsolute() const { return TotalBreakpoints() == 0; }
+
+bool AtomicitySpec::AtLeastAsPermissiveAs(const AtomicitySpec& other) const {
+  if (txn_sizes_ != other.txn_sizes_) return false;
+  for (std::size_t slot = 0; slot < gaps_.size(); ++slot) {
+    for (std::size_t g = 0; g < gaps_[slot].size(); ++g) {
+      if (other.gaps_[slot][g] && !gaps_[slot][g]) return false;
+    }
+  }
+  return true;
+}
+
+std::size_t AtomicitySpec::TotalBreakpoints() const {
+  std::size_t total = 0;
+  for (const auto& gaps : gaps_) {
+    for (const bool gap : gaps) {
+      if (gap) ++total;
+    }
+  }
+  return total;
+}
+
+Status AtomicitySpec::ValidateAgainst(const TransactionSet& txns) const {
+  if (txns.txn_count() != txn_count()) {
+    return Status::FailedPrecondition(
+        StrCat("spec built for ", txn_count(), " transactions, set has ",
+               txns.txn_count()));
+  }
+  for (TxnId i = 0; i < txn_count(); ++i) {
+    if (txns.txn(i).size() != txn_sizes_[i]) {
+      return Status::FailedPrecondition(
+          StrCat("T", i + 1, " has ", txns.txn(i).size(),
+                 " operations, spec expects ", txn_sizes_[i]));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace relser

@@ -1,0 +1,156 @@
+#include "spec/builders.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace relser {
+
+AtomicitySpec AbsoluteSpec(const TransactionSet& txns) {
+  return AtomicitySpec(txns);
+}
+
+AtomicitySpec FullyRelaxedSpec(const TransactionSet& txns) {
+  AtomicitySpec spec(txns);
+  for (TxnId i = 0; i < spec.txn_count(); ++i) {
+    for (TxnId j = 0; j < spec.txn_count(); ++j) {
+      if (i != j) spec.RelaxFully(i, j);
+    }
+  }
+  return spec;
+}
+
+AtomicitySpec CompatibilitySetSpec(const TransactionSet& txns,
+                                   const std::vector<std::size_t>& set_of) {
+  RELSER_CHECK_MSG(set_of.size() == txns.txn_count(),
+                   "set_of must assign every transaction");
+  AtomicitySpec spec(txns);
+  for (TxnId i = 0; i < spec.txn_count(); ++i) {
+    for (TxnId j = 0; j < spec.txn_count(); ++j) {
+      if (i != j && set_of[i] == set_of[j]) {
+        spec.RelaxFully(i, j);
+      }
+    }
+  }
+  return spec;
+}
+
+namespace {
+
+// Number of leading components shared by two group paths.
+std::size_t SharedPrefix(const std::vector<std::size_t>& a,
+                         const std::vector<std::size_t>& b) {
+  const std::size_t limit = std::min(a.size(), b.size());
+  std::size_t shared = 0;
+  while (shared < limit && a[shared] == b[shared]) {
+    ++shared;
+  }
+  return shared;
+}
+
+}  // namespace
+
+AtomicitySpec MultilevelSpec(
+    const TransactionSet& txns,
+    const std::vector<std::vector<std::size_t>>& group_path,
+    const std::vector<std::vector<std::size_t>>& gap_level) {
+  RELSER_CHECK(group_path.size() == txns.txn_count());
+  RELSER_CHECK(gap_level.size() == txns.txn_count());
+  AtomicitySpec spec(txns);
+  for (TxnId i = 0; i < spec.txn_count(); ++i) {
+    const std::size_t gap_count =
+        spec.txn_size(i) == 0 ? 0 : spec.txn_size(i) - 1;
+    RELSER_CHECK_MSG(gap_level[i].size() == gap_count,
+                     "T" << i + 1 << " needs " << gap_count
+                         << " gap levels, got " << gap_level[i].size());
+    for (TxnId j = 0; j < spec.txn_count(); ++j) {
+      if (i == j) continue;
+      const std::size_t proximity = SharedPrefix(group_path[i], group_path[j]);
+      for (std::uint32_t g = 0; g < gap_count; ++g) {
+        if (proximity >= gap_level[i][g]) {
+          spec.SetBreakpoint(i, j, g);
+        }
+      }
+    }
+  }
+  return spec;
+}
+
+AtomicitySpec BreakpointSpec(
+    const TransactionSet& txns,
+    const std::vector<std::vector<std::vector<std::uint32_t>>>& breakpoints) {
+  RELSER_CHECK(breakpoints.size() == txns.txn_count());
+  AtomicitySpec spec(txns);
+  for (TxnId i = 0; i < spec.txn_count(); ++i) {
+    RELSER_CHECK(breakpoints[i].size() == txns.txn_count());
+    for (TxnId j = 0; j < spec.txn_count(); ++j) {
+      if (i == j) continue;
+      for (const std::uint32_t gap : breakpoints[i][j]) {
+        spec.SetBreakpoint(i, j, gap);
+      }
+    }
+  }
+  return spec;
+}
+
+namespace {
+
+// Shared breakpoint-wise combinator for Meet/Join.
+template <typename Combine>
+AtomicitySpec CombineSpecs(const AtomicitySpec& a, const AtomicitySpec& b,
+                           Combine combine) {
+  RELSER_CHECK_MSG(a.txn_count() == b.txn_count(),
+                   "specs cover different transaction sets");
+  AtomicitySpec out = a;
+  for (TxnId i = 0; i < a.txn_count(); ++i) {
+    RELSER_CHECK(a.txn_size(i) == b.txn_size(i));
+    if (a.txn_size(i) < 2) continue;
+    const auto gaps = static_cast<std::uint32_t>(a.txn_size(i) - 1);
+    for (TxnId j = 0; j < a.txn_count(); ++j) {
+      if (i == j) continue;
+      for (std::uint32_t g = 0; g < gaps; ++g) {
+        if (combine(a.HasBreakpoint(i, j, g), b.HasBreakpoint(i, j, g))) {
+          out.SetBreakpoint(i, j, g);
+        } else {
+          out.ClearBreakpoint(i, j, g);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+AtomicitySpec MeetSpecs(const AtomicitySpec& a, const AtomicitySpec& b) {
+  return CombineSpecs(a, b, [](bool x, bool y) { return x && y; });
+}
+
+AtomicitySpec JoinSpecs(const AtomicitySpec& a, const AtomicitySpec& b) {
+  return CombineSpecs(a, b, [](bool x, bool y) { return x || y; });
+}
+
+void SetUnitsByLength(AtomicitySpec* spec, TxnId i, TxnId j,
+                      const std::vector<std::uint32_t>& unit_lengths) {
+  RELSER_CHECK(spec != nullptr);
+  std::uint32_t total = 0;
+  for (const std::uint32_t len : unit_lengths) {
+    RELSER_CHECK_MSG(len > 0, "atomic units must be non-empty");
+    total += len;
+  }
+  RELSER_CHECK_MSG(total == spec->txn_size(i),
+                   "unit lengths sum to " << total << ", T" << i + 1
+                                          << " has " << spec->txn_size(i)
+                                          << " operations");
+  // Clear existing boundaries, then set one after each unit but the last.
+  for (std::uint32_t g = 0; g + 1 < spec->txn_size(i); ++g) {
+    spec->ClearBreakpoint(i, j, g);
+  }
+  std::uint32_t cursor = 0;
+  for (std::size_t u = 0; u + 1 < unit_lengths.size(); ++u) {
+    cursor += unit_lengths[u];
+    spec->SetBreakpoint(i, j, cursor - 1);
+  }
+}
+
+}  // namespace relser

@@ -1,0 +1,72 @@
+// Constructors for the published relative-atomicity spec families.
+//
+// The paper positions its model as the common generalization of:
+//   * absolute atomicity            — classical serializability,
+//   * Garcia-Molina [Gar83]        — two-level compatibility sets,
+//   * Lynch [Lyn83]                — hierarchical (multilevel) atomicity,
+//   * Farrag & Özsu [FÖ89]         — arbitrary breakpoints.
+// Each builder below produces an AtomicitySpec expressing one family, so
+// tests and benches can compare the families inside a single framework.
+#ifndef RELSER_SPEC_BUILDERS_H_
+#define RELSER_SPEC_BUILDERS_H_
+
+#include <vector>
+
+#include "spec/atomicity_spec.h"
+
+namespace relser {
+
+/// Absolute atomicity: every transaction is a single atomic unit relative
+/// to every other (the traditional model; same as the ctor, named for
+/// readability at call sites).
+AtomicitySpec AbsoluteSpec(const TransactionSet& txns);
+
+/// Fully relaxed: every gap of every transaction is a breakpoint for
+/// every other transaction (no atomicity constraints at all).
+AtomicitySpec FullyRelaxedSpec(const TransactionSet& txns);
+
+/// Garcia-Molina compatibility sets: `set_of[t]` assigns each transaction
+/// to a compatibility set. Transactions in the same set may interleave
+/// arbitrarily; transactions in different sets see each other as single
+/// atomic units.
+AtomicitySpec CompatibilitySetSpec(const TransactionSet& txns,
+                                   const std::vector<std::size_t>& set_of);
+
+/// Lynch multilevel atomicity. Transactions are leaves of a group
+/// hierarchy; `group_path[t]` is T_t's path of group ids from the root
+/// (e.g. {team, subteam}). `gap_level[t][g]` assigns each gap of T_t a
+/// level: the gap is visible to (i.e. is a breakpoint for) exactly those
+/// transactions whose group path shares at least `gap_level[t][g]`
+/// leading components with T_t's path. Level 0 gaps are visible to
+/// everyone; deeper levels only to closer relatives. This reproduces the
+/// nested interleaving sets of [Lyn83]: the breakpoint sets seen by any
+/// two observers are nested, ordered by hierarchy proximity.
+AtomicitySpec MultilevelSpec(
+    const TransactionSet& txns,
+    const std::vector<std::vector<std::size_t>>& group_path,
+    const std::vector<std::vector<std::size_t>>& gap_level);
+
+/// Farrag–Özsu breakpoints: `breakpoints[i][j]` lists the gaps of Ti that
+/// are unit boundaries as seen by Tj (i != j; diagonal entries ignored).
+AtomicitySpec BreakpointSpec(
+    const TransactionSet& txns,
+    const std::vector<std::vector<std::vector<std::uint32_t>>>& breakpoints);
+
+/// Builds Atomicity(Ti, Tj) from explicit unit lengths: `unit_lengths`
+/// must sum to |Ti|; applied to the pair (i, j) of `spec` in place.
+void SetUnitsByLength(AtomicitySpec* spec, TxnId i, TxnId j,
+                      const std::vector<std::uint32_t>& unit_lengths);
+
+/// Meet (greatest lower bound) of two specs over the same transaction
+/// set: a breakpoint survives only where both specs have one. The meet
+/// permits exactly the interleavings both specs permit — composing the
+/// requirements of two independent stakeholders.
+AtomicitySpec MeetSpecs(const AtomicitySpec& a, const AtomicitySpec& b);
+
+/// Join (least upper bound): a breakpoint exists where either spec has
+/// one; the most restrictive spec at least as permissive as both.
+AtomicitySpec JoinSpecs(const AtomicitySpec& a, const AtomicitySpec& b);
+
+}  // namespace relser
+
+#endif  // RELSER_SPEC_BUILDERS_H_

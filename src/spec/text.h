@@ -1,0 +1,34 @@
+// Text notation for relative atomicity specifications, matching the
+// paper's Figure 1 (boxes rendered as '|'-separated unit lists):
+//
+//   Atomicity(T1,T2): r1[x] w1[x] | w1[z] r1[y]
+//   Atomicity(T1,T3): r1[x] w1[x] | w1[z] | r1[y]
+//
+// One line per ordered pair; omitted pairs default to a single atomic
+// unit (absolute atomicity), the paper's conservative default.
+#ifndef RELSER_SPEC_TEXT_H_
+#define RELSER_SPEC_TEXT_H_
+
+#include <string>
+#include <string_view>
+
+#include "spec/atomicity_spec.h"
+#include "util/status.h"
+
+namespace relser {
+
+/// Parses a multi-line spec description against `txns`.
+Result<AtomicitySpec> ParseAtomicitySpec(const TransactionSet& txns,
+                                         std::string_view text);
+
+/// Renders Atomicity(Ti,Tj) as a '|'-separated unit list.
+std::string AtomicityLineToString(const TransactionSet& txns,
+                                  const AtomicitySpec& spec, TxnId i,
+                                  TxnId j);
+
+/// Renders the full spec, one line per ordered pair, in (i, j) order.
+std::string ToString(const TransactionSet& txns, const AtomicitySpec& spec);
+
+}  // namespace relser
+
+#endif  // RELSER_SPEC_TEXT_H_

@@ -1,0 +1,60 @@
+// Invariant-checking macros used throughout relser.
+//
+// RELSER_CHECK(cond)        - aborts (with file:line and the condition text)
+//                             when `cond` is false; active in all build types.
+// RELSER_CHECK_MSG(cond, m) - like RELSER_CHECK but appends a message stream.
+// RELSER_DCHECK(cond)       - debug-only variant; compiled out in NDEBUG.
+//
+// The library does not use exceptions (see DESIGN.md); checks guard
+// programmer errors, while recoverable failures are reported via Status.
+#ifndef RELSER_UTIL_CHECK_H_
+#define RELSER_UTIL_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace relser {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* condition,
+                                     const std::string& message) {
+  std::cerr << "RELSER_CHECK failed at " << file << ":" << line << ": "
+            << condition;
+  if (!message.empty()) {
+    std::cerr << " — " << message;
+  }
+  std::cerr << std::endl;
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace relser
+
+#define RELSER_CHECK(cond)                                              \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      ::relser::internal::CheckFailed(__FILE__, __LINE__, #cond, "");   \
+    }                                                                   \
+  } while (false)
+
+#define RELSER_CHECK_MSG(cond, msg)                                     \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::ostringstream relser_check_stream_;                          \
+      relser_check_stream_ << msg;                                      \
+      ::relser::internal::CheckFailed(__FILE__, __LINE__, #cond,        \
+                                      relser_check_stream_.str());      \
+    }                                                                   \
+  } while (false)
+
+#ifdef NDEBUG
+#define RELSER_DCHECK(cond) \
+  do {                      \
+  } while (false)
+#else
+#define RELSER_DCHECK(cond) RELSER_CHECK(cond)
+#endif
+
+#endif  // RELSER_UTIL_CHECK_H_

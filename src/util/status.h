@@ -1,0 +1,128 @@
+// Lightweight error-reporting types (the library does not use exceptions).
+//
+// Status      - success or an error code plus a human-readable message.
+// Result<T>   - either a value of type T or an error Status.
+//
+// Modeled on the absl::Status / StatusOr idiom common in database engines.
+#ifndef RELSER_UTIL_STATUS_H_
+#define RELSER_UTIL_STATUS_H_
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace relser {
+
+/// Error categories for fallible relser operations.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< malformed input (parse errors, bad spec shapes)
+  kNotFound,          ///< referenced entity does not exist
+  kFailedPrecondition,///< call sequencing / state violation
+  kOutOfRange,        ///< index or size out of bounds
+  kUnimplemented,     ///< feature not available
+  kInternal,          ///< invariant violation reported without aborting
+};
+
+/// Returns a stable lowercase name for `code` (e.g. "invalid_argument").
+const char* StatusCodeName(StatusCode code);
+
+/// Success-or-error value; cheap to copy on the success path.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  /// Constructs an error (or OK) status with a message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders as "ok" or "<code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Value-or-error. Accessing the value of an error Result aborts.
+template <typename T>
+class Result {
+ public:
+  /// Success.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Error; `status` must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    RELSER_CHECK_MSG(!status_.ok(), "Result constructed from OK status");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    RELSER_CHECK_MSG(ok(), "Result::value on error: " << status_.ToString());
+    return *value_;
+  }
+  T& value() & {
+    RELSER_CHECK_MSG(ok(), "Result::value on error: " << status_.ToString());
+    return *value_;
+  }
+  T&& value() && {
+    RELSER_CHECK_MSG(ok(), "Result::value on error: " << status_.ToString());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ holds a value
+};
+
+}  // namespace relser
+
+/// Propagates an error Status from an expression, absl-style.
+#define RELSER_RETURN_IF_ERROR(expr)          \
+  do {                                        \
+    ::relser::Status relser_status_ = (expr); \
+    if (!relser_status_.ok()) {               \
+      return relser_status_;                  \
+    }                                         \
+  } while (false)
+
+#endif  // RELSER_UTIL_STATUS_H_

@@ -1,0 +1,35 @@
+// Small string helpers shared by the parser, printers and bench tables.
+#ifndef RELSER_UTIL_STRINGS_H_
+#define RELSER_UTIL_STRINGS_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace relser {
+
+/// Splits `text` on `delimiter`, keeping empty fields.
+std::vector<std::string> StrSplit(std::string_view text, char delimiter);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StrTrim(std::string_view text);
+
+/// Joins `parts` with `separator`.
+std::string StrJoin(const std::vector<std::string>& parts,
+                    std::string_view separator);
+
+/// Stream-based concatenation: StrCat("T", 3, " ops") == "T3 ops".
+template <typename... Args>
+std::string StrCat(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+
+/// True if `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+}  // namespace relser
+
+#endif  // RELSER_UTIL_STRINGS_H_

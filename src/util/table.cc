@@ -1,0 +1,64 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace relser {
+
+AsciiTable::AsciiTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  RELSER_CHECK(!headers_.empty());
+}
+
+void AsciiTable::AddRow(std::vector<std::string> cells) {
+  RELSER_CHECK_MSG(cells.size() == headers_.size(),
+                   "row width " << cells.size() << " != header width "
+                                << headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void AsciiTable::Print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "| " : " | ") << std::left
+         << std::setw(static_cast<int>(widths[c])) << row[c];
+    }
+    os << " |\n";
+  };
+  print_row(headers_);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << (c == 0 ? "|" : "-|") << std::string(widths[c] + 2, '-');
+  }
+  os << "-|\n";
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+}
+
+void AsciiTable::PrintCsv(std::ostream& os) const {
+  os << StrJoin(headers_, ",") << "\n";
+  for (const auto& row : rows_) {
+    os << StrJoin(row, ",") << "\n";
+  }
+}
+
+std::string FormatDouble(double value, int digits) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(digits) << value;
+  return os.str();
+}
+
+}  // namespace relser

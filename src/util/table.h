@@ -1,0 +1,43 @@
+// AsciiTable: fixed-column text tables for bench / experiment output.
+//
+// Every figure-reproduction bench prints its results through AsciiTable so
+// that EXPERIMENTS.md rows can be pasted verbatim; a CSV mode is provided
+// for downstream plotting.
+#ifndef RELSER_UTIL_TABLE_H_
+#define RELSER_UTIL_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace relser {
+
+/// Row-oriented table builder; all rows must match the header width.
+class AsciiTable {
+ public:
+  /// Creates a table with the given column headers.
+  explicit AsciiTable(std::vector<std::string> headers);
+
+  /// Appends one row; `cells.size()` must equal the header count.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders with aligned columns and a header rule.
+  void Print(std::ostream& os) const;
+
+  /// Renders as RFC-4180-ish CSV (no quoting of embedded commas needed
+  /// for relser output, which never emits commas in cells).
+  void PrintCsv(std::ostream& os) const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` places (bench convenience).
+std::string FormatDouble(double value, int digits = 3);
+
+}  // namespace relser
+
+#endif  // RELSER_UTIL_TABLE_H_

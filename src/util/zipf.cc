@@ -1,0 +1,37 @@
+#include "util/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace relser {
+
+ZipfDistribution::ZipfDistribution(std::size_t n, double theta)
+    : theta_(theta) {
+  RELSER_CHECK_MSG(n > 0, "ZipfDistribution requires n > 0");
+  RELSER_CHECK_MSG(theta >= 0.0, "ZipfDistribution requires theta >= 0");
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), theta);
+    cdf_[k] = total;
+  }
+  for (auto& value : cdf_) {
+    value /= total;
+  }
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+std::size_t ZipfDistribution::Sample(Rng* rng) const {
+  const double u = rng->UniformDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfDistribution::Probability(std::size_t k) const {
+  RELSER_CHECK(k < cdf_.size());
+  return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
+}
+
+}  // namespace relser

@@ -1,0 +1,40 @@
+// Zipf-distributed sampling over {0, 1, ..., n-1}.
+//
+// Used by workload generators to model skewed ("hot key") object access,
+// the standard contention model in concurrency-control simulations.
+// P(k) ∝ 1 / (k+1)^theta; theta = 0 is uniform, larger theta is more
+// skewed. Sampling is by binary search over the precomputed CDF: O(n)
+// setup, O(log n) per draw, exact.
+#ifndef RELSER_UTIL_ZIPF_H_
+#define RELSER_UTIL_ZIPF_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace relser {
+
+/// Precomputed Zipf sampler; immutable after construction.
+class ZipfDistribution {
+ public:
+  /// Builds a sampler over n items with skew `theta` >= 0.
+  ZipfDistribution(std::size_t n, double theta);
+
+  /// Draws one item index in [0, n).
+  std::size_t Sample(Rng* rng) const;
+
+  /// Exact probability of item k.
+  double Probability(std::size_t k) const;
+
+  std::size_t n() const { return cdf_.size(); }
+  double theta() const { return theta_; }
+
+ private:
+  double theta_;
+  std::vector<double> cdf_;  // cdf_[k] = P(item <= k); back() == 1.0
+};
+
+}  // namespace relser
+
+#endif  // RELSER_UTIL_ZIPF_H_

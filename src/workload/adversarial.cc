@@ -1,0 +1,61 @@
+#include "workload/adversarial.h"
+
+#include "spec/builders.h"
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace relser {
+
+HardInstance PaddedFigure4Instance(std::size_t free_txns) {
+  HardInstance instance;
+  TransactionSet& txns = instance.txns;
+  const ObjectId x = txns.InternObject("x");
+  const ObjectId y = txns.InternObject("y");
+  const ObjectId z = txns.InternObject("z");
+  const ObjectId t = txns.InternObject("t");
+  // The Figure 4 core.
+  Transaction* t1 = txns.AddTransaction();
+  t1->Write(x);
+  t1->Write(y);
+  Transaction* t2 = txns.AddTransaction();
+  t2->Write(z);
+  t2->Write(y);
+  Transaction* t3 = txns.AddTransaction();
+  t3->Write(t);
+  t3->Write(z);
+  Transaction* t4 = txns.AddTransaction();
+  t4->Write(x);
+  t4->Write(t);
+  // Free transactions on private objects: no conflicts with anything.
+  for (std::size_t i = 0; i < free_txns; ++i) {
+    Transaction* txn = txns.AddTransaction();
+    const ObjectId a = txns.InternObject(StrCat("p", i, "a"));
+    const ObjectId b = txns.InternObject(StrCat("p", i, "b"));
+    txn->Write(a);
+    txn->Write(b);
+  }
+  // Figure 4's specification; free transactions stay absolutely atomic.
+  AtomicitySpec spec(txns);
+  spec.SetBreakpoint(1, 3, 0);  // Atomicity(T2,T4): w2[z] | w2[y]
+  spec.SetBreakpoint(2, 1, 0);  // Atomicity(T3,T2): w3[t] | w3[z]
+  spec.SetBreakpoint(2, 3, 0);  // Atomicity(T3,T4): w3[t] | w3[z]
+  spec.SetBreakpoint(3, 1, 0);  // Atomicity(T4,T2): w4[x] | w4[t]
+  spec.SetBreakpoint(3, 2, 0);  // Atomicity(T4,T3): w4[x] | w4[t]
+  instance.spec = std::move(spec);
+  // Figure 4's schedule S followed by the free blocks. (Pointers returned
+  // by AddTransaction are invalidated by later AddTransaction calls, so
+  // operations are fetched through the set.)
+  auto op = [&txns](TxnId i, std::uint32_t j) { return txns.txn(i).op(j); };
+  std::vector<Operation> ops = {op(3, 0), op(2, 0), op(3, 1), op(0, 0),
+                                op(0, 1), op(1, 0), op(1, 1), op(2, 1)};
+  for (TxnId f = 4; f < txns.txn_count(); ++f) {
+    ops.push_back(op(f, 0));
+    ops.push_back(op(f, 1));
+  }
+  auto schedule = Schedule::Over(txns, std::move(ops));
+  RELSER_CHECK_MSG(schedule.ok(), schedule.status().ToString());
+  instance.schedule = *std::move(schedule);
+  return instance;
+}
+
+}  // namespace relser

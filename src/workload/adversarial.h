@@ -1,0 +1,36 @@
+// Crafted instance families for the complexity experiments.
+//
+// PaddedFigure4Instance(k): the unsatisfiable Figure 4 core (a schedule
+// that is relatively serializable but not relatively consistent) padded
+// with k conflict-free "free" transactions under absolute atomicity.
+// Free transactions can be placed anywhere as atomic blocks, so the
+// conflict-equivalence class grows factorially with k while the answer
+// stays "no" — the natural decision procedure for relative consistency
+// must exhaust the lattice, exhibiting its exponential behaviour, while
+// the RSG test stays polynomial (and answers "yes, relatively
+// serializable" immediately). This is the executable counterpart of the
+// NP-completeness result the paper cites [KB92].
+#ifndef RELSER_WORKLOAD_ADVERSARIAL_H_
+#define RELSER_WORKLOAD_ADVERSARIAL_H_
+
+#include <cstddef>
+
+#include "model/schedule.h"
+#include "spec/atomicity_spec.h"
+
+namespace relser {
+
+/// A crafted hard instance: transactions, specification, and the
+/// schedule whose relative consistency is to be decided.
+struct HardInstance {
+  TransactionSet txns;
+  AtomicitySpec spec;
+  Schedule schedule;
+};
+
+/// Figure 4 core + `free_txns` private two-write transactions.
+HardInstance PaddedFigure4Instance(std::size_t free_txns);
+
+}  // namespace relser
+
+#endif  // RELSER_WORKLOAD_ADVERSARIAL_H_

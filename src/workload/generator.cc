@@ -1,0 +1,101 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/zipf.h"
+
+namespace relser {
+
+TransactionSet GenerateTransactions(const WorkloadParams& params, Rng* rng) {
+  RELSER_CHECK(params.txn_count > 0);
+  RELSER_CHECK(params.min_ops_per_txn > 0);
+  RELSER_CHECK(params.min_ops_per_txn <= params.max_ops_per_txn);
+  RELSER_CHECK(params.object_count > 0);
+  TransactionSet txns;
+  txns.AddObjects(params.object_count);
+  const ZipfDistribution zipf(params.object_count, params.zipf_theta);
+  for (std::size_t t = 0; t < params.txn_count; ++t) {
+    Transaction* txn = txns.AddTransaction();
+    const std::size_t length = static_cast<std::size_t>(rng->UniformInt(
+        static_cast<std::int64_t>(params.min_ops_per_txn),
+        static_cast<std::int64_t>(params.max_ops_per_txn)));
+    ObjectId previous = static_cast<ObjectId>(params.object_count);  // none
+    for (std::size_t k = 0; k < length; ++k) {
+      ObjectId object = static_cast<ObjectId>(zipf.Sample(rng));
+      if (params.avoid_immediate_repeat && params.object_count > 1) {
+        while (object == previous) {
+          object = static_cast<ObjectId>(zipf.Sample(rng));
+        }
+      }
+      previous = object;
+      if (rng->Bernoulli(params.read_ratio)) {
+        txn->Read(object);
+      } else {
+        txn->Write(object);
+      }
+    }
+  }
+  return txns;
+}
+
+Schedule RandomSchedule(const TransactionSet& txns, Rng* rng) {
+  // Weighted merge: picking transaction t with probability proportional
+  // to its remaining operation count yields a uniform distribution over
+  // all interleavings.
+  std::vector<std::uint32_t> remaining(txns.txn_count());
+  std::size_t total = 0;
+  for (TxnId t = 0; t < txns.txn_count(); ++t) {
+    remaining[t] = static_cast<std::uint32_t>(txns.txn(t).size());
+    total += remaining[t];
+  }
+  std::vector<Operation> ops;
+  ops.reserve(total);
+  while (total > 0) {
+    std::uint64_t pick = rng->UniformU64(total);
+    for (TxnId t = 0; t < txns.txn_count(); ++t) {
+      if (pick < remaining[t]) {
+        const Transaction& txn = txns.txn(t);
+        const auto index =
+            static_cast<std::uint32_t>(txn.size() - remaining[t]);
+        ops.push_back(txn.op(index));
+        --remaining[t];
+        --total;
+        break;
+      }
+      pick -= remaining[t];
+    }
+  }
+  auto schedule = Schedule::Over(txns, std::move(ops));
+  RELSER_CHECK_MSG(schedule.ok(), schedule.status().ToString());
+  return *std::move(schedule);
+}
+
+Schedule RandomSerialSchedule(const TransactionSet& txns, Rng* rng) {
+  std::vector<TxnId> order(txns.txn_count());
+  for (TxnId t = 0; t < txns.txn_count(); ++t) order[t] = t;
+  rng->Shuffle(&order);
+  auto schedule = Schedule::Serial(txns, order);
+  RELSER_CHECK_MSG(schedule.ok(), schedule.status().ToString());
+  return *std::move(schedule);
+}
+
+Schedule PerturbSchedule(const TransactionSet& txns, const Schedule& base,
+                         std::size_t swaps, Rng* rng) {
+  std::vector<Operation> ops = base.ops();
+  std::size_t applied = 0;
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = swaps * 4 + 16;
+  while (applied < swaps && attempts < max_attempts && ops.size() > 1) {
+    ++attempts;
+    const std::size_t pos = rng->UniformIndex(ops.size() - 1);
+    if (ops[pos].txn == ops[pos + 1].txn) continue;  // would break order
+    std::swap(ops[pos], ops[pos + 1]);
+    ++applied;
+  }
+  auto schedule = Schedule::Over(txns, std::move(ops));
+  RELSER_CHECK_MSG(schedule.ok(), schedule.status().ToString());
+  return *std::move(schedule);
+}
+
+}  // namespace relser

@@ -1,0 +1,183 @@
+#include "workload/scenarios.h"
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace relser {
+
+BankingScenario MakeBankingScenario(const BankingParams& params, Rng* rng) {
+  RELSER_CHECK(params.families > 0);
+  RELSER_CHECK(params.accounts_per_family >= 2);
+  RELSER_CHECK(params.transfers_per_customer > 0);
+  BankingScenario scenario;
+  TransactionSet& txns = scenario.txns;
+
+  // Accounts: family f, account a  ->  object "f<f>_acct<a>".
+  std::vector<std::vector<ObjectId>> accounts(params.families);
+  for (std::size_t f = 0; f < params.families; ++f) {
+    for (std::size_t a = 0; a < params.accounts_per_family; ++a) {
+      accounts[f].push_back(
+          txns.InternObject(StrCat("f", f, "_acct", a)));
+    }
+  }
+
+  // Customer transactions: a sequence of transfers between two distinct
+  // accounts of the customer's family.
+  for (std::size_t f = 0; f < params.families; ++f) {
+    for (std::size_t c = 0; c < params.customers_per_family; ++c) {
+      Transaction* txn = txns.AddTransaction();
+      for (std::size_t k = 0; k < params.transfers_per_customer; ++k) {
+        const std::size_t src = rng->UniformIndex(accounts[f].size());
+        std::size_t dst = rng->UniformIndex(accounts[f].size() - 1);
+        if (dst >= src) ++dst;
+        txn->Read(accounts[f][src]);
+        txn->Write(accounts[f][src]);
+        txn->Read(accounts[f][dst]);
+        txn->Write(accounts[f][dst]);
+      }
+      scenario.role.push_back(BankingRole::kCustomer);
+      scenario.family.push_back(f);
+      scenario.label.push_back(StrCat("customer", c, "_family", f));
+    }
+  }
+  // Credit audits: read every account of one family.
+  for (std::size_t f = 0; f < params.credit_audits && f < params.families;
+       ++f) {
+    Transaction* txn = txns.AddTransaction();
+    for (const ObjectId account : accounts[f]) {
+      txn->Read(account);
+    }
+    scenario.role.push_back(BankingRole::kCreditAudit);
+    scenario.family.push_back(f);
+    scenario.label.push_back(StrCat("credit_audit_family", f));
+  }
+  // Bank audit: read every account of every family.
+  if (params.include_bank_audit) {
+    Transaction* txn = txns.AddTransaction();
+    for (const auto& family_accounts : accounts) {
+      for (const ObjectId account : family_accounts) {
+        txn->Read(account);
+      }
+    }
+    scenario.role.push_back(BankingRole::kBankAudit);
+    scenario.family.push_back(BankingScenario::kBankWide);
+    scenario.label.push_back("bank_audit");
+  }
+
+  // Specification. Defaults (no breakpoints) already give: bank audit
+  // atomic w.r.t. everyone and vice versa; cross-family atomicity.
+  AtomicitySpec spec(txns);
+  const std::size_t n = txns.txn_count();
+  for (TxnId i = 0; i < n; ++i) {
+    for (TxnId j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const BankingRole role_i = scenario.role[i];
+      const BankingRole role_j = scenario.role[j];
+      const bool same_family = scenario.family[i] == scenario.family[j];
+      if (role_i == BankingRole::kBankAudit ||
+          role_j == BankingRole::kBankAudit) {
+        continue;  // fully atomic both ways
+      }
+      if (role_i == BankingRole::kCustomer &&
+          role_j == BankingRole::kCustomer && same_family) {
+        spec.RelaxFully(i, j);  // arbitrary interleaving within a family
+        continue;
+      }
+      if (role_i == BankingRole::kCustomer &&
+          role_j == BankingRole::kCreditAudit && same_family) {
+        // A customer exposes transfer boundaries to the family's credit
+        // audit: breakpoints after each complete transfer (4 ops).
+        for (std::uint32_t g = 3; g + 1 < spec.txn_size(i); g += 4) {
+          spec.SetBreakpoint(i, j, g);
+        }
+        continue;
+      }
+      if (role_i == BankingRole::kCreditAudit &&
+          role_j == BankingRole::kCustomer && same_family) {
+        // The audit exposes a breakpoint after every account read:
+        // customers may slip between reads of different accounts.
+        spec.RelaxFully(i, j);
+        continue;
+      }
+      // Cross-family and audit-audit pairs stay fully atomic.
+    }
+  }
+  scenario.spec = std::move(spec);
+  return scenario;
+}
+
+CadScenario MakeCadScenario(const CadParams& params, Rng* rng) {
+  RELSER_CHECK(params.teams > 0);
+  RELSER_CHECK(params.modules_per_team > 0);
+  RELSER_CHECK(params.phases > 0);
+  CadScenario scenario;
+  TransactionSet& txns = scenario.txns;
+
+  std::vector<ObjectId> shared;
+  for (std::size_t s = 0; s < params.shared_modules; ++s) {
+    shared.push_back(txns.InternObject(StrCat("shared", s)));
+  }
+  std::vector<std::vector<ObjectId>> owned(params.teams);
+  for (std::size_t t = 0; t < params.teams; ++t) {
+    for (std::size_t m = 0; m < params.modules_per_team; ++m) {
+      owned[t].push_back(txns.InternObject(StrCat("team", t, "_mod", m)));
+    }
+  }
+
+  // Designer transactions: per phase, read one shared module (when any),
+  // then read and write one team-owned module. Phase length is 3 ops
+  // (or 2 without shared modules).
+  const std::size_t phase_len = shared.empty() ? 2 : 3;
+  for (std::size_t t = 0; t < params.teams; ++t) {
+    for (std::size_t d = 0; d < params.designers_per_team; ++d) {
+      Transaction* txn = txns.AddTransaction();
+      for (std::size_t p = 0; p < params.phases; ++p) {
+        if (!shared.empty()) {
+          txn->Read(shared[rng->UniformIndex(shared.size())]);
+        }
+        const ObjectId module = owned[t][rng->UniformIndex(owned[t].size())];
+        txn->Read(module);
+        txn->Write(module);
+      }
+      scenario.team.push_back(t);
+      scenario.label.push_back(StrCat("designer", d, "_team", t));
+    }
+  }
+  // Release transaction: reads every shared and owned module, then
+  // writes every shared module (publishing the integrated design).
+  if (params.include_release) {
+    Transaction* txn = txns.AddTransaction();
+    for (const ObjectId module : shared) txn->Read(module);
+    for (const auto& team_modules : owned) {
+      for (const ObjectId module : team_modules) txn->Read(module);
+    }
+    for (const ObjectId module : shared) txn->Write(module);
+    scenario.team.push_back(CadScenario::kGlobal);
+    scenario.label.push_back("release");
+  }
+
+  AtomicitySpec spec(txns);
+  const std::size_t n = txns.txn_count();
+  for (TxnId i = 0; i < n; ++i) {
+    for (TxnId j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const bool release_involved =
+          scenario.team[i] == CadScenario::kGlobal ||
+          scenario.team[j] == CadScenario::kGlobal;
+      if (release_involved) continue;  // atomic both ways
+      if (scenario.team[i] == scenario.team[j]) {
+        spec.RelaxFully(i, j);  // teammates interleave freely
+        continue;
+      }
+      // Cross-team: breakpoints only at phase boundaries.
+      for (std::size_t p = 1; p < params.phases; ++p) {
+        spec.SetBreakpoint(i, j,
+                           static_cast<std::uint32_t>(p * phase_len - 1));
+      }
+    }
+  }
+  scenario.spec = std::move(spec);
+  return scenario;
+}
+
+}  // namespace relser

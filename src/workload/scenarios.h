@@ -1,0 +1,84 @@
+// The paper's two motivating application scenarios as executable
+// workload builders (Section 1 banking, Sections 1/5 CAD collaboration).
+//
+// No real traces exist for either; these builders synthesize transaction
+// sets with exactly the atomicity *structure* the paper describes (see
+// DESIGN.md, substitutions).
+#ifndef RELSER_WORKLOAD_SCENARIOS_H_
+#define RELSER_WORKLOAD_SCENARIOS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "spec/atomicity_spec.h"
+#include "util/rng.h"
+
+namespace relser {
+
+// ---------------------------------------------------------------------------
+// Banking (Lynch's example, quoted in Section 1): customers are grouped
+// into families sharing accounts. The bank audit is atomic with respect
+// to everything and vice versa; credit audits of a family interact with
+// that family's customers under mild unit specs; same-family customer
+// transactions interleave arbitrarily.
+// ---------------------------------------------------------------------------
+
+enum class BankingRole { kCustomer, kCreditAudit, kBankAudit };
+
+struct BankingParams {
+  std::size_t families = 2;
+  std::size_t accounts_per_family = 3;
+  std::size_t customers_per_family = 2;
+  /// Each customer transaction performs this many transfers; a transfer
+  /// is r[src] w[src] r[dst] w[dst] over two family accounts.
+  std::size_t transfers_per_customer = 2;
+  bool include_bank_audit = true;
+  /// Credit audits are created for the first `credit_audits` families.
+  std::size_t credit_audits = 1;
+};
+
+struct BankingScenario {
+  TransactionSet txns;
+  AtomicitySpec spec;
+  std::vector<BankingRole> role;     ///< per transaction
+  std::vector<std::size_t> family;   ///< per transaction; npos = bank-wide
+  std::vector<std::string> label;    ///< human-readable txn labels
+
+  static constexpr std::size_t kBankWide = static_cast<std::size_t>(-1);
+};
+
+BankingScenario MakeBankingScenario(const BankingParams& params, Rng* rng);
+
+// ---------------------------------------------------------------------------
+// CAD collaboration (Section 5): designers are partitioned into teams.
+// Within a team any interleaving is allowed; across teams a design
+// transaction exposes breakpoints only at phase boundaries; a global
+// release transaction is atomic with respect to everyone.
+// ---------------------------------------------------------------------------
+
+struct CadParams {
+  std::size_t teams = 2;
+  std::size_t designers_per_team = 2;
+  std::size_t modules_per_team = 2;
+  std::size_t shared_modules = 1;
+  /// Each designer transaction has this many phases; a phase reads one
+  /// shared module, then reads and writes one team-owned module.
+  std::size_t phases = 2;
+  bool include_release = true;
+};
+
+struct CadScenario {
+  TransactionSet txns;
+  AtomicitySpec spec;
+  std::vector<std::size_t> team;   ///< per transaction; npos = release
+  std::vector<std::string> label;
+
+  static constexpr std::size_t kGlobal = static_cast<std::size_t>(-1);
+};
+
+CadScenario MakeCadScenario(const CadParams& params, Rng* rng);
+
+}  // namespace relser
+
+#endif  // RELSER_WORKLOAD_SCENARIOS_H_

@@ -1,0 +1,77 @@
+#include "workload/spec_gen.h"
+
+#include "spec/builders.h"
+#include "util/check.h"
+
+namespace relser {
+
+AtomicitySpec RandomSpec(const TransactionSet& txns, double density,
+                         Rng* rng) {
+  AtomicitySpec spec(txns);
+  for (TxnId i = 0; i < spec.txn_count(); ++i) {
+    if (spec.txn_size(i) < 2) continue;
+    const auto gap_count = static_cast<std::uint32_t>(spec.txn_size(i) - 1);
+    for (TxnId j = 0; j < spec.txn_count(); ++j) {
+      if (i == j) continue;
+      for (std::uint32_t g = 0; g < gap_count; ++g) {
+        if (rng->Bernoulli(density)) spec.SetBreakpoint(i, j, g);
+      }
+    }
+  }
+  return spec;
+}
+
+AtomicitySpec RandomUniformObserverSpec(const TransactionSet& txns,
+                                        double density, Rng* rng) {
+  AtomicitySpec spec(txns);
+  for (TxnId i = 0; i < spec.txn_count(); ++i) {
+    if (spec.txn_size(i) < 2) continue;
+    const auto gap_count = static_cast<std::uint32_t>(spec.txn_size(i) - 1);
+    for (std::uint32_t g = 0; g < gap_count; ++g) {
+      if (!rng->Bernoulli(density)) continue;
+      for (TxnId j = 0; j < spec.txn_count(); ++j) {
+        if (i != j) spec.SetBreakpoint(i, j, g);
+      }
+    }
+  }
+  return spec;
+}
+
+AtomicitySpec RandomCompatibilitySetSpec(const TransactionSet& txns,
+                                         std::size_t set_count, Rng* rng) {
+  RELSER_CHECK(set_count > 0);
+  std::vector<std::size_t> set_of(txns.txn_count());
+  for (auto& assignment : set_of) {
+    assignment = rng->UniformIndex(set_count);
+  }
+  return CompatibilitySetSpec(txns, set_of);
+}
+
+AtomicitySpec RandomMultilevelSpec(const TransactionSet& txns,
+                                   std::size_t group_count,
+                                   double outer_density, double inner_density,
+                                   Rng* rng) {
+  RELSER_CHECK(group_count > 0);
+  std::vector<std::vector<std::size_t>> group_path(txns.txn_count());
+  for (auto& path : group_path) {
+    path = {rng->UniformIndex(group_count)};
+  }
+  std::vector<std::vector<std::size_t>> gap_level(txns.txn_count());
+  for (TxnId t = 0; t < txns.txn_count(); ++t) {
+    const std::size_t gap_count =
+        txns.txn(t).size() < 2 ? 0 : txns.txn(t).size() - 1;
+    gap_level[t].resize(gap_count);
+    for (auto& level : gap_level[t]) {
+      if (rng->Bernoulli(outer_density)) {
+        level = 0;  // visible to everyone
+      } else if (rng->Bernoulli(inner_density)) {
+        level = 1;  // visible within the group
+      } else {
+        level = 2;  // deeper than the hierarchy: visible to nobody
+      }
+    }
+  }
+  return MultilevelSpec(txns, group_path, gap_level);
+}
+
+}  // namespace relser

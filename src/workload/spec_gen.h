@@ -1,0 +1,44 @@
+// Random relative-atomicity specification generators.
+//
+// The key experimental knob is *granularity*: how many breakpoints a
+// specification grants. density = 0 reproduces absolute atomicity
+// (classical serializability); density = 1 removes all constraints.
+// The censuses and scheduler benches sweep this knob.
+#ifndef RELSER_WORKLOAD_SPEC_GEN_H_
+#define RELSER_WORKLOAD_SPEC_GEN_H_
+
+#include "spec/atomicity_spec.h"
+#include "util/rng.h"
+
+namespace relser {
+
+/// Each gap of each ordered pair becomes a breakpoint independently with
+/// probability `density` in [0, 1].
+AtomicitySpec RandomSpec(const TransactionSet& txns, double density,
+                         Rng* rng);
+
+/// Like RandomSpec but symmetric in observers: the breakpoint set of Ti is
+/// drawn once per Ti and shared by all observers Tj (models "Ti exposes
+/// these checkpoints to everyone", the common practical shape).
+AtomicitySpec RandomUniformObserverSpec(const TransactionSet& txns,
+                                        double density, Rng* rng);
+
+/// Random Garcia-Molina instance: transactions assigned uniformly to
+/// `set_count` compatibility sets.
+AtomicitySpec RandomCompatibilitySetSpec(const TransactionSet& txns,
+                                         std::size_t set_count, Rng* rng);
+
+/// Random Lynch instance: a two-level hierarchy of `group_count` groups.
+/// Each gap independently becomes a global breakpoint (visible to every
+/// observer) with probability `outer_density`, else a group-local
+/// breakpoint (visible only to same-group observers) with probability
+/// `inner_density`, else no breakpoint. By construction the breakpoint
+/// sets seen by any two observers are nested, as [Lyn83] requires.
+AtomicitySpec RandomMultilevelSpec(const TransactionSet& txns,
+                                   std::size_t group_count,
+                                   double outer_density, double inner_density,
+                                   Rng* rng);
+
+}  // namespace relser
+
+#endif  // RELSER_WORKLOAD_SPEC_GEN_H_

@@ -1,0 +1,128 @@
+// Tests for the brute-force reference procedures: budgets, memoization
+// equivalence, witness properties, and the hard-instance family used by
+// the complexity bench.
+#include <gtest/gtest.h>
+
+#include "core/brute.h"
+#include "core/checkers.h"
+#include "core/paper_examples.h"
+#include "core/rsr.h"
+#include "model/conflict.h"
+#include "util/rng.h"
+#include "workload/adversarial.h"
+#include "workload/generator.h"
+#include "workload/spec_gen.h"
+
+namespace relser {
+namespace {
+
+TEST(BruteForce, SerialScheduleIsTriviallyConsistent) {
+  Rng rng(1);
+  WorkloadParams wp;
+  wp.txn_count = 3;
+  const TransactionSet txns = GenerateTransactions(wp, &rng);
+  const AtomicitySpec spec = RandomSpec(txns, 0.3, &rng);
+  const Schedule serial = RandomSerialSchedule(txns, &rng);
+  const BruteForceResult result = IsRelativelyConsistent(txns, serial, spec);
+  ASSERT_TRUE(result.IsYes());
+  ASSERT_TRUE(result.witness.has_value());
+  EXPECT_TRUE(IsRelativelyAtomic(txns, *result.witness, spec));
+}
+
+TEST(BruteForce, BudgetExhaustionReturnsUndecided) {
+  const HardInstance instance = PaddedFigure4Instance(8);
+  const BruteForceResult result = IsRelativelyConsistent(
+      instance.txns, instance.schedule, instance.spec, /*max_states=*/100,
+      /*memoize=*/false);
+  EXPECT_FALSE(result.decided.has_value());
+  EXPECT_FALSE(result.stats.exhausted);
+  EXPECT_LE(result.stats.states_visited, 101u);
+}
+
+TEST(BruteForce, MemoizationPreservesAnswers) {
+  Rng rng(2);
+  for (int round = 0; round < 60; ++round) {
+    WorkloadParams wp;
+    wp.txn_count = 3;
+    wp.max_ops_per_txn = 4;
+    wp.object_count = 3;
+    const TransactionSet txns = GenerateTransactions(wp, &rng);
+    const AtomicitySpec spec = RandomSpec(txns, rng.UniformDouble(), &rng);
+    const Schedule schedule = RandomSchedule(txns, &rng);
+    const BruteForceResult with_memo =
+        IsRelativelyConsistent(txns, schedule, spec, 0, true);
+    const BruteForceResult without_memo =
+        IsRelativelyConsistent(txns, schedule, spec, 0, false);
+    ASSERT_TRUE(with_memo.decided.has_value());
+    ASSERT_TRUE(without_memo.decided.has_value());
+    EXPECT_EQ(*with_memo.decided, *without_memo.decided);
+    EXPECT_LE(with_memo.stats.states_visited,
+              without_memo.stats.states_visited);
+  }
+}
+
+TEST(BruteForce, WitnessOfRelativeSerializabilityIsValid) {
+  Rng rng(3);
+  int yes = 0;
+  for (int round = 0; round < 80 && yes < 25; ++round) {
+    WorkloadParams wp;
+    wp.txn_count = 3;
+    wp.max_ops_per_txn = 3;
+    wp.object_count = 3;
+    const TransactionSet txns = GenerateTransactions(wp, &rng);
+    const AtomicitySpec spec = RandomSpec(txns, 0.4, &rng);
+    const Schedule schedule = RandomSchedule(txns, &rng);
+    const BruteForceResult result =
+        BruteForceRelativelySerializable(txns, schedule, spec);
+    ASSERT_TRUE(result.decided.has_value());
+    if (!*result.decided) continue;
+    ++yes;
+    ASSERT_TRUE(result.witness.has_value());
+    EXPECT_TRUE(IsRelativelySerial(txns, *result.witness, spec));
+    EXPECT_TRUE(ConflictEquivalent(txns, schedule, *result.witness));
+  }
+  EXPECT_GE(yes, 20);
+}
+
+TEST(HardInstance, CoreMatchesFigure4) {
+  const HardInstance instance = PaddedFigure4Instance(0);
+  const PaperExample fig = Figure4();
+  EXPECT_EQ(instance.txns.txn_count(), 4u);
+  EXPECT_EQ(instance.schedule.size(), 8u);
+  EXPECT_TRUE(
+      IsRelativelySerial(instance.txns, instance.schedule, instance.spec));
+  const BruteForceResult rc =
+      IsRelativelyConsistent(instance.txns, instance.schedule, instance.spec);
+  EXPECT_TRUE(rc.IsNo());
+}
+
+TEST(HardInstance, PaddingPreservesTheAnswer) {
+  for (const std::size_t k : {1u, 3u, 5u}) {
+    const HardInstance instance = PaddedFigure4Instance(k);
+    EXPECT_EQ(instance.txns.txn_count(), 4u + k);
+    EXPECT_TRUE(IsRelativelySerializable(instance.txns, instance.schedule,
+                                         instance.spec));
+    const BruteForceResult rc = IsRelativelyConsistent(
+        instance.txns, instance.schedule, instance.spec);
+    EXPECT_TRUE(rc.IsNo()) << "k=" << k;
+    // The padded schedule stays relatively serial (free txns run as
+    // trailing blocks and depend on nothing).
+    EXPECT_TRUE(
+        IsRelativelySerial(instance.txns, instance.schedule, instance.spec));
+  }
+}
+
+TEST(HardInstance, SearchEffortGrowsWithPadding) {
+  const HardInstance small_instance = PaddedFigure4Instance(2);
+  const BruteForceResult small =
+      IsRelativelyConsistent(small_instance.txns, small_instance.schedule,
+                             small_instance.spec, 0, /*memoize=*/false);
+  const HardInstance big_instance = PaddedFigure4Instance(6);
+  const BruteForceResult big =
+      IsRelativelyConsistent(big_instance.txns, big_instance.schedule,
+                             big_instance.spec, 0, /*memoize=*/false);
+  EXPECT_GT(big.stats.states_visited, 10 * small.stats.states_visited);
+}
+
+}  // namespace
+}  // namespace relser

@@ -1,0 +1,184 @@
+// Tests for the Definition 1 / Definition 2 checkers beyond the paper's
+// own examples: violation reporting, boundary interleavings, and the
+// definitional containments on random inputs.
+#include <gtest/gtest.h>
+
+#include "core/checkers.h"
+#include "model/text.h"
+#include "spec/builders.h"
+#include "spec/text.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+#include "workload/spec_gen.h"
+
+namespace relser {
+namespace {
+
+TEST(RelativelyAtomic, SerialSchedulesAlwaysQualify) {
+  Rng rng(1);
+  for (int round = 0; round < 20; ++round) {
+    WorkloadParams wp;
+    wp.txn_count = 4;
+    const TransactionSet txns = GenerateTransactions(wp, &rng);
+    const AtomicitySpec spec = RandomSpec(txns, rng.UniformDouble(), &rng);
+    const Schedule serial = RandomSerialSchedule(txns, &rng);
+    EXPECT_TRUE(IsRelativelyAtomic(txns, serial, spec));
+  }
+}
+
+TEST(RelativelyAtomic, InterleavingAtBreakpointAllowed) {
+  auto txns = ParseTransactionSet("T1 = r1[x] w1[x]\nT2 = w2[y]\n");
+  auto spec = ParseAtomicitySpec(*txns, "Atomicity(T1,T2): r1[x] | w1[x]\n");
+  auto schedule = ParseSchedule(*txns, "r1[x] w2[y] w1[x]");
+  EXPECT_TRUE(IsRelativelyAtomic(*txns, *schedule, *spec));
+}
+
+TEST(RelativelyAtomic, InterleavingInsideUnitRejected) {
+  auto txns = ParseTransactionSet("T1 = r1[x] w1[x]\nT2 = w2[y]\n");
+  const AtomicitySpec spec(*txns);  // absolute
+  auto schedule = ParseSchedule(*txns, "r1[x] w2[y] w1[x]");
+  EXPECT_FALSE(IsRelativelyAtomic(*txns, *schedule, spec));
+  const auto violation =
+      FindRelativeAtomicityViolation(*txns, *schedule, spec);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_EQ(violation->op.txn, 1u);
+  EXPECT_EQ(violation->violated_txn, 0u);
+  EXPECT_EQ(violation->unit, 0u);
+  EXPECT_FALSE(violation->dependency_witness.has_value());
+  EXPECT_NE(ViolationToString(*txns, *violation).find("w2[y]"),
+            std::string::npos);
+}
+
+TEST(RelativelyAtomic, DirectionalityOfSpecsMatters) {
+  // T1 may interleave into T2 but not vice versa.
+  auto txns = ParseTransactionSet("T1 = w1[a]\nT2 = r2[x] w2[y]\n");
+  AtomicitySpec spec(*txns);
+  spec.SetBreakpoint(1, 0, 0);  // T2 exposes its gap to T1
+  auto schedule = ParseSchedule(*txns, "r2[x] w1[a] w2[y]");
+  EXPECT_TRUE(IsRelativelyAtomic(*txns, *schedule, spec));
+  // Remove the breakpoint: the same interleaving violates.
+  spec.ClearBreakpoint(1, 0, 0);
+  EXPECT_FALSE(IsRelativelyAtomic(*txns, *schedule, spec));
+}
+
+TEST(RelativelyAtomic, OperationsOutsideSpanAreNotInterleaved) {
+  // T2 entirely before and after T1's unit: never a violation.
+  auto txns = ParseTransactionSet("T1 = r1[x] w1[x]\nT2 = w2[y]\nT3 = w3[z]\n");
+  const AtomicitySpec spec(*txns);
+  auto before = ParseSchedule(*txns, "w2[y] r1[x] w1[x] w3[z]");
+  EXPECT_TRUE(IsRelativelyAtomic(*txns, *before, spec));
+}
+
+TEST(RelativelySerial, IndependentInterleavingAllowedInsideUnit) {
+  // w2[y] has no dependency with T1's unit: Definition 2 admits it even
+  // though Definition 1 rejects it.
+  auto txns = ParseTransactionSet("T1 = r1[x] w1[x]\nT2 = w2[y]\n");
+  const AtomicitySpec spec(*txns);
+  auto schedule = ParseSchedule(*txns, "r1[x] w2[y] w1[x]");
+  EXPECT_FALSE(IsRelativelyAtomic(*txns, *schedule, spec));
+  EXPECT_TRUE(IsRelativelySerial(*txns, *schedule, spec));
+}
+
+TEST(RelativelySerial, DependentInterleavingRejected) {
+  auto txns = ParseTransactionSet("T1 = r1[x] w1[x]\nT2 = w2[x]\n");
+  const AtomicitySpec spec(*txns);
+  auto schedule = ParseSchedule(*txns, "r1[x] w2[x] w1[x]");
+  const DependsOnRelation depends(*txns, *schedule);
+  const auto violation =
+      FindRelativeSerialityViolation(*txns, *schedule, spec, depends);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_EQ(violation->op.txn, 1u);
+  ASSERT_TRUE(violation->dependency_witness.has_value());
+  // The witness is a unit operation related to w2[x].
+  EXPECT_EQ(violation->dependency_witness->txn, 0u);
+}
+
+TEST(RelativelySerial, ViceVersaDirectionDetected) {
+  // The interleaved op *affects* a later unit op (but depends on nothing
+  // before it): still a violation ("and vice versa" in Definition 2).
+  auto txns = ParseTransactionSet("T1 = r1[y] w1[x]\nT2 = w2[x]\n");
+  const AtomicitySpec spec(*txns);
+  auto schedule = ParseSchedule(*txns, "r1[y] w2[x] w1[x]");
+  const DependsOnRelation depends(*txns, *schedule);
+  const Operation w2x = txns->txn(1).op(0);
+  const Operation w1x = txns->txn(0).op(1);
+  EXPECT_TRUE(depends.DependsOn(w1x, w2x));
+  EXPECT_FALSE(depends.DependsOn(w2x, txns->txn(0).op(0)));
+  EXPECT_FALSE(IsRelativelySerial(*txns, *schedule, spec));
+}
+
+TEST(RelativelySerial, RelativeAtomicityImpliesRelativeSeriality) {
+  Rng rng(2);
+  for (int round = 0; round < 50; ++round) {
+    WorkloadParams wp;
+    wp.txn_count = 3;
+    wp.max_ops_per_txn = 4;
+    wp.object_count = 3;
+    const TransactionSet txns = GenerateTransactions(wp, &rng);
+    const AtomicitySpec spec = RandomSpec(txns, rng.UniformDouble(), &rng);
+    const Schedule schedule = RandomSchedule(txns, &rng);
+    if (IsRelativelyAtomic(txns, schedule, spec)) {
+      EXPECT_TRUE(IsRelativelySerial(txns, schedule, spec));
+    }
+  }
+}
+
+TEST(RelativelySerial, FullyRelaxedSpecAcceptsEverything) {
+  Rng rng(3);
+  for (int round = 0; round < 30; ++round) {
+    WorkloadParams wp;
+    wp.txn_count = 4;
+    wp.object_count = 2;
+    const TransactionSet txns = GenerateTransactions(wp, &rng);
+    const AtomicitySpec relaxed = FullyRelaxedSpec(txns);
+    const Schedule schedule = RandomSchedule(txns, &rng);
+    EXPECT_TRUE(IsRelativelyAtomic(txns, schedule, relaxed));
+    EXPECT_TRUE(IsRelativelySerial(txns, schedule, relaxed));
+  }
+}
+
+TEST(RelativelySerial, MorePermissiveSpecAcceptsMore) {
+  // If spec A is at least as permissive as spec B, every B-relatively-
+  // serial schedule is A-relatively-serial.
+  Rng rng(4);
+  for (int round = 0; round < 30; ++round) {
+    WorkloadParams wp;
+    wp.txn_count = 3;
+    wp.object_count = 3;
+    const TransactionSet txns = GenerateTransactions(wp, &rng);
+    const AtomicitySpec tight = RandomSpec(txns, 0.3, &rng);
+    AtomicitySpec loose = tight;
+    // Add extra breakpoints to make `loose` strictly more permissive.
+    for (TxnId i = 0; i < txns.txn_count(); ++i) {
+      for (TxnId j = 0; j < txns.txn_count(); ++j) {
+        if (i == j || txns.txn(i).size() < 2) continue;
+        for (std::uint32_t g = 0; g + 1 < txns.txn(i).size(); ++g) {
+          if (rng.Bernoulli(0.4)) loose.SetBreakpoint(i, j, g);
+        }
+      }
+    }
+    ASSERT_TRUE(loose.AtLeastAsPermissiveAs(tight));
+    const Schedule schedule = RandomSchedule(txns, &rng);
+    if (IsRelativelySerial(txns, schedule, tight)) {
+      EXPECT_TRUE(IsRelativelySerial(txns, schedule, loose));
+    }
+    if (IsRelativelyAtomic(txns, schedule, tight)) {
+      EXPECT_TRUE(IsRelativelyAtomic(txns, schedule, loose));
+    }
+  }
+}
+
+TEST(Violations, FirstViolationIsEarliestInScheduleOrder) {
+  auto txns = ParseTransactionSet(
+      "T1 = r1[x] w1[x]\nT2 = w2[y]\nT3 = w3[z]\n");
+  const AtomicitySpec spec(*txns);
+  // Both w2[y] and w3[z] are interleaved; w2[y] comes first.
+  auto schedule = ParseSchedule(*txns, "r1[x] w2[y] w3[z] w1[x]");
+  const auto violation =
+      FindRelativeAtomicityViolation(*txns, *schedule, spec);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_EQ(violation->op.txn, 1u);
+}
+
+}  // namespace
+}  // namespace relser

@@ -1,0 +1,133 @@
+// Tests for the transaction-chopping analyzer [SSV92] and its bridge to
+// unit locking: a correct chopping certifies that early release at the
+// piece boundaries preserves conflict serializability.
+#include <gtest/gtest.h>
+
+#include "model/chopping.h"
+#include "model/text.h"
+#include "sched/engine.h"
+#include "sched/lock_based.h"
+#include "sched/verify.h"
+#include "spec/builders.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+
+namespace relser {
+namespace {
+
+TEST(Chopping, UnchoppedIsAlwaysCorrect) {
+  auto txns = ParseTransactionSet(
+      "T1 = r1[x] w1[x]\nT2 = r2[x] w2[x]\nT3 = w3[x]\n");
+  const ChoppingAnalysis analysis = AnalyzeUnchopped(*txns);
+  EXPECT_TRUE(analysis.correct);
+  EXPECT_EQ(analysis.pieces.size(), 3u);
+  EXPECT_EQ(analysis.c_edges, 0u);
+  EXPECT_GT(analysis.s_edges, 0u);
+}
+
+TEST(Chopping, ClassicIncorrectChop) {
+  // Chopping T1 = r1[x] w1[x] into two pieces against T2 = r2[x] w2[x]
+  // (unchopped): both pieces of T1 conflict with T2's piece, so the
+  // C-edge and the two S-edges form an SC-cycle -> incorrect.
+  auto txns = ParseTransactionSet("T1 = r1[x] w1[x]\nT2 = r2[x] w2[x]\n");
+  const ChoppingAnalysis analysis = AnalyzeChopping(*txns, {{0}, {}});
+  EXPECT_FALSE(analysis.correct);
+  ASSERT_TRUE(analysis.mixed_component.has_value());
+  EXPECT_GE(analysis.mixed_component->size(), 3u);
+  EXPECT_EQ(analysis.c_edges, 1u);
+  EXPECT_EQ(analysis.s_edges, 2u);
+}
+
+TEST(Chopping, DisjointPiecesChopCorrectly) {
+  // T1's pieces touch disjoint objects conflicting with different
+  // transactions: no S-path reconnects the siblings -> correct.
+  auto txns = ParseTransactionSet(
+      "T1 = w1[x] w1[y]\nT2 = r2[x]\nT3 = r3[y]\n");
+  const ChoppingAnalysis analysis = AnalyzeChopping(*txns, {{0}, {}, {}});
+  EXPECT_TRUE(analysis.correct);
+  EXPECT_EQ(analysis.pieces.size(), 4u);
+}
+
+TEST(Chopping, IndirectSPathMakesChopIncorrect) {
+  // T1's pieces conflict with T2's and T3's pieces, and T2 and T3
+  // conflict with each other: the S-edges close a path between T1's
+  // siblings -> SC-cycle through multiple transactions.
+  auto txns = ParseTransactionSet(
+      "T1 = w1[x] w1[y]\nT2 = r2[x] w2[z]\nT3 = r3[z] r3[y]\n");
+  const ChoppingAnalysis analysis = AnalyzeChopping(*txns, {{0}, {}, {}});
+  EXPECT_FALSE(analysis.correct);
+}
+
+TEST(Chopping, MultiCEdgeCycleDetected) {
+  // Two chopped transactions whose pieces interleave conflicts pairwise:
+  //   T1 = w[a] w[b], T2 = w[a] w[b], both chopped.
+  // Cycle p11 -C- p12 -S- p22 -C- p21 -S- p11 mixes C and S edges even
+  // though no single transaction's siblings are S-connected directly.
+  auto txns = ParseTransactionSet("T1 = w1[a] w1[b]\nT2 = w2[a] w2[b]\n");
+  const ChoppingAnalysis analysis = AnalyzeChopping(*txns, {{0}, {0}});
+  EXPECT_FALSE(analysis.correct);
+}
+
+TEST(Chopping, ReadOnlySiblingsChopFreely) {
+  auto txns = ParseTransactionSet(
+      "T1 = r1[x] r1[y] r1[z]\nT2 = r2[x] r2[y]\n");
+  const ChoppingAnalysis analysis =
+      AnalyzeChopping(*txns, {{0, 1}, {0}});
+  EXPECT_TRUE(analysis.correct);  // reads never conflict: no S-edges
+  EXPECT_EQ(analysis.s_edges, 0u);
+}
+
+TEST(Chopping, PieceBoundariesRespectProgramOrder) {
+  auto txns = ParseTransactionSet("T1 = w1[a] w1[b] w1[c]\nT2 = r2[q]\n");
+  const ChoppingAnalysis analysis = AnalyzeChopping(*txns, {{1}, {}});
+  ASSERT_EQ(analysis.pieces.size(), 3u);
+  EXPECT_EQ(analysis.pieces[0], (Piece{0, 0, 1}));
+  EXPECT_EQ(analysis.pieces[1], (Piece{0, 2, 2}));
+  EXPECT_EQ(analysis.pieces[2], (Piece{1, 0, 0}));
+}
+
+TEST(Chopping, CorrectChoppingCertifiesUnitLocking) {
+  // When the spec's universal breakpoints induce a *correct* chopping,
+  // unit-2PL executions must be conflict serializable (not merely
+  // relatively serializable).
+  Rng rng(0xC0C0);
+  int correct_chops = 0;
+  for (int round = 0; round < 200 && correct_chops < 12; ++round) {
+    WorkloadParams wp;
+    wp.txn_count = 4;
+    wp.min_ops_per_txn = 2;
+    wp.max_ops_per_txn = 5;
+    wp.object_count = 10;  // low contention: correct chops exist
+    const TransactionSet txns = GenerateTransactions(wp, &rng);
+    // Uniform-observer spec: every breakpoint is universal.
+    AtomicitySpec spec(txns);
+    std::vector<std::vector<std::uint32_t>> gaps(txns.txn_count());
+    for (TxnId t = 0; t < txns.txn_count(); ++t) {
+      for (std::uint32_t g = 0; g + 1 < txns.txn(t).size(); ++g) {
+        if (rng.Bernoulli(0.5)) {
+          gaps[t].push_back(g);
+          for (TxnId j = 0; j < txns.txn_count(); ++j) {
+            if (j != t) spec.SetBreakpoint(t, j, g);
+          }
+        }
+      }
+    }
+    const ChoppingAnalysis analysis = AnalyzeChopping(txns, gaps);
+    if (!analysis.correct) continue;
+    ++correct_chops;
+    UnitLockScheduler scheduler(txns, spec);
+    SimParams sp;
+    sp.seed = rng.Next();
+    const SimResult result = RunSimulation(txns, &scheduler, sp);
+    ASSERT_TRUE(result.metrics.completed);
+    const RunVerification verification =
+        VerifyRun(txns, spec, result, Guarantee::kConflictSerializable);
+    EXPECT_TRUE(verification.guarantee_held)
+        << "correct chopping but non-serializable unit-2PL execution "
+        << "(round " << round << ")";
+  }
+  EXPECT_GE(correct_chops, 5);
+}
+
+}  // namespace
+}  // namespace relser

@@ -1,0 +1,174 @@
+// Tests for conflict analysis: conflict pairs, conflict equivalence, the
+// serialization graph SG(S) and the classical conflict-serializability
+// test (the paper's baseline theory, [Pap79, BSW79]).
+#include <gtest/gtest.h>
+
+#include "graph/cycle.h"
+#include "model/conflict.h"
+#include "model/enumerate.h"
+#include "model/text.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+
+namespace relser {
+namespace {
+
+TEST(ConflictPairs, EnumeratesOrderedConflicts) {
+  auto txns = ParseTransactionSet("T1 = r1[x] w1[y]\nT2 = w2[x] r2[y]\n");
+  auto schedule = ParseSchedule(*txns, "r1[x] w2[x] w1[y] r2[y]");
+  ASSERT_TRUE(schedule.ok());
+  const auto pairs = ConflictPairs(*schedule);
+  ASSERT_EQ(pairs.size(), 2u);
+  EXPECT_EQ(ToString(*txns, pairs[0].first), "r1[x]");
+  EXPECT_EQ(ToString(*txns, pairs[0].second), "w2[x]");
+  EXPECT_EQ(ToString(*txns, pairs[1].first), "w1[y]");
+  EXPECT_EQ(ToString(*txns, pairs[1].second), "r2[y]");
+}
+
+TEST(ConflictPairs, ReadOnlyScheduleHasNone) {
+  auto txns = ParseTransactionSet("T1 = r1[x] r1[y]\nT2 = r2[x] r2[y]\n");
+  auto schedule = ParseSchedule(*txns, "r1[x] r2[x] r1[y] r2[y]");
+  EXPECT_TRUE(ConflictPairs(*schedule).empty());
+}
+
+TEST(ConflictEquivalent, DetectsFlippedConflict) {
+  auto txns = ParseTransactionSet("T1 = w1[x]\nT2 = w2[x]\n");
+  auto a = ParseSchedule(*txns, "w1[x] w2[x]");
+  auto b = ParseSchedule(*txns, "w2[x] w1[x]");
+  EXPECT_TRUE(ConflictEquivalent(*txns, *a, *a));
+  EXPECT_FALSE(ConflictEquivalent(*txns, *a, *b));
+  EXPECT_FALSE(ConflictEquivalent(*txns, *b, *a));  // symmetric
+}
+
+TEST(ConflictEquivalent, IgnoresNonConflictingReordering) {
+  auto txns = ParseTransactionSet("T1 = r1[x]\nT2 = r2[y]\n");
+  auto a = ParseSchedule(*txns, "r1[x] r2[y]");
+  auto b = ParseSchedule(*txns, "r2[y] r1[x]");
+  EXPECT_TRUE(ConflictEquivalent(*txns, *a, *b));
+}
+
+TEST(SerializationGraph, ClassicNonSerializableExample) {
+  // Lost update: r1[x] r2[x] w1[x] w2[x] -> SG has a 2-cycle.
+  auto txns = ParseTransactionSet("T1 = r1[x] w1[x]\nT2 = r2[x] w2[x]\n");
+  auto schedule = ParseSchedule(*txns, "r1[x] r2[x] w1[x] w2[x]");
+  const Digraph sg = SerializationGraph(*txns, *schedule);
+  EXPECT_TRUE(sg.HasEdge(0, 1));
+  EXPECT_TRUE(sg.HasEdge(1, 0));
+  EXPECT_FALSE(IsConflictSerializable(*txns, *schedule));
+  EXPECT_FALSE(SerializationOrder(*txns, *schedule).has_value());
+}
+
+TEST(SerializationGraph, SerializableInterleaving) {
+  auto txns = ParseTransactionSet("T1 = r1[x] w1[x]\nT2 = r2[x] w2[x]\n");
+  auto schedule = ParseSchedule(*txns, "r1[x] w1[x] r2[x] w2[x]");
+  EXPECT_TRUE(IsConflictSerializable(*txns, *schedule));
+  const auto order = SerializationOrder(*txns, *schedule);
+  ASSERT_TRUE(order.has_value());
+  EXPECT_EQ(*order, (std::vector<TxnId>{0, 1}));
+}
+
+TEST(SerializationGraph, SerializationOrderIsConsistentWitness) {
+  // A serializable but non-serial interleaving: the order must replay to
+  // a conflict-equivalent serial schedule.
+  auto txns = ParseTransactionSet(
+      "T1 = r1[x] w1[y]\nT2 = r2[y] w2[z]\nT3 = r3[z] w3[x]\n");
+  auto schedule =
+      ParseSchedule(*txns, "r1[x] r2[y] w1[y] r3[z] w2[z] w3[x]");
+  ASSERT_TRUE(schedule.ok());
+  const auto order = SerializationOrder(*txns, *schedule);
+  if (order.has_value()) {
+    auto serial = Schedule::Serial(*txns, *order);
+    ASSERT_TRUE(serial.ok());
+    EXPECT_TRUE(ConflictEquivalent(*txns, *schedule, *serial));
+  } else {
+    EXPECT_FALSE(IsConflictSerializable(*txns, *schedule));
+  }
+}
+
+TEST(SerializationGraph, SerialSchedulesAlwaysSerializable) {
+  Rng rng(42);
+  for (int round = 0; round < 20; ++round) {
+    WorkloadParams wp;
+    wp.txn_count = 4;
+    const TransactionSet txns = GenerateTransactions(wp, &rng);
+    const Schedule serial = RandomSerialSchedule(txns, &rng);
+    EXPECT_TRUE(IsConflictSerializable(txns, serial));
+  }
+}
+
+// Oracle cross-check: a schedule is conflict serializable iff some serial
+// schedule is conflict equivalent to it (checked by enumerating all n!
+// serial orders on small sets).
+TEST(SerializationGraph, SgTestMatchesSerialEnumeration) {
+  Rng rng(1234);
+  for (int round = 0; round < 60; ++round) {
+    WorkloadParams wp;
+    wp.txn_count = 3;
+    wp.min_ops_per_txn = 1;
+    wp.max_ops_per_txn = 3;
+    wp.object_count = 2;
+    wp.read_ratio = 0.4;
+    const TransactionSet txns = GenerateTransactions(wp, &rng);
+    const Schedule schedule = RandomSchedule(txns, &rng);
+    bool any_serial_equivalent = false;
+    std::vector<TxnId> perm = {0, 1, 2};
+    std::sort(perm.begin(), perm.end());
+    do {
+      auto serial = Schedule::Serial(txns, perm);
+      ASSERT_TRUE(serial.ok());
+      any_serial_equivalent =
+          any_serial_equivalent || ConflictEquivalent(txns, schedule, *serial);
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    EXPECT_EQ(IsConflictSerializable(txns, schedule), any_serial_equivalent)
+        << "round " << round;
+  }
+}
+
+// ------------------------------------------------------------- enumerate
+
+TEST(Enumerate, CountMatchesMultinomial) {
+  auto txns = ParseTransactionSet("T1 = r1[x] w1[x]\nT2 = r2[y]\n");
+  // 3!/2!/1! = 3 interleavings.
+  EXPECT_EQ(EnumerationCount(*txns), 3u);
+  std::size_t visited = 0;
+  EnumerateSchedules(*txns, [&](const Schedule&) {
+    ++visited;
+    return true;
+  });
+  EXPECT_EQ(visited, 3u);
+}
+
+TEST(Enumerate, VisitsDistinctValidSchedules) {
+  auto txns = ParseTransactionSet("T1 = r1[x] w1[x]\nT2 = w2[x] r2[y]\n");
+  std::set<std::string> seen;
+  EnumerateSchedules(*txns, [&](const Schedule& schedule) {
+    seen.insert(ToString(*txns, schedule));
+    return true;
+  });
+  EXPECT_EQ(seen.size(), EnumerationCount(*txns));
+  EXPECT_EQ(seen.size(), 6u);  // 4!/(2!2!)
+}
+
+TEST(Enumerate, EarlyStopHonored) {
+  auto txns = ParseTransactionSet("T1 = r1[x] w1[x]\nT2 = w2[x] r2[y]\n");
+  std::size_t visited = 0;
+  const std::uint64_t total = EnumerateSchedules(*txns, [&](const Schedule&) {
+    ++visited;
+    return visited < 3;
+  });
+  EXPECT_EQ(total, 3u);
+}
+
+TEST(Enumerate, CountSaturatesInsteadOfOverflowing) {
+  TransactionSet txns;
+  const ObjectId x = txns.InternObject("x");
+  for (int t = 0; t < 30; ++t) {
+    Transaction* txn = txns.AddTransaction();
+    for (int k = 0; k < 10; ++k) txn->Read(x);
+  }
+  EXPECT_EQ(EnumerationCount(txns),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+}  // namespace
+}  // namespace relser

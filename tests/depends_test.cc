@@ -1,0 +1,187 @@
+// Tests for the depends-on relation (Section 2): direct steps, transitive
+// closure, and the invariance property the brute-force searches rely on
+// (conflict-equivalent schedules share one depends-on relation).
+#include <gtest/gtest.h>
+
+#include "core/depends.h"
+#include "model/conflict.h"
+#include "model/enumerate.h"
+#include "model/text.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+
+namespace relser {
+namespace {
+
+TEST(DependsOn, ProgramOrderIsDirect) {
+  auto txns = ParseTransactionSet("T1 = r1[x] w1[y] r1[z]\nT2 = w2[q]\n");
+  auto schedule = ParseSchedule(*txns, "r1[x] w2[q] w1[y] r1[z]");
+  const DependsOnRelation depends(*txns, *schedule);
+  const Operation r1x = txns->txn(0).op(0);
+  const Operation w1y = txns->txn(0).op(1);
+  const Operation r1z = txns->txn(0).op(2);
+  EXPECT_TRUE(depends.DirectlyDependsOn(w1y, r1x));
+  EXPECT_TRUE(depends.DirectlyDependsOn(r1z, r1x));  // same txn, any gap
+  EXPECT_TRUE(depends.DependsOn(r1z, r1x));
+  EXPECT_FALSE(depends.DependsOn(r1x, r1z));  // respects order
+}
+
+TEST(DependsOn, ConflictIsDirect) {
+  auto txns = ParseTransactionSet("T1 = w1[x]\nT2 = r2[x]\n");
+  auto schedule = ParseSchedule(*txns, "w1[x] r2[x]");
+  const DependsOnRelation depends(*txns, *schedule);
+  EXPECT_TRUE(depends.DirectlyDependsOn(txns->txn(1).op(0),
+                                        txns->txn(0).op(0)));
+  EXPECT_FALSE(depends.DirectlyDependsOn(txns->txn(0).op(0),
+                                         txns->txn(1).op(0)));
+}
+
+TEST(DependsOn, ReadsDoNotDepend) {
+  auto txns = ParseTransactionSet("T1 = r1[x]\nT2 = r2[x]\n");
+  auto schedule = ParseSchedule(*txns, "r1[x] r2[x]");
+  const DependsOnRelation depends(*txns, *schedule);
+  EXPECT_FALSE(depends.Related(txns->txn(0).op(0), txns->txn(1).op(0)));
+  EXPECT_EQ(depends.PairCount(), 0u);
+}
+
+TEST(DependsOn, TransitiveChainAcrossTransactions) {
+  // w1[a] -> r2[a] -> (program) w2[b] -> r3[b]: r3[b] depends on w1[a].
+  auto txns = ParseTransactionSet(
+      "T1 = w1[a]\nT2 = r2[a] w2[b]\nT3 = r3[b]\n");
+  auto schedule = ParseSchedule(*txns, "w1[a] r2[a] w2[b] r3[b]");
+  const DependsOnRelation depends(*txns, *schedule);
+  const Operation w1a = txns->txn(0).op(0);
+  const Operation r3b = txns->txn(2).op(0);
+  EXPECT_TRUE(depends.DependsOn(r3b, w1a));
+  EXPECT_FALSE(depends.DirectlyDependsOn(r3b, w1a));
+}
+
+TEST(DependsOn, ScheduleOrderBreaksChains) {
+  // Same transactions; r3[b] before w2[b]: no chain into r3[b].
+  auto txns = ParseTransactionSet(
+      "T1 = w1[a]\nT2 = r2[a] w2[b]\nT3 = r3[b]\n");
+  auto schedule = ParseSchedule(*txns, "w1[a] r2[a] r3[b] w2[b]");
+  const DependsOnRelation depends(*txns, *schedule);
+  EXPECT_FALSE(depends.DependsOn(txns->txn(2).op(0), txns->txn(0).op(0)));
+  // But w2[b] now depends on r3[b] (conflict in the other direction).
+  EXPECT_TRUE(depends.DependsOn(txns->txn(1).op(1), txns->txn(2).op(0)));
+}
+
+TEST(DependsOn, IrreflexiveAndAntisymmetric) {
+  Rng rng(33);
+  WorkloadParams wp;
+  wp.txn_count = 3;
+  wp.object_count = 3;
+  const TransactionSet txns = GenerateTransactions(wp, &rng);
+  const Schedule schedule = RandomSchedule(txns, &rng);
+  const DependsOnRelation depends(txns, schedule);
+  for (const Operation& a : schedule.ops()) {
+    EXPECT_FALSE(depends.DependsOn(a, a));
+    for (const Operation& b : schedule.ops()) {
+      if (a == b) continue;
+      EXPECT_FALSE(depends.DependsOn(a, b) && depends.DependsOn(b, a));
+    }
+  }
+}
+
+TEST(DependsOn, TransitivityHolds) {
+  Rng rng(34);
+  for (int round = 0; round < 10; ++round) {
+    WorkloadParams wp;
+    wp.txn_count = 3;
+    wp.object_count = 2;
+    wp.read_ratio = 0.3;
+    const TransactionSet txns = GenerateTransactions(wp, &rng);
+    const Schedule schedule = RandomSchedule(txns, &rng);
+    const DependsOnRelation depends(txns, schedule);
+    const auto& ops = schedule.ops();
+    for (const Operation& a : ops) {
+      for (const Operation& b : ops) {
+        for (const Operation& c : ops) {
+          if (depends.DependsOn(b, a) && depends.DependsOn(c, b)) {
+            EXPECT_TRUE(depends.DependsOn(c, a));
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(DependsOn, ClosureOfDirectSteps) {
+  // depends-on must equal the transitive closure of directly-depends-on:
+  // cross-check by explicit Floyd-Warshall over the direct relation.
+  Rng rng(35);
+  for (int round = 0; round < 15; ++round) {
+    WorkloadParams wp;
+    wp.txn_count = 3;
+    wp.min_ops_per_txn = 1;
+    wp.max_ops_per_txn = 4;
+    wp.object_count = 3;
+    const TransactionSet txns = GenerateTransactions(wp, &rng);
+    const Schedule schedule = RandomSchedule(txns, &rng);
+    const DependsOnRelation depends(txns, schedule);
+    const std::size_t n = schedule.size();
+    std::vector<std::vector<bool>> closure(n, std::vector<bool>(n, false));
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        closure[i][j] =
+            depends.DirectlyDependsOn(schedule.op(j), schedule.op(i));
+      }
+    }
+    for (std::size_t k = 0; k < n; ++k) {
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < n; ++j) {
+          closure[i][j] =
+              closure[i][j] || (closure[i][k] && closure[k][j]);
+        }
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        EXPECT_EQ(depends.DependsOnByPosition(j, i), closure[i][j])
+            << "round " << round << " positions " << i << "->" << j;
+      }
+    }
+  }
+}
+
+TEST(DependsOn, InvariantAcrossConflictEquivalentSchedules) {
+  // The key property the brute-force searches exploit: every schedule in
+  // a conflict-equivalence class induces the same depends-on relation
+  // (compared op-to-op, not position-to-position).
+  auto txns = ParseTransactionSet(
+      "T1 = r1[x] w1[y]\nT2 = w2[x]\nT3 = r3[y]\n");
+  auto base = ParseSchedule(*txns, "r1[x] w2[x] w1[y] r3[y]");
+  ASSERT_TRUE(base.ok());
+  const DependsOnRelation base_depends(*txns, *base);
+  EnumerateSchedules(*txns, [&](const Schedule& other) {
+    if (!ConflictEquivalent(*txns, *base, other)) return true;
+    const DependsOnRelation other_depends(*txns, other);
+    for (const Operation& a : base->ops()) {
+      for (const Operation& b : base->ops()) {
+        if (a == b) continue;
+        EXPECT_EQ(base_depends.DependsOn(b, a), other_depends.DependsOn(b, a));
+      }
+    }
+    return true;
+  });
+}
+
+TEST(DependsOn, AffectedPositionsMatchesPointQueries) {
+  Rng rng(36);
+  WorkloadParams wp;
+  wp.txn_count = 3;
+  const TransactionSet txns = GenerateTransactions(wp, &rng);
+  const Schedule schedule = RandomSchedule(txns, &rng);
+  const DependsOnRelation depends(txns, schedule);
+  for (std::size_t p = 0; p < schedule.size(); ++p) {
+    const DenseBitset& affected = depends.AffectedPositions(p);
+    for (std::size_t q = 0; q < schedule.size(); ++q) {
+      EXPECT_EQ(affected.Test(q), depends.DependsOnByPosition(q, p));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace relser

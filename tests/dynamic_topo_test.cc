@@ -1,0 +1,157 @@
+// Tests for IncrementalTopology (Pearce-Kelly dynamic topological order),
+// including a randomized differential test against the offline cycle
+// detector — the property the online schedulers depend on.
+#include <gtest/gtest.h>
+
+#include "graph/cycle.h"
+#include "graph/dynamic_topo.h"
+#include "util/rng.h"
+
+namespace relser {
+namespace {
+
+using AddResult = IncrementalTopology::AddResult;
+
+TEST(IncrementalTopology, AcceptsForwardEdges) {
+  IncrementalTopology topo(4);
+  EXPECT_EQ(topo.AddEdge(0, 1), AddResult::kInserted);
+  EXPECT_EQ(topo.AddEdge(1, 2), AddResult::kInserted);
+  EXPECT_EQ(topo.AddEdge(0, 3), AddResult::kInserted);
+  EXPECT_EQ(topo.edge_count(), 3u);
+}
+
+TEST(IncrementalTopology, ReportsDuplicates) {
+  IncrementalTopology topo(3);
+  EXPECT_EQ(topo.AddEdge(0, 1), AddResult::kInserted);
+  EXPECT_EQ(topo.AddEdge(0, 1), AddResult::kDuplicate);
+  EXPECT_EQ(topo.edge_count(), 1u);
+}
+
+TEST(IncrementalTopology, RejectsSelfLoop) {
+  IncrementalTopology topo(2);
+  EXPECT_EQ(topo.AddEdge(1, 1), AddResult::kCycle);
+  EXPECT_EQ(topo.edge_count(), 0u);
+}
+
+TEST(IncrementalTopology, RejectsTwoCycle) {
+  IncrementalTopology topo(2);
+  EXPECT_EQ(topo.AddEdge(0, 1), AddResult::kInserted);
+  EXPECT_EQ(topo.AddEdge(1, 0), AddResult::kCycle);
+  // Rejected insert leaves the structure unchanged.
+  EXPECT_EQ(topo.edge_count(), 1u);
+  EXPECT_EQ(topo.AddEdge(1, 0), AddResult::kCycle);
+}
+
+TEST(IncrementalTopology, BackwardEdgeTriggersReorder) {
+  IncrementalTopology topo(3);
+  // Initial order is 0,1,2; edge 2->0 forces 2 before 0.
+  EXPECT_EQ(topo.AddEdge(2, 0), AddResult::kInserted);
+  EXPECT_LT(topo.OrderOf(2), topo.OrderOf(0));
+  // The order must remain valid for subsequent inserts.
+  EXPECT_EQ(topo.AddEdge(0, 1), AddResult::kInserted);
+  EXPECT_EQ(topo.AddEdge(2, 1), AddResult::kInserted);
+  EXPECT_EQ(topo.AddEdge(1, 2), AddResult::kCycle);
+}
+
+TEST(IncrementalTopology, WouldCreateCycleDoesNotMutate) {
+  IncrementalTopology topo(3);
+  topo.AddEdge(0, 1);
+  topo.AddEdge(1, 2);
+  EXPECT_TRUE(topo.WouldCreateCycle(2, 0));
+  EXPECT_FALSE(topo.WouldCreateCycle(0, 2));
+  EXPECT_EQ(topo.edge_count(), 2u);
+  // The probe must not have inserted anything.
+  EXPECT_EQ(topo.AddEdge(2, 0), AddResult::kCycle);
+}
+
+TEST(IncrementalTopology, RemoveEdgeAllowsReinsertOpposite) {
+  IncrementalTopology topo(2);
+  topo.AddEdge(0, 1);
+  EXPECT_TRUE(topo.RemoveEdge(0, 1));
+  EXPECT_EQ(topo.AddEdge(1, 0), AddResult::kInserted);
+}
+
+TEST(IncrementalTopology, IsolateNodeClearsItsEdges) {
+  IncrementalTopology topo(4);
+  topo.AddEdge(0, 1);
+  topo.AddEdge(1, 2);
+  topo.AddEdge(2, 3);
+  topo.IsolateNode(1);
+  EXPECT_EQ(topo.edge_count(), 1u);
+  // 2 -> 1 is now insertable (old 1 -> 2 is gone).
+  EXPECT_EQ(topo.AddEdge(2, 1), AddResult::kInserted);
+}
+
+TEST(IncrementalTopology, EnsureNodesAppends) {
+  IncrementalTopology topo(2);
+  topo.AddEdge(0, 1);
+  topo.EnsureNodes(4);
+  EXPECT_EQ(topo.node_count(), 4u);
+  EXPECT_EQ(topo.AddEdge(3, 0), AddResult::kInserted);
+  EXPECT_EQ(topo.AddEdge(1, 3), AddResult::kCycle);
+}
+
+TEST(IncrementalTopology, OrderAlwaysConsistent) {
+  IncrementalTopology topo(6);
+  topo.AddEdge(5, 0);
+  topo.AddEdge(4, 5);
+  topo.AddEdge(0, 3);
+  topo.AddEdge(3, 1);
+  const auto order = topo.Order();
+  std::vector<std::size_t> position(order.size());
+  for (std::size_t i = 0; i < order.size(); ++i) position[order[i]] = i;
+  for (const auto& [from, to] : topo.graph().Edges()) {
+    EXPECT_LT(position[from], position[to]);
+  }
+}
+
+// Differential fuzz: every AddEdge decision must agree with the offline
+// detector, the maintained order must stay valid, and removals /
+// isolations must be mirrored exactly.
+TEST(IncrementalTopology, RandomizedDifferentialAgainstOfflineOracle) {
+  Rng rng(20240601);
+  for (int round = 0; round < 300; ++round) {
+    const std::size_t n = 2 + rng.UniformIndex(9);
+    IncrementalTopology topo(n);
+    Digraph reference(n);
+    for (int step = 0; step < 50; ++step) {
+      const double roll = rng.UniformDouble();
+      const NodeId a = rng.UniformIndex(n);
+      const NodeId b = rng.UniformIndex(n);
+      if (roll < 0.65) {
+        Digraph trial = reference;
+        const bool is_new = a != b && trial.AddEdge(a, b);
+        const bool closes_cycle = a == b || HasCycle(trial);
+        const AddResult result = topo.AddEdge(a, b);
+        if (a == b) {
+          EXPECT_EQ(result, AddResult::kCycle);
+          continue;
+        }
+        if (!is_new && !closes_cycle) {
+          EXPECT_EQ(result, AddResult::kDuplicate);
+        } else if (closes_cycle) {
+          EXPECT_EQ(result, AddResult::kCycle) << "missed cycle";
+        } else {
+          EXPECT_EQ(result, AddResult::kInserted) << "false cycle";
+          reference.AddEdge(a, b);
+        }
+      } else if (roll < 0.85) {
+        EXPECT_EQ(topo.RemoveEdge(a, b), reference.RemoveEdge(a, b));
+      } else {
+        topo.IsolateNode(a);
+        reference.IsolateNode(a);
+      }
+      ASSERT_EQ(topo.edge_count(), reference.edge_count());
+      const auto order = topo.Order();
+      std::vector<std::size_t> position(n);
+      for (std::size_t i = 0; i < n; ++i) position[order[i]] = i;
+      for (const auto& [from, to] : reference.Edges()) {
+        ASSERT_LT(position[from], position[to])
+            << "order invalidated at round " << round << " step " << step;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace relser

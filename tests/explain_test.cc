@@ -1,0 +1,67 @@
+// Tests for the rejection explainer.
+#include <gtest/gtest.h>
+
+#include "core/explain.h"
+#include "core/paper_examples.h"
+#include "model/text.h"
+#include "spec/builders.h"
+
+namespace relser {
+namespace {
+
+TEST(Explain, AcceptedScheduleSaysSo) {
+  const PaperExample fig = Figure1();
+  const RejectionExplanation explanation =
+      ExplainRejection(fig.txns, fig.schedule("Srs"), fig.spec);
+  EXPECT_TRUE(explanation.relatively_serializable);
+  EXPECT_TRUE(explanation.cycle.empty());
+  EXPECT_NE(explanation.text.find("relatively serializable"),
+            std::string::npos);
+}
+
+TEST(Explain, CycleArcsAreAnnotated) {
+  // The classic sandwich under absolute atomicity.
+  auto txns = ParseTransactionSet("T1 = w1[x] r1[y]\nT2 = r2[x] w2[y]\n");
+  auto schedule = ParseSchedule(*txns, "w1[x] r2[x] w2[y] r1[y]");
+  const RejectionExplanation explanation =
+      ExplainRejection(*txns, *schedule, AbsoluteSpec(*txns));
+  EXPECT_FALSE(explanation.relatively_serializable);
+  ASSERT_GE(explanation.cycle.size(), 2u);
+  // Every cycle arc is a real arc and consecutive arcs chain.
+  for (std::size_t i = 0; i < explanation.cycle.size(); ++i) {
+    const ExplainedArc& arc = explanation.cycle[i];
+    EXPECT_NE(arc.kinds, 0);
+    const ExplainedArc& next =
+        explanation.cycle[(i + 1) % explanation.cycle.size()];
+    EXPECT_EQ(arc.to, next.from);
+    // F/B arcs carry their inducing unit.
+    if (arc.kinds & (kPushForwardArc | kPullBackwardArc)) {
+      if (arc.unit.has_value()) {
+        EXPECT_LE(arc.unit->first, arc.unit->last);
+      }
+    }
+  }
+  EXPECT_NE(explanation.text.find("NOT relatively serializable"),
+            std::string::npos);
+  EXPECT_NE(explanation.text.find("Theorem 1"), std::string::npos);
+}
+
+TEST(Explain, UnitRenderingNamesTheRightTransactions) {
+  auto txns = ParseTransactionSet("T1 = w1[x] r1[y]\nT2 = r2[x] w2[y]\n");
+  auto schedule = ParseSchedule(*txns, "w1[x] r2[x] w2[y] r1[y]");
+  const RejectionExplanation explanation =
+      ExplainRejection(*txns, *schedule, AbsoluteSpec(*txns));
+  ASSERT_FALSE(explanation.relatively_serializable);
+  bool saw_unit_annotation = false;
+  for (const ExplainedArc& arc : explanation.cycle) {
+    if (arc.unit.has_value()) {
+      saw_unit_annotation = true;
+      EXPECT_NE(arc.unit_txn, arc.observer_txn);
+    }
+  }
+  EXPECT_TRUE(saw_unit_annotation);
+  EXPECT_NE(explanation.text.find("via unit"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace relser

@@ -1,0 +1,138 @@
+// Tests for the lock table and waits-for graph used by the lock-based
+// schedulers.
+#include <gtest/gtest.h>
+
+#include "sched/lock_table.h"
+
+namespace relser {
+namespace {
+
+TEST(LockTable, SharedLocksCoexist) {
+  LockTable locks;
+  EXPECT_TRUE(locks.CanAcquire(0, 1, false));
+  locks.Acquire(0, 1, false);
+  EXPECT_TRUE(locks.CanAcquire(1, 1, false));
+  locks.Acquire(1, 1, false);
+  EXPECT_TRUE(locks.Holds(0, 1, false));
+  EXPECT_TRUE(locks.Holds(1, 1, false));
+}
+
+TEST(LockTable, ExclusiveExcludesOthers) {
+  LockTable locks;
+  locks.Acquire(0, 1, true);
+  EXPECT_FALSE(locks.CanAcquire(1, 1, false));
+  EXPECT_FALSE(locks.CanAcquire(1, 1, true));
+  EXPECT_TRUE(locks.CanAcquire(0, 1, false));  // re-entrant (X covers S)
+  EXPECT_TRUE(locks.CanAcquire(0, 1, true));
+  EXPECT_TRUE(locks.Holds(0, 1, true));
+  EXPECT_FALSE(locks.Holds(1, 1, false));
+}
+
+TEST(LockTable, SharedBlocksExclusiveFromOthers) {
+  LockTable locks;
+  locks.Acquire(0, 1, false);
+  EXPECT_FALSE(locks.CanAcquire(1, 1, true));
+  EXPECT_TRUE(locks.CanAcquire(1, 1, false));
+}
+
+TEST(LockTable, UpgradeAllowedOnlyForSoleSharer) {
+  LockTable locks;
+  locks.Acquire(0, 7, false);
+  EXPECT_TRUE(locks.CanAcquire(0, 7, true));  // sole sharer may upgrade
+  locks.Acquire(1, 7, false);
+  EXPECT_FALSE(locks.CanAcquire(0, 7, true));  // now two sharers
+  locks.Release(1, 7);
+  EXPECT_TRUE(locks.CanAcquire(0, 7, true));
+  locks.Acquire(0, 7, true);
+  EXPECT_TRUE(locks.Holds(0, 7, true));
+  EXPECT_FALSE(locks.Holds(0, 7, false) && !locks.Holds(0, 7, true));
+}
+
+TEST(LockTable, BlockersListsHolders) {
+  LockTable locks;
+  locks.Acquire(0, 3, false);
+  locks.Acquire(1, 3, false);
+  const auto blockers = locks.Blockers(2, 3, true);
+  EXPECT_EQ(blockers.size(), 2u);
+  locks.Acquire(2, 4, true);
+  const auto x_blockers = locks.Blockers(0, 4, false);
+  ASSERT_EQ(x_blockers.size(), 1u);
+  EXPECT_EQ(x_blockers[0], 2u);
+  // No blockers on free objects or for the holder itself.
+  EXPECT_TRUE(locks.Blockers(0, 9, true).empty());
+  EXPECT_TRUE(locks.Blockers(2, 4, true).empty());
+}
+
+TEST(LockTable, ReleaseAllFreesEverything) {
+  LockTable locks;
+  locks.Acquire(0, 1, true);
+  locks.Acquire(0, 2, false);
+  locks.Acquire(1, 2, false);
+  EXPECT_EQ(locks.HeldObjects(0), (std::vector<ObjectId>{1, 2}));
+  locks.ReleaseAll(0);
+  EXPECT_TRUE(locks.HeldObjects(0).empty());
+  EXPECT_TRUE(locks.CanAcquire(2, 1, true));
+  EXPECT_TRUE(locks.Holds(1, 2, false));  // others unaffected
+}
+
+TEST(LockTable, ReleaseSpecificObject) {
+  LockTable locks;
+  locks.Acquire(0, 1, true);
+  locks.Acquire(0, 2, true);
+  locks.Release(0, 1);
+  EXPECT_FALSE(locks.Holds(0, 1, false));
+  EXPECT_TRUE(locks.Holds(0, 2, true));
+  locks.Release(0, 9);  // releasing a non-held lock is a no-op
+}
+
+TEST(WaitsFor, DetectsDirectCycle) {
+  WaitsForGraph waits;
+  waits.SetWaits(0, {1});
+  EXPECT_FALSE(waits.CycleThrough(0));
+  waits.SetWaits(1, {0});
+  EXPECT_TRUE(waits.CycleThrough(0));
+  EXPECT_TRUE(waits.CycleThrough(1));
+}
+
+TEST(WaitsFor, DetectsLongCycle) {
+  WaitsForGraph waits;
+  waits.SetWaits(0, {1});
+  waits.SetWaits(1, {2});
+  waits.SetWaits(2, {3});
+  EXPECT_FALSE(waits.CycleThrough(0));
+  waits.SetWaits(3, {0});
+  EXPECT_TRUE(waits.CycleThrough(0));
+  EXPECT_TRUE(waits.CycleThrough(3));
+}
+
+TEST(WaitsFor, SetWaitsReplacesPreviousEdges) {
+  WaitsForGraph waits;
+  waits.SetWaits(0, {1});
+  waits.SetWaits(1, {0});
+  waits.SetWaits(0, {2});  // 0 no longer waits on 1
+  EXPECT_FALSE(waits.CycleThrough(0));
+}
+
+TEST(WaitsFor, ClearAndRemove) {
+  WaitsForGraph waits;
+  waits.SetWaits(0, {1});
+  waits.SetWaits(1, {0});
+  waits.ClearWaits(1);
+  EXPECT_FALSE(waits.CycleThrough(0));
+  waits.SetWaits(1, {0});
+  waits.RemoveTxn(0);  // removes 0's edges and edges into 0
+  EXPECT_FALSE(waits.CycleThrough(1));
+}
+
+TEST(WaitsFor, MultipleHolders) {
+  WaitsForGraph waits;
+  waits.SetWaits(0, {1, 2, 3});
+  waits.SetWaits(2, {4});
+  waits.SetWaits(4, {0});
+  EXPECT_TRUE(waits.CycleThrough(0));
+  waits.RemoveTxn(4);
+  EXPECT_FALSE(waits.CycleThrough(0));
+}
+
+}  // namespace
+}  // namespace relser

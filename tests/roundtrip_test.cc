@@ -1,0 +1,113 @@
+// Round-trip and cross-component integration tests over the paper's
+// examples and random instances: printers/parsers, spec serialization,
+// and the stability of analyses under re-parsing.
+#include <gtest/gtest.h>
+
+#include "core/classify.h"
+#include "util/strings.h"
+#include "core/paper_examples.h"
+#include "model/text.h"
+#include "spec/text.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+#include "workload/spec_gen.h"
+
+namespace relser {
+namespace {
+
+TEST(RoundTrip, PaperTransactionsSurviveReparse) {
+  for (const PaperExample& fig : AllPaperExamples()) {
+    std::string text;
+    for (TxnId t = 0; t < fig.txns.txn_count(); ++t) {
+      text += StrCat("T", t + 1, " = ", ToString(fig.txns, fig.txns.txn(t)),
+                     "\n");
+    }
+    auto reparsed = ParseTransactionSet(text);
+    ASSERT_TRUE(reparsed.ok()) << fig.name << ": " << reparsed.status();
+    ASSERT_EQ(reparsed->txn_count(), fig.txns.txn_count());
+    for (TxnId t = 0; t < fig.txns.txn_count(); ++t) {
+      EXPECT_EQ(ToString(*reparsed, reparsed->txn(t)),
+                ToString(fig.txns, fig.txns.txn(t)));
+    }
+  }
+}
+
+TEST(RoundTrip, PaperSpecsSurviveReparse) {
+  for (const PaperExample& fig : AllPaperExamples()) {
+    const std::string text = ToString(fig.txns, fig.spec);
+    auto reparsed = ParseAtomicitySpec(fig.txns, text);
+    ASSERT_TRUE(reparsed.ok()) << fig.name << ": " << reparsed.status();
+    EXPECT_EQ(*reparsed, fig.spec) << fig.name;
+  }
+}
+
+TEST(RoundTrip, PaperSchedulesSurviveReparse) {
+  for (const PaperExample& fig : AllPaperExamples()) {
+    for (const auto& [name, schedule] : fig.schedules) {
+      const std::string text = ToString(fig.txns, schedule);
+      auto reparsed = ParseSchedule(fig.txns, text);
+      ASSERT_TRUE(reparsed.ok()) << fig.name << "/" << name;
+      EXPECT_EQ(reparsed->ops(), schedule.ops());
+    }
+  }
+}
+
+TEST(RoundTrip, RandomSpecsSurviveReparse) {
+  Rng rng(0x707);
+  for (int round = 0; round < 25; ++round) {
+    WorkloadParams wp;
+    wp.txn_count = 2 + rng.UniformIndex(4);
+    wp.min_ops_per_txn = 1;
+    wp.max_ops_per_txn = 6;
+    const TransactionSet txns = GenerateTransactions(wp, &rng);
+    const AtomicitySpec spec = RandomSpec(txns, rng.UniformDouble(), &rng);
+    auto reparsed = ParseAtomicitySpec(txns, ToString(txns, spec));
+    ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+    EXPECT_EQ(*reparsed, spec);
+  }
+}
+
+TEST(RoundTrip, ClassificationInvariantUnderReparse) {
+  // Printing and re-parsing an instance must not change any analysis
+  // outcome — guards against lossy serialization.
+  Rng rng(0x708);
+  for (int round = 0; round < 20; ++round) {
+    WorkloadParams wp;
+    wp.txn_count = 3;
+    wp.max_ops_per_txn = 4;
+    wp.object_count = 3;
+    const TransactionSet txns = GenerateTransactions(wp, &rng);
+    const AtomicitySpec spec = RandomSpec(txns, 0.5, &rng);
+    const Schedule schedule = RandomSchedule(txns, &rng);
+
+    std::string txn_text;
+    for (TxnId t = 0; t < txns.txn_count(); ++t) {
+      txn_text += ToString(txns, txns.txn(t)) + "\n";
+    }
+    auto txns2 = ParseTransactionSet(txn_text);
+    ASSERT_TRUE(txns2.ok());
+    auto spec2 = ParseAtomicitySpec(*txns2, ToString(txns, spec));
+    ASSERT_TRUE(spec2.ok());
+    auto schedule2 = ParseSchedule(*txns2, ToString(txns, schedule));
+    ASSERT_TRUE(schedule2.ok());
+
+    const ScheduleClassification a = Classify(txns, schedule, spec);
+    const ScheduleClassification b = Classify(*txns2, *schedule2, *spec2);
+    EXPECT_EQ(a.serial, b.serial);
+    EXPECT_EQ(a.relatively_atomic, b.relatively_atomic);
+    EXPECT_EQ(a.relatively_serial, b.relatively_serial);
+    EXPECT_EQ(a.relatively_serializable, b.relatively_serializable);
+    EXPECT_EQ(a.conflict_serializable, b.conflict_serializable);
+  }
+}
+
+TEST(RoundTrip, Figure1SpecPrintsThePaperLines) {
+  const PaperExample fig = Figure1();
+  const std::string line = AtomicityLineToString(fig.txns, fig.spec, 0, 1);
+  EXPECT_EQ(line, "Atomicity(T1,T2): r1[x]w1[x] | w1[z]r1[y]");
+  const std::string line13 = AtomicityLineToString(fig.txns, fig.spec, 0, 2);
+  EXPECT_EQ(line13, "Atomicity(T1,T3): r1[x]w1[x] | w1[z] | r1[y]");
+}
+
+}  // namespace
+}  // namespace relser

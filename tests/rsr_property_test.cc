@@ -1,0 +1,198 @@
+// Property tests for the paper's main results, cross-validated against
+// independent brute-force oracles on randomized small instances:
+//
+//   * Theorem 1: RSG(S) acyclic  <=>  a conflict-equivalent relatively
+//     serial schedule exists (oracle: backtracking search).
+//   * Witness soundness: the topological-sort witness is conflict
+//     equivalent to S and relatively serial.
+//   * Lemma 1 / corollary: under absolute atomicity, relatively
+//     serializable == conflict serializable.
+//   * Figure 5 lattice invariants on every sampled instance.
+#include <gtest/gtest.h>
+
+#include "core/brute.h"
+#include "core/checkers.h"
+#include "core/classify.h"
+#include "core/rsr.h"
+#include "model/conflict.h"
+#include "spec/builders.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+#include "workload/spec_gen.h"
+
+namespace relser {
+namespace {
+
+struct RandomInstance {
+  TransactionSet txns;
+  AtomicitySpec spec;
+  Schedule schedule;
+};
+
+RandomInstance MakeInstance(Rng* rng, double density) {
+  WorkloadParams wp;
+  wp.txn_count = 2 + rng->UniformIndex(3);
+  wp.min_ops_per_txn = 1;
+  wp.max_ops_per_txn = 4;
+  wp.object_count = 2 + rng->UniformIndex(3);
+  wp.read_ratio = 0.4;
+  RandomInstance instance;
+  instance.txns = GenerateTransactions(wp, rng);
+  instance.spec = RandomSpec(instance.txns, density, rng);
+  instance.schedule = RandomSchedule(instance.txns, rng);
+  return instance;
+}
+
+class RsrPropertySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(RsrPropertySweep, Theorem1MatchesBruteForceOracle) {
+  Rng rng(0xABCD + static_cast<std::uint64_t>(GetParam() * 1000));
+  for (int round = 0; round < 120; ++round) {
+    const RandomInstance instance = MakeInstance(&rng, GetParam());
+    const bool via_rsg = IsRelativelySerializable(
+        instance.txns, instance.schedule, instance.spec);
+    const BruteForceResult oracle = BruteForceRelativelySerializable(
+        instance.txns, instance.schedule, instance.spec);
+    ASSERT_TRUE(oracle.decided.has_value());
+    EXPECT_EQ(via_rsg, *oracle.decided)
+        << "Theorem 1 disagreement at round " << round << " density "
+        << GetParam();
+  }
+}
+
+TEST_P(RsrPropertySweep, WitnessIsConflictEquivalentAndRelativelySerial) {
+  Rng rng(0xBEEF + static_cast<std::uint64_t>(GetParam() * 1000));
+  int witnesses = 0;
+  for (int round = 0; round < 120; ++round) {
+    const RandomInstance instance = MakeInstance(&rng, GetParam());
+    const RsrAnalysis analysis = AnalyzeRelativeSerializability(
+        instance.txns, instance.schedule, instance.spec);
+    if (!analysis.relatively_serializable) {
+      EXPECT_TRUE(analysis.cycle.has_value());
+      continue;
+    }
+    ASSERT_TRUE(analysis.witness.has_value());
+    ++witnesses;
+    EXPECT_TRUE(ConflictEquivalent(instance.txns, instance.schedule,
+                                   *analysis.witness));
+    EXPECT_TRUE(IsRelativelySerial(instance.txns, *analysis.witness,
+                                   instance.spec));
+  }
+  EXPECT_GT(witnesses, 20);
+}
+
+TEST_P(RsrPropertySweep, LatticeInvariantsOnEveryInstance) {
+  Rng rng(0xCAFE + static_cast<std::uint64_t>(GetParam() * 1000));
+  for (int round = 0; round < 80; ++round) {
+    const RandomInstance instance = MakeInstance(&rng, GetParam());
+    ClassifyOptions options;
+    options.with_relative_consistency = true;
+    options.brute_force_budget = 1u << 22;
+    const ScheduleClassification c = Classify(
+        instance.txns, instance.schedule, instance.spec, options);
+    CheckLatticeInvariants(c);
+  }
+}
+
+TEST_P(RsrPropertySweep, RelativeConsistencyImpliesRelativeSerializability) {
+  Rng rng(0xD00D + static_cast<std::uint64_t>(GetParam() * 1000));
+  for (int round = 0; round < 100; ++round) {
+    const RandomInstance instance = MakeInstance(&rng, GetParam());
+    const BruteForceResult rc = IsRelativelyConsistent(
+        instance.txns, instance.schedule, instance.spec);
+    ASSERT_TRUE(rc.decided.has_value());
+    if (*rc.decided) {
+      EXPECT_TRUE(IsRelativelySerializable(instance.txns, instance.schedule,
+                                           instance.spec));
+      // The witness must be relatively atomic and conflict equivalent.
+      ASSERT_TRUE(rc.witness.has_value());
+      EXPECT_TRUE(
+          IsRelativelyAtomic(instance.txns, *rc.witness, instance.spec));
+      EXPECT_TRUE(ConflictEquivalent(instance.txns, instance.schedule,
+                                     *rc.witness));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Densities, RsrPropertySweep,
+                         ::testing::Values(0.0, 0.2, 0.5, 0.8, 1.0),
+                         [](const auto& param_info) {
+                           return "density_" +
+                                  std::to_string(static_cast<int>(
+                                      param_info.param * 100));
+                         });
+
+TEST(Lemma1, AbsoluteAtomicityCollapsesToConflictSerializability) {
+  Rng rng(31415);
+  for (int round = 0; round < 300; ++round) {
+    WorkloadParams wp;
+    wp.txn_count = 2 + rng.UniformIndex(4);
+    wp.min_ops_per_txn = 1;
+    wp.max_ops_per_txn = 5;
+    wp.object_count = 2 + rng.UniformIndex(4);
+    const TransactionSet txns = GenerateTransactions(wp, &rng);
+    const AtomicitySpec spec = AbsoluteSpec(txns);
+    const Schedule schedule = RandomSchedule(txns, &rng);
+    EXPECT_EQ(IsRelativelySerializable(txns, schedule, spec),
+              IsConflictSerializable(txns, schedule))
+        << "round " << round;
+  }
+}
+
+TEST(Lemma1, RelativelySerialUnderAbsoluteIsEquivalentToSerial) {
+  Rng rng(27182);
+  int hits = 0;
+  for (int round = 0; round < 400 && hits < 40; ++round) {
+    WorkloadParams wp;
+    wp.txn_count = 3;
+    wp.min_ops_per_txn = 1;
+    wp.max_ops_per_txn = 3;
+    wp.object_count = 3;
+    const TransactionSet txns = GenerateTransactions(wp, &rng);
+    const AtomicitySpec spec = AbsoluteSpec(txns);
+    const Schedule schedule = RandomSchedule(txns, &rng);
+    if (!IsRelativelySerial(txns, schedule, spec)) continue;
+    ++hits;
+    // Lemma 1: conflict equivalent to SOME serial schedule.
+    bool equivalent_to_serial = false;
+    std::vector<TxnId> perm = {0, 1, 2};
+    do {
+      auto serial = Schedule::Serial(txns, perm);
+      ASSERT_TRUE(serial.ok());
+      equivalent_to_serial = equivalent_to_serial ||
+                             ConflictEquivalent(txns, schedule, *serial);
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    EXPECT_TRUE(equivalent_to_serial) << "round " << round;
+  }
+  EXPECT_GE(hits, 30);
+}
+
+TEST(Theorem1, RejectionAlwaysComesWithARealCycle) {
+  Rng rng(16180);
+  int rejections = 0;
+  for (int round = 0; round < 200 && rejections < 25; ++round) {
+    const double density = rng.UniformDouble() * 0.4;
+    RandomInstance instance = [&] {
+      Rng fork = rng.Fork();
+      return MakeInstance(&fork, density);
+    }();
+    rng.Next();
+    const RsrAnalysis analysis = AnalyzeRelativeSerializability(
+        instance.txns, instance.schedule, instance.spec);
+    if (analysis.relatively_serializable) continue;
+    ++rejections;
+    ASSERT_TRUE(analysis.cycle.has_value());
+    const auto& cycle = *analysis.cycle;
+    ASSERT_GE(cycle.size(), 2u);
+    const RelativeSerializationGraph rsg(instance.txns, instance.schedule,
+                                         instance.spec);
+    for (std::size_t i = 0; i < cycle.size(); ++i) {
+      EXPECT_NE(rsg.KindsOf(cycle[i], cycle[(i + 1) % cycle.size()]), 0)
+          << "reported cycle uses a non-arc";
+    }
+  }
+  EXPECT_GE(rejections, 10);
+}
+
+}  // namespace
+}  // namespace relser

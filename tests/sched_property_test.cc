@@ -1,0 +1,198 @@
+// Property and integration tests for the scheduler layer: protocol
+// guarantees on scenario workloads, RSGT-specific properties, the
+// experiment aggregation harness, and the scheduler factory.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sched/experiment.h"
+#include "sched/factory.h"
+#include "sched/graph_based.h"
+#include "sched/verify.h"
+#include "spec/builders.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+#include "workload/scenarios.h"
+#include "workload/spec_gen.h"
+
+namespace relser {
+namespace {
+
+TEST(Factory, KnowsEveryAdvertisedScheduler) {
+  Rng rng(1);
+  WorkloadParams wp;
+  const TransactionSet txns = GenerateTransactions(wp, &rng);
+  const AtomicitySpec spec = AbsoluteSpec(txns);
+  for (const std::string& name : AllSchedulerNames()) {
+    auto scheduler = MakeScheduler(name, txns, spec);
+    ASSERT_NE(scheduler, nullptr) << name;
+    EXPECT_EQ(scheduler->name(), name);
+  }
+  EXPECT_EQ(MakeScheduler("nonsense", txns, spec), nullptr);
+}
+
+TEST(Guarantees, MapSchedulersToTheRightClass) {
+  EXPECT_EQ(GuaranteeOf("serial"), Guarantee::kConflictSerializable);
+  EXPECT_EQ(GuaranteeOf("2pl"), Guarantee::kConflictSerializable);
+  EXPECT_EQ(GuaranteeOf("sgt"), Guarantee::kConflictSerializable);
+  EXPECT_EQ(GuaranteeOf("rsgt"), Guarantee::kRelativelySerializable);
+  EXPECT_EQ(GuaranteeOf("unit2pl"), Guarantee::kRelativelySerializable);
+}
+
+TEST(Rsgt, NeverAbortsUnderFullyRelaxedSpecs) {
+  // With singleton units, every RSG arc points forward in execution
+  // time, so no request can close a cycle: RSGT admits everything.
+  Rng rng(2);
+  for (int round = 0; round < 25; ++round) {
+    WorkloadParams wp;
+    wp.txn_count = 6;
+    wp.object_count = 2;  // extreme contention
+    wp.read_ratio = 0.2;
+    const TransactionSet txns = GenerateTransactions(wp, &rng);
+    const AtomicitySpec spec = FullyRelaxedSpec(txns);
+    RSGTScheduler scheduler(txns, spec);
+    SimParams sp;
+    sp.seed = rng.Next();
+    const SimResult result = RunSimulation(txns, &scheduler, sp);
+    ASSERT_TRUE(result.metrics.completed);
+    EXPECT_EQ(result.metrics.aborts, 0u);
+    EXPECT_EQ(scheduler.cycle_rejections(), 0u);
+    const RunVerification verification =
+        VerifyRun(txns, spec, result, Guarantee::kRelativelySerializable);
+    EXPECT_TRUE(verification.guarantee_held);
+  }
+}
+
+TEST(Rsgt, MatchesSgtBehaviourUnderAbsoluteSpecs) {
+  // Under absolute atomicity, RSGT certifies exactly conflict
+  // serializability (Lemma 1), so its committed schedules must pass the
+  // classical guarantee too.
+  Rng rng(3);
+  for (int round = 0; round < 15; ++round) {
+    WorkloadParams wp;
+    wp.txn_count = 4;
+    wp.object_count = 3;
+    const TransactionSet txns = GenerateTransactions(wp, &rng);
+    const AtomicitySpec spec = AbsoluteSpec(txns);
+    RSGTScheduler scheduler(txns, spec);
+    SimParams sp;
+    sp.seed = rng.Next();
+    const SimResult result = RunSimulation(txns, &scheduler, sp);
+    ASSERT_TRUE(result.metrics.completed);
+    const RunVerification verification =
+        VerifyRun(txns, spec, result, Guarantee::kConflictSerializable);
+    EXPECT_TRUE(verification.guarantee_held);
+  }
+}
+
+class ScenarioSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ScenarioSweep, BankingScenarioCompletesWithGuarantee) {
+  Rng rng(4);
+  BankingParams params;
+  params.families = 2;
+  params.customers_per_family = 2;
+  params.transfers_per_customer = 2;
+  const BankingScenario scenario = MakeBankingScenario(params, &rng);
+  auto scheduler = MakeScheduler(GetParam(), scenario.txns, scenario.spec);
+  SimParams sp;
+  sp.seed = 11;
+  sp.max_ticks = 200000;
+  const SimResult result =
+      RunSimulation(scenario.txns, scheduler.get(), sp);
+  ASSERT_TRUE(result.metrics.completed);
+  const RunVerification verification = VerifyRun(
+      scenario.txns, scenario.spec, result, GuaranteeOf(GetParam()));
+  EXPECT_TRUE(verification.guarantee_held);
+}
+
+TEST_P(ScenarioSweep, CadScenarioCompletesWithGuarantee) {
+  Rng rng(5);
+  CadParams params;
+  params.teams = 2;
+  params.designers_per_team = 2;
+  params.phases = 2;
+  const CadScenario scenario = MakeCadScenario(params, &rng);
+  auto scheduler = MakeScheduler(GetParam(), scenario.txns, scenario.spec);
+  SimParams sp;
+  sp.seed = 12;
+  sp.max_ticks = 200000;
+  const SimResult result =
+      RunSimulation(scenario.txns, scheduler.get(), sp);
+  ASSERT_TRUE(result.metrics.completed);
+  const RunVerification verification = VerifyRun(
+      scenario.txns, scenario.spec, result, GuaranteeOf(GetParam()));
+  EXPECT_TRUE(verification.guarantee_held);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchedulers, ScenarioSweep,
+                         ::testing::ValuesIn(AllSchedulerNames()),
+                         [](const auto& param_info) {
+                           return param_info.param;
+                         });
+
+TEST(Aggregate, WelfordMatchesClosedForm) {
+  Aggregate aggregate;
+  for (const double sample : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    aggregate.Add(sample);
+  }
+  EXPECT_EQ(aggregate.count(), 8u);
+  EXPECT_NEAR(aggregate.mean(), 5.0, 1e-12);
+  // Sample stddev of the classic dataset is sqrt(32/7).
+  EXPECT_NEAR(aggregate.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_EQ(aggregate.min(), 2.0);
+  EXPECT_EQ(aggregate.max(), 9.0);
+}
+
+TEST(Aggregate, DegenerateCases) {
+  Aggregate aggregate;
+  EXPECT_EQ(aggregate.count(), 0u);
+  EXPECT_EQ(aggregate.stddev(), 0.0);
+  aggregate.Add(3.0);
+  EXPECT_EQ(aggregate.mean(), 3.0);
+  EXPECT_EQ(aggregate.stddev(), 0.0);
+  EXPECT_EQ(aggregate.min(), 3.0);
+  EXPECT_EQ(aggregate.max(), 3.0);
+}
+
+TEST(RunComparison, AggregatesEverySchedulerWithGuarantees) {
+  Rng rng(6);
+  WorkloadParams wp;
+  wp.txn_count = 5;
+  wp.object_count = 6;
+  const TransactionSet txns = GenerateTransactions(wp, &rng);
+  const AtomicitySpec spec = RandomUniformObserverSpec(txns, 0.5, &rng);
+  ComparisonParams cp;
+  cp.runs = 3;
+  cp.sim.seed = 100;
+  const auto rows =
+      RunComparison(txns, spec, AllSchedulerNames(), cp);
+  ASSERT_EQ(rows.size(), AllSchedulerNames().size());
+  for (const auto& row : rows) {
+    EXPECT_TRUE(row.all_completed) << row.scheduler;
+    EXPECT_TRUE(row.all_guarantees_held) << row.scheduler;
+    EXPECT_EQ(row.makespan.count(), 3u);
+    EXPECT_GT(row.throughput.mean(), 0.0);
+  }
+}
+
+TEST(RunComparison, DeterministicForFixedSeeds) {
+  Rng rng(7);
+  WorkloadParams wp;
+  wp.txn_count = 4;
+  const TransactionSet txns = GenerateTransactions(wp, &rng);
+  const AtomicitySpec spec = AbsoluteSpec(txns);
+  ComparisonParams cp;
+  cp.runs = 2;
+  cp.sim.seed = 55;
+  const auto a = RunComparison(txns, spec, {"2pl", "rsgt"}, cp);
+  const auto b = RunComparison(txns, spec, {"2pl", "rsgt"}, cp);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].makespan.mean(), b[i].makespan.mean());
+    EXPECT_EQ(a[i].throughput.mean(), b[i].throughput.mean());
+  }
+}
+
+}  // namespace
+}  // namespace relser

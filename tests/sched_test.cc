@@ -1,0 +1,165 @@
+// Integration tests of the online schedulers: every protocol must finish
+// every workload and its committed schedule must satisfy the protocol's
+// advertised guarantee (conflict serializability for serial/2PL/SGT,
+// relative serializability for RSGT/unit-2PL).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/paper_examples.h"
+#include "sched/engine.h"
+#include "sched/factory.h"
+#include "sched/graph_based.h"
+#include "sched/lock_based.h"
+#include "sched/serial.h"
+#include "sched/verify.h"
+#include "spec/builders.h"
+#include "workload/generator.h"
+#include "workload/spec_gen.h"
+
+namespace relser {
+namespace {
+
+class SchedulerSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SchedulerSweep, CompletesAndGuaranteeHoldsOnRandomWorkloads) {
+  const std::string name = GetParam();
+  Rng rng(0xC0FFEE);
+  for (int round = 0; round < 30; ++round) {
+    WorkloadParams wp;
+    wp.txn_count = 2 + rng.UniformIndex(5);
+    wp.min_ops_per_txn = 1;
+    wp.max_ops_per_txn = 6;
+    wp.object_count = 2 + rng.UniformIndex(6);
+    wp.read_ratio = 0.5;
+    const TransactionSet txns = GenerateTransactions(wp, &rng);
+    const double density = rng.UniformDouble();
+    const AtomicitySpec spec = RandomSpec(txns, density, &rng);
+    auto scheduler = MakeScheduler(name, txns, spec);
+    ASSERT_NE(scheduler, nullptr);
+    SimParams sp;
+    sp.seed = rng.Next();
+    sp.max_ticks = 200000;
+    const SimResult result = RunSimulation(txns, scheduler.get(), sp);
+    SCOPED_TRACE("round " + std::to_string(round) + " scheduler " + name);
+    ASSERT_TRUE(result.metrics.completed)
+        << "did not finish in " << sp.max_ticks << " ticks";
+    const RunVerification verification =
+        VerifyRun(txns, spec, result, GuaranteeOf(name));
+    EXPECT_TRUE(verification.guarantee_held)
+        << "committed schedule violates the " << name << " guarantee";
+  }
+}
+
+TEST_P(SchedulerSweep, CompletesUnderAbsoluteAtomicity) {
+  // Under absolute specs RSGT must behave like a conflict-serializability
+  // certifier (Lemma 1): both guarantees coincide.
+  const std::string name = GetParam();
+  Rng rng(0xFEED);
+  for (int round = 0; round < 15; ++round) {
+    WorkloadParams wp;
+    wp.txn_count = 3;
+    wp.min_ops_per_txn = 2;
+    wp.max_ops_per_txn = 5;
+    wp.object_count = 3;
+    const TransactionSet txns = GenerateTransactions(wp, &rng);
+    const AtomicitySpec spec = AbsoluteSpec(txns);
+    auto scheduler = MakeScheduler(name, txns, spec);
+    SimParams sp;
+    sp.seed = rng.Next();
+    sp.max_ticks = 100000;
+    const SimResult result = RunSimulation(txns, scheduler.get(), sp);
+    ASSERT_TRUE(result.metrics.completed);
+    const RunVerification verification =
+        VerifyRun(txns, spec, result, Guarantee::kConflictSerializable);
+    EXPECT_TRUE(verification.guarantee_held)
+        << name << " produced a non-conflict-serializable schedule under "
+        << "absolute atomicity";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchedulers, SchedulerSweep,
+                         ::testing::Values("serial", "2pl", "sgt", "rsgt",
+                                           "unit2pl", "altruistic", "to",
+                                           "ra"),
+                         [](const auto& param_info) {
+                           return param_info.param;
+                         });
+
+TEST(SchedulerBasics, SerialSchedulerProducesSerialSchedule) {
+  Rng rng(7);
+  WorkloadParams wp;
+  wp.txn_count = 4;
+  const TransactionSet txns = GenerateTransactions(wp, &rng);
+  SerialScheduler scheduler;
+  SimParams sp;
+  const SimResult result = RunSimulation(txns, &scheduler, sp);
+  ASSERT_TRUE(result.metrics.completed);
+  auto schedule = result.CommittedSchedule(txns);
+  ASSERT_TRUE(schedule.ok());
+  EXPECT_TRUE(schedule->IsSerial());
+  EXPECT_EQ(result.metrics.aborts, 0u);
+  EXPECT_EQ(result.metrics.cascade_aborts, 0u);
+}
+
+TEST(SchedulerBasics, Strict2PLNeverCascades) {
+  Rng rng(99);
+  for (int round = 0; round < 20; ++round) {
+    WorkloadParams wp;
+    wp.txn_count = 4;
+    wp.object_count = 3;  // high contention to force deadlocks
+    wp.read_ratio = 0.2;
+    const TransactionSet txns = GenerateTransactions(wp, &rng);
+    Strict2PLScheduler scheduler;
+    SimParams sp;
+    sp.seed = rng.Next();
+    const SimResult result = RunSimulation(txns, &scheduler, sp);
+    ASSERT_TRUE(result.metrics.completed);
+    EXPECT_EQ(result.metrics.cascade_aborts, 0u)
+        << "strict 2PL must not produce cascading aborts";
+  }
+}
+
+TEST(SchedulerBasics, RsgtAdmitsTheFigure1WorkloadWithoutAborts) {
+  // Under Figure 1's specification, a favourable request order exists in
+  // which RSGT admits non-serializable interleavings; at minimum the
+  // workload must complete with the relative-serializability guarantee.
+  const PaperExample fig = Figure1();
+  RSGTScheduler scheduler(fig.txns, fig.spec);
+  SimParams sp;
+  sp.seed = 5;
+  const SimResult result = RunSimulation(fig.txns, &scheduler, sp);
+  ASSERT_TRUE(result.metrics.completed);
+  const RunVerification verification = VerifyRun(
+      fig.txns, fig.spec, result, Guarantee::kRelativelySerializable);
+  EXPECT_TRUE(verification.guarantee_held);
+}
+
+TEST(SchedulerBasics, UnitLockReleasesEarlyOnlyWithBreakpoints) {
+  Rng rng(3);
+  WorkloadParams wp;
+  wp.txn_count = 4;
+  wp.min_ops_per_txn = 4;
+  wp.max_ops_per_txn = 4;
+  const TransactionSet txns = GenerateTransactions(wp, &rng);
+  {
+    const AtomicitySpec absolute = AbsoluteSpec(txns);
+    UnitLockScheduler scheduler(txns, absolute);
+    SimParams sp;
+    const SimResult result = RunSimulation(txns, &scheduler, sp);
+    ASSERT_TRUE(result.metrics.completed);
+    EXPECT_EQ(scheduler.early_releases(), 0u)
+        << "no breakpoints -> no early releases (degenerates to 2PL)";
+  }
+  {
+    const AtomicitySpec relaxed = FullyRelaxedSpec(txns);
+    UnitLockScheduler scheduler(txns, relaxed);
+    SimParams sp;
+    const SimResult result = RunSimulation(txns, &scheduler, sp);
+    ASSERT_TRUE(result.metrics.completed);
+    EXPECT_GT(scheduler.early_releases(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace relser

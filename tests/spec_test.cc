@@ -1,0 +1,323 @@
+// Tests for relative atomicity specifications: breakpoint mechanics,
+// unit derivation, PushForward/PullBackward (the Section 3 primitives),
+// and every published builder family.
+#include <gtest/gtest.h>
+
+#include "model/text.h"
+#include "spec/atomicity_spec.h"
+#include "spec/builders.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+#include "workload/spec_gen.h"
+
+namespace relser {
+namespace {
+
+TransactionSet FourOpTxnPair() {
+  auto txns = ParseTransactionSet(
+      "T1 = r1[x] w1[x] w1[z] r1[y]\nT2 = r2[y] w2[y] r2[x]\n");
+  RELSER_CHECK(txns.ok());
+  return *std::move(txns);
+}
+
+TEST(AtomicitySpec, DefaultIsAbsolute) {
+  const TransactionSet txns = FourOpTxnPair();
+  const AtomicitySpec spec(txns);
+  EXPECT_TRUE(spec.IsAbsolute());
+  EXPECT_EQ(spec.TotalBreakpoints(), 0u);
+  EXPECT_EQ(spec.UnitCount(0, 1), 1u);
+  EXPECT_EQ(spec.UnitBounds(0, 1, 0), (UnitRange{0, 3}));
+}
+
+TEST(AtomicitySpec, SetAndClearBreakpoints) {
+  const TransactionSet txns = FourOpTxnPair();
+  AtomicitySpec spec(txns);
+  spec.SetBreakpoint(0, 1, 1);
+  EXPECT_TRUE(spec.HasBreakpoint(0, 1, 1));
+  EXPECT_FALSE(spec.HasBreakpoint(0, 1, 0));
+  EXPECT_FALSE(spec.HasBreakpoint(1, 0, 1));  // pairs are directional
+  EXPECT_EQ(spec.UnitCount(0, 1), 2u);
+  spec.ClearBreakpoint(0, 1, 1);
+  EXPECT_TRUE(spec.IsAbsolute());
+}
+
+TEST(AtomicitySpec, UnitsDeriveFromBreakpoints) {
+  const TransactionSet txns = FourOpTxnPair();
+  AtomicitySpec spec(txns);
+  spec.SetBreakpoint(0, 1, 0);
+  spec.SetBreakpoint(0, 1, 2);
+  const auto units = spec.Units(0, 1);
+  ASSERT_EQ(units.size(), 3u);
+  EXPECT_EQ(units[0], (UnitRange{0, 0}));
+  EXPECT_EQ(units[1], (UnitRange{1, 2}));
+  EXPECT_EQ(units[2], (UnitRange{3, 3}));
+  EXPECT_EQ(spec.UnitOfOp(0, 1, 0), 0u);
+  EXPECT_EQ(spec.UnitOfOp(0, 1, 1), 1u);
+  EXPECT_EQ(spec.UnitOfOp(0, 1, 2), 1u);
+  EXPECT_EQ(spec.UnitOfOp(0, 1, 3), 2u);
+  EXPECT_TRUE(units[1].Contains(2));
+  EXPECT_FALSE(units[1].Contains(3));
+}
+
+TEST(AtomicitySpec, PushForwardPullBackwardMatchUnitEnds) {
+  const TransactionSet txns = FourOpTxnPair();
+  AtomicitySpec spec(txns);
+  spec.SetBreakpoint(0, 1, 1);  // units: [0,1] [2,3]
+  EXPECT_EQ(spec.PushForward(0, 1, 0), 1u);
+  EXPECT_EQ(spec.PushForward(0, 1, 1), 1u);
+  EXPECT_EQ(spec.PushForward(0, 1, 2), 3u);
+  EXPECT_EQ(spec.PullBackward(0, 1, 3), 2u);
+  EXPECT_EQ(spec.PullBackward(0, 1, 1), 0u);
+  EXPECT_EQ(spec.PullBackward(0, 1, 0), 0u);
+}
+
+TEST(AtomicitySpec, PushPullConsistentWithUnitOfOpOnRandomSpecs) {
+  Rng rng(5150);
+  WorkloadParams wp;
+  wp.txn_count = 4;
+  wp.min_ops_per_txn = 1;
+  wp.max_ops_per_txn = 7;
+  const TransactionSet txns = GenerateTransactions(wp, &rng);
+  for (int round = 0; round < 20; ++round) {
+    const AtomicitySpec spec = RandomSpec(txns, 0.4, &rng);
+    for (TxnId i = 0; i < txns.txn_count(); ++i) {
+      for (TxnId j = 0; j < txns.txn_count(); ++j) {
+        if (i == j) continue;
+        for (std::uint32_t k = 0; k < txns.txn(i).size(); ++k) {
+          const std::size_t unit = spec.UnitOfOp(i, j, k);
+          const UnitRange bounds = spec.UnitBounds(i, j, unit);
+          EXPECT_EQ(spec.PushForward(i, j, k), bounds.last);
+          EXPECT_EQ(spec.PullBackward(i, j, k), bounds.first);
+          EXPECT_TRUE(bounds.Contains(k));
+        }
+      }
+    }
+  }
+}
+
+TEST(AtomicitySpec, RelaxFullyMakesSingletonUnits) {
+  const TransactionSet txns = FourOpTxnPair();
+  AtomicitySpec spec(txns);
+  spec.RelaxFully(0, 1);
+  EXPECT_EQ(spec.UnitCount(0, 1), 4u);
+  for (std::uint32_t k = 0; k < 4; ++k) {
+    EXPECT_EQ(spec.PushForward(0, 1, k), k);
+    EXPECT_EQ(spec.PullBackward(0, 1, k), k);
+  }
+  // The other direction is untouched.
+  EXPECT_EQ(spec.UnitCount(1, 0), 1u);
+}
+
+TEST(AtomicitySpec, SingleOperationTransactionHasNoGaps) {
+  auto txns = ParseTransactionSet("T1 = w1[x]\nT2 = r2[x]\n");
+  AtomicitySpec spec(*txns);
+  EXPECT_EQ(spec.UnitCount(0, 1), 1u);
+  EXPECT_EQ(spec.PushForward(0, 1, 0), 0u);
+  spec.RelaxFully(0, 1);  // no-op, no gaps exist
+  EXPECT_EQ(spec.UnitCount(0, 1), 1u);
+}
+
+TEST(AtomicitySpec, PermissivenessPartialOrder) {
+  const TransactionSet txns = FourOpTxnPair();
+  const AtomicitySpec absolute = AbsoluteSpec(txns);
+  const AtomicitySpec relaxed = FullyRelaxedSpec(txns);
+  AtomicitySpec middle(txns);
+  middle.SetBreakpoint(0, 1, 1);
+  EXPECT_TRUE(relaxed.AtLeastAsPermissiveAs(absolute));
+  EXPECT_TRUE(relaxed.AtLeastAsPermissiveAs(middle));
+  EXPECT_TRUE(middle.AtLeastAsPermissiveAs(absolute));
+  EXPECT_FALSE(absolute.AtLeastAsPermissiveAs(middle));
+  EXPECT_FALSE(middle.AtLeastAsPermissiveAs(relaxed));
+  EXPECT_TRUE(middle.AtLeastAsPermissiveAs(middle));
+}
+
+TEST(AtomicitySpec, ValidateAgainstDetectsShapeDrift) {
+  const TransactionSet txns = FourOpTxnPair();
+  const AtomicitySpec spec(txns);
+  EXPECT_TRUE(spec.ValidateAgainst(txns).ok());
+  auto other = ParseTransactionSet("T1 = r1[x]\nT2 = r2[y]\n");
+  EXPECT_FALSE(spec.ValidateAgainst(*other).ok());
+  auto three = ParseTransactionSet("T1 = r1[x]\nT2 = r2[y]\nT3 = r3[x]\n");
+  EXPECT_FALSE(spec.ValidateAgainst(*three).ok());
+}
+
+TEST(Builders, SetUnitsByLength) {
+  const TransactionSet txns = FourOpTxnPair();
+  AtomicitySpec spec(txns);
+  SetUnitsByLength(&spec, 0, 1, {2, 1, 1});
+  EXPECT_EQ(spec.UnitCount(0, 1), 3u);
+  EXPECT_EQ(spec.UnitBounds(0, 1, 0), (UnitRange{0, 1}));
+  EXPECT_EQ(spec.UnitBounds(0, 1, 1), (UnitRange{2, 2}));
+  // Re-partitioning replaces the previous boundaries.
+  SetUnitsByLength(&spec, 0, 1, {4});
+  EXPECT_EQ(spec.UnitCount(0, 1), 1u);
+}
+
+TEST(Builders, CompatibilitySets) {
+  auto txns = ParseTransactionSet(
+      "T1 = r1[x] w1[x]\nT2 = r2[x] w2[x]\nT3 = r3[x] w3[x]\n");
+  // T1 and T2 share a set; T3 is alone.
+  const AtomicitySpec spec = CompatibilitySetSpec(*txns, {0, 0, 1});
+  EXPECT_EQ(spec.UnitCount(0, 1), 2u);  // fully relaxed within the set
+  EXPECT_EQ(spec.UnitCount(1, 0), 2u);
+  EXPECT_EQ(spec.UnitCount(0, 2), 1u);  // atomic across sets
+  EXPECT_EQ(spec.UnitCount(2, 0), 1u);
+  EXPECT_EQ(spec.UnitCount(2, 1), 1u);
+}
+
+TEST(Builders, MultilevelVisibilityByProximity) {
+  auto txns = ParseTransactionSet(
+      "T1 = r1[x] w1[x] r1[y]\nT2 = r2[x]\nT3 = r3[x]\n");
+  // T1 and T2 share group path {0,0}; T3 is {1,0}.
+  // T1's gap 0 has level 1 (same top group); gap 1 has level 0 (all).
+  const AtomicitySpec spec = MultilevelSpec(
+      *txns, {{0, 0}, {0, 0}, {1, 0}}, {{1, 0}, {}, {}});
+  EXPECT_TRUE(spec.HasBreakpoint(0, 1, 0));   // T2 is close: sees level 1
+  EXPECT_TRUE(spec.HasBreakpoint(0, 1, 1));   // level 0 visible to all
+  EXPECT_FALSE(spec.HasBreakpoint(0, 2, 0));  // T3 too far for level 1
+  EXPECT_TRUE(spec.HasBreakpoint(0, 2, 1));
+}
+
+TEST(Builders, MultilevelBreakpointSetsAreNested) {
+  // Lynch's hierarchies guarantee that for any two observers, one's
+  // breakpoint set contains the other's; verify on random instances.
+  Rng rng(99);
+  WorkloadParams wp;
+  wp.txn_count = 6;
+  wp.min_ops_per_txn = 3;
+  wp.max_ops_per_txn = 6;
+  const TransactionSet txns = GenerateTransactions(wp, &rng);
+  for (int round = 0; round < 10; ++round) {
+    const AtomicitySpec spec = RandomMultilevelSpec(txns, 3, 0.3, 0.5, &rng);
+    for (TxnId i = 0; i < txns.txn_count(); ++i) {
+      const std::size_t gaps = txns.txn(i).size() - 1;
+      for (TxnId a = 0; a < txns.txn_count(); ++a) {
+        for (TxnId b = 0; b < txns.txn_count(); ++b) {
+          if (a == i || b == i || a == b) continue;
+          bool a_superset = true;
+          bool b_superset = true;
+          for (std::uint32_t g = 0; g < gaps; ++g) {
+            const bool in_a = spec.HasBreakpoint(i, a, g);
+            const bool in_b = spec.HasBreakpoint(i, b, g);
+            a_superset = a_superset && (in_b ? in_a : true);
+            b_superset = b_superset && (in_a ? in_b : true);
+          }
+          EXPECT_TRUE(a_superset || b_superset)
+              << "breakpoint sets of T" << i + 1 << " for T" << a + 1
+              << " and T" << b + 1 << " are incomparable";
+        }
+      }
+    }
+  }
+}
+
+TEST(Builders, BreakpointSpecSetsExactGaps) {
+  const TransactionSet txns = FourOpTxnPair();
+  std::vector<std::vector<std::vector<std::uint32_t>>> breakpoints(2);
+  breakpoints[0] = {{}, {0, 2}};
+  breakpoints[1] = {{1}, {}};
+  const AtomicitySpec spec = BreakpointSpec(txns, breakpoints);
+  EXPECT_TRUE(spec.HasBreakpoint(0, 1, 0));
+  EXPECT_FALSE(spec.HasBreakpoint(0, 1, 1));
+  EXPECT_TRUE(spec.HasBreakpoint(0, 1, 2));
+  EXPECT_TRUE(spec.HasBreakpoint(1, 0, 1));
+  EXPECT_FALSE(spec.HasBreakpoint(1, 0, 0));
+}
+
+TEST(SpecGen, DensityExtremes) {
+  Rng rng(1);
+  WorkloadParams wp;
+  wp.txn_count = 3;
+  const TransactionSet txns = GenerateTransactions(wp, &rng);
+  EXPECT_TRUE(RandomSpec(txns, 0.0, &rng).IsAbsolute());
+  EXPECT_EQ(RandomSpec(txns, 1.0, &rng), FullyRelaxedSpec(txns));
+  EXPECT_EQ(RandomUniformObserverSpec(txns, 1.0, &rng),
+            FullyRelaxedSpec(txns));
+}
+
+TEST(SpecGen, UniformObserverGivesIdenticalViews) {
+  Rng rng(2);
+  WorkloadParams wp;
+  wp.txn_count = 4;
+  wp.min_ops_per_txn = 4;
+  wp.max_ops_per_txn = 6;
+  const TransactionSet txns = GenerateTransactions(wp, &rng);
+  const AtomicitySpec spec = RandomUniformObserverSpec(txns, 0.5, &rng);
+  for (TxnId i = 0; i < txns.txn_count(); ++i) {
+    for (std::uint32_t g = 0; g + 1 < txns.txn(i).size(); ++g) {
+      bool any = false;
+      bool all = true;
+      for (TxnId j = 0; j < txns.txn_count(); ++j) {
+        if (i == j) continue;
+        const bool has = spec.HasBreakpoint(i, j, g);
+        any = any || has;
+        all = all && has;
+      }
+      EXPECT_EQ(any, all) << "observer views differ at T" << i + 1
+                          << " gap " << g;
+    }
+  }
+}
+
+TEST(SpecGen, DeterministicGivenSeed) {
+  Rng rng1(7);
+  Rng rng2(7);
+  WorkloadParams wp;
+  wp.txn_count = 3;
+  const TransactionSet txns1 = GenerateTransactions(wp, &rng1);
+  const TransactionSet txns2 = GenerateTransactions(wp, &rng2);
+  EXPECT_EQ(RandomSpec(txns1, 0.5, &rng1), RandomSpec(txns2, 0.5, &rng2));
+}
+
+
+TEST(SpecAlgebra, MeetIsIntersectionJoinIsUnion) {
+  const TransactionSet txns = FourOpTxnPair();
+  AtomicitySpec a(txns);
+  a.SetBreakpoint(0, 1, 0);
+  a.SetBreakpoint(0, 1, 1);
+  AtomicitySpec b(txns);
+  b.SetBreakpoint(0, 1, 1);
+  b.SetBreakpoint(0, 1, 2);
+  const AtomicitySpec meet = MeetSpecs(a, b);
+  EXPECT_FALSE(meet.HasBreakpoint(0, 1, 0));
+  EXPECT_TRUE(meet.HasBreakpoint(0, 1, 1));
+  EXPECT_FALSE(meet.HasBreakpoint(0, 1, 2));
+  const AtomicitySpec join = JoinSpecs(a, b);
+  EXPECT_TRUE(join.HasBreakpoint(0, 1, 0));
+  EXPECT_TRUE(join.HasBreakpoint(0, 1, 1));
+  EXPECT_TRUE(join.HasBreakpoint(0, 1, 2));
+}
+
+TEST(SpecAlgebra, LatticeLawsOnRandomSpecs) {
+  Rng rng(404);
+  WorkloadParams wp;
+  wp.txn_count = 4;
+  wp.min_ops_per_txn = 2;
+  wp.max_ops_per_txn = 5;
+  const TransactionSet txns = GenerateTransactions(wp, &rng);
+  for (int round = 0; round < 20; ++round) {
+    const AtomicitySpec a = RandomSpec(txns, 0.4, &rng);
+    const AtomicitySpec b = RandomSpec(txns, 0.4, &rng);
+    const AtomicitySpec meet = MeetSpecs(a, b);
+    const AtomicitySpec join = JoinSpecs(a, b);
+    // Bounds.
+    EXPECT_TRUE(a.AtLeastAsPermissiveAs(meet));
+    EXPECT_TRUE(b.AtLeastAsPermissiveAs(meet));
+    EXPECT_TRUE(join.AtLeastAsPermissiveAs(a));
+    EXPECT_TRUE(join.AtLeastAsPermissiveAs(b));
+    // Commutativity and idempotence.
+    EXPECT_EQ(meet, MeetSpecs(b, a));
+    EXPECT_EQ(join, JoinSpecs(b, a));
+    EXPECT_EQ(MeetSpecs(a, a), a);
+    EXPECT_EQ(JoinSpecs(a, a), a);
+    // Absorption.
+    EXPECT_EQ(MeetSpecs(a, JoinSpecs(a, b)), a);
+    EXPECT_EQ(JoinSpecs(a, MeetSpecs(a, b)), a);
+    // Identities of the lattice ends.
+    EXPECT_EQ(MeetSpecs(a, FullyRelaxedSpec(txns)), a);
+    EXPECT_EQ(JoinSpecs(a, AbsoluteSpec(txns)), a);
+  }
+}
+
+}  // namespace
+}  // namespace relser

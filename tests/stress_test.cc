@@ -1,0 +1,157 @@
+// Broad randomized differential stress tests tying all decision
+// procedures together on one instance stream:
+//
+//   RSG test == online checker == brute-force oracle
+//   classifier lattice invariants
+//   witness validity
+//   scheduler guarantees across all protocols and spec families
+//
+// Sizes are kept small enough for ctest (a second or two) while still
+// covering thousands of decisions; crank kRounds up for soak testing.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/brute.h"
+#include "core/checkers.h"
+#include "core/classify.h"
+#include "core/online.h"
+#include "core/rsr.h"
+#include "model/conflict.h"
+#include "model/recovery.h"
+#include "sched/engine.h"
+#include "sched/factory.h"
+#include "sched/verify.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+#include "workload/scenarios.h"
+#include "workload/spec_gen.h"
+
+namespace relser {
+namespace {
+
+constexpr int kRounds = 150;
+
+AtomicitySpec RandomFamilySpec(const TransactionSet& txns, Rng* rng) {
+  switch (rng->UniformIndex(4)) {
+    case 0:
+      return RandomSpec(txns, rng->UniformDouble(), rng);
+    case 1:
+      return RandomUniformObserverSpec(txns, rng->UniformDouble(), rng);
+    case 2:
+      return RandomCompatibilitySetSpec(txns, 1 + rng->UniformIndex(3), rng);
+    default:
+      return RandomMultilevelSpec(txns, 1 + rng->UniformIndex(3),
+                                  rng->UniformDouble() * 0.5,
+                                  rng->UniformDouble(), rng);
+  }
+}
+
+TEST(Stress, AllDecisionProceduresAgree) {
+  Rng rng(0x57E55);
+  for (int round = 0; round < kRounds; ++round) {
+    WorkloadParams wp;
+    wp.txn_count = 2 + rng.UniformIndex(3);
+    wp.min_ops_per_txn = 1;
+    wp.max_ops_per_txn = 4;
+    wp.object_count = 2 + rng.UniformIndex(4);
+    wp.read_ratio = rng.UniformDouble();
+    const TransactionSet txns = GenerateTransactions(wp, &rng);
+    const AtomicitySpec spec = RandomFamilySpec(txns, &rng);
+    const Schedule schedule = RandomSchedule(txns, &rng);
+
+    const bool offline = IsRelativelySerializable(txns, schedule, spec);
+    const std::size_t online_rejection =
+        OnlineRsrChecker::FirstRejection(txns, spec, schedule);
+    EXPECT_EQ(offline, online_rejection == schedule.size())
+        << "round " << round;
+    const BruteForceResult oracle =
+        BruteForceRelativelySerializable(txns, schedule, spec);
+    ASSERT_TRUE(oracle.decided.has_value());
+    EXPECT_EQ(offline, *oracle.decided) << "round " << round;
+
+    ClassifyOptions options;
+    options.with_relative_consistency = true;
+    options.brute_force_budget = 1u << 22;
+    const ScheduleClassification c = Classify(txns, schedule, spec, options);
+    CheckLatticeInvariants(c);
+    EXPECT_EQ(c.relatively_serializable, offline);
+
+    if (offline) {
+      const RsrAnalysis analysis =
+          AnalyzeRelativeSerializability(txns, schedule, spec);
+      ASSERT_TRUE(analysis.witness.has_value());
+      EXPECT_TRUE(ConflictEquivalent(txns, schedule, *analysis.witness));
+      EXPECT_TRUE(IsRelativelySerial(txns, *analysis.witness, spec));
+    }
+  }
+}
+
+TEST(Stress, SchedulersSurviveEveryFamilyAndKeepGuarantees) {
+  Rng rng(0x57E56);
+  for (int round = 0; round < 40; ++round) {
+    WorkloadParams wp;
+    wp.txn_count = 3 + rng.UniformIndex(4);
+    wp.min_ops_per_txn = 1;
+    wp.max_ops_per_txn = 6;
+    wp.object_count = 2 + rng.UniformIndex(8);
+    wp.zipf_theta = rng.UniformDouble();
+    wp.read_ratio = rng.UniformDouble();
+    const TransactionSet txns = GenerateTransactions(wp, &rng);
+    const AtomicitySpec spec = RandomFamilySpec(txns, &rng);
+    const std::string& name = rng.Choice(AllSchedulerNames());
+    auto scheduler = MakeScheduler(name, txns, spec);
+    SimParams sp;
+    sp.seed = rng.Next();
+    sp.max_ticks = 300000;
+    if (rng.Bernoulli(0.3)) sp.think_time = {1 + rng.UniformIndex(3)};
+    const SimResult result = RunSimulation(txns, scheduler.get(), sp);
+    ASSERT_TRUE(result.metrics.completed)
+        << name << " stalled at round " << round;
+    const RunVerification verification =
+        VerifyRun(txns, spec, result, GuaranteeOf(name));
+    EXPECT_TRUE(verification.guarantee_held)
+        << name << " violated its guarantee at round " << round;
+    // Recovery classification must satisfy its own lattice.
+    auto schedule = result.CommittedSchedule(txns);
+    ASSERT_TRUE(schedule.ok());
+    CheckRecoveryInvariants(ClassifyRecovery(txns, *schedule));
+  }
+}
+
+TEST(Stress, ScenarioWorkloadsUnderRandomSchedulers) {
+  Rng rng(0x57E57);
+  for (int round = 0; round < 10; ++round) {
+    BankingParams bp;
+    bp.families = 1 + rng.UniformIndex(3);
+    bp.customers_per_family = 1 + rng.UniformIndex(3);
+    bp.transfers_per_customer = 1 + rng.UniformIndex(2);
+    bp.credit_audits = rng.UniformIndex(bp.families + 1);
+    const BankingScenario banking = MakeBankingScenario(bp, &rng);
+    CadParams cp;
+    cp.teams = 1 + rng.UniformIndex(2);
+    cp.designers_per_team = 1 + rng.UniformIndex(3);
+    cp.phases = 1 + rng.UniformIndex(3);
+    const CadScenario cad = MakeCadScenario(cp, &rng);
+    struct Case {
+      const TransactionSet& txns;
+      const AtomicitySpec& spec;
+    };
+    for (const Case& c : {Case{banking.txns, banking.spec},
+                          Case{cad.txns, cad.spec}}) {
+      const std::string& name = rng.Choice(AllSchedulerNames());
+      auto scheduler = MakeScheduler(name, c.txns, c.spec);
+      SimParams sp;
+      sp.seed = rng.Next();
+      sp.max_ticks = 300000;
+      const SimResult result = RunSimulation(c.txns, scheduler.get(), sp);
+      ASSERT_TRUE(result.metrics.completed) << name;
+      const RunVerification verification =
+          VerifyRun(c.txns, c.spec, result, GuaranteeOf(name));
+      EXPECT_TRUE(verification.guarantee_held) << name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace relser

@@ -1,0 +1,177 @@
+// Tests for the timestamp-ordering and relatively-atomic schedulers.
+#include <gtest/gtest.h>
+
+#include "core/checkers.h"
+#include "model/text.h"
+#include "sched/engine.h"
+#include "sched/relatively_atomic.h"
+#include "sched/timestamp.h"
+#include "sched/verify.h"
+#include "spec/builders.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+#include "workload/spec_gen.h"
+
+namespace relser {
+namespace {
+
+// ----------------------------------------------------------------- TO
+
+TEST(Timestamp, InOrderAccessesGranted) {
+  auto txns = ParseTransactionSet("T1 = w1[x]\nT2 = r2[x]\n");
+  TimestampScheduler scheduler(*txns);
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(0).op(0)), Decision::kGrant);
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(1).op(0)), Decision::kGrant);
+  EXPECT_EQ(scheduler.late_rejections(), 0u);
+}
+
+TEST(Timestamp, LateWriteAfterYoungerReadAborts) {
+  auto txns = ParseTransactionSet("T1 = r1[y] w1[x]\nT2 = r2[x]\n");
+  TimestampScheduler scheduler(*txns);
+  // T1 starts first (ts 1), then T2 (ts 2) reads x; T1's write of x is
+  // now too late.
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(0).op(0)), Decision::kGrant);
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(1).op(0)), Decision::kGrant);
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(0).op(1)), Decision::kAbort);
+  EXPECT_EQ(scheduler.late_rejections(), 1u);
+  // After the abort T1 restarts with a fresh, larger timestamp.
+  scheduler.OnAbort(0);
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(0).op(0)), Decision::kGrant);
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(0).op(1)), Decision::kGrant);
+}
+
+TEST(Timestamp, LateReadAfterYoungerWriteAborts) {
+  auto txns = ParseTransactionSet("T1 = r1[y] r1[x]\nT2 = w2[x]\n");
+  TimestampScheduler scheduler(*txns);
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(0).op(0)), Decision::kGrant);
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(1).op(0)), Decision::kGrant);
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(0).op(1)), Decision::kAbort);
+}
+
+TEST(Timestamp, AlwaysConflictSerializableOnRandomWorkloads) {
+  Rng rng(0x70AA);
+  for (int round = 0; round < 40; ++round) {
+    WorkloadParams wp;
+    wp.txn_count = 2 + rng.UniformIndex(5);
+    wp.min_ops_per_txn = 1;
+    wp.max_ops_per_txn = 6;
+    wp.object_count = 2 + rng.UniformIndex(5);
+    const TransactionSet txns = GenerateTransactions(wp, &rng);
+    TimestampScheduler scheduler(txns);
+    SimParams sp;
+    sp.seed = rng.Next();
+    sp.max_ticks = 200000;
+    const SimResult result = RunSimulation(txns, &scheduler, sp);
+    ASSERT_TRUE(result.metrics.completed) << "round " << round;
+    const RunVerification verification =
+        VerifyRun(txns, AbsoluteSpec(txns), result,
+                  Guarantee::kConflictSerializable);
+    EXPECT_TRUE(verification.guarantee_held) << "round " << round;
+  }
+}
+
+// ----------------------------------------------------------------- RA
+
+TEST(RelativelyAtomic, BlocksEntryIntoOpenUnit) {
+  auto txns = ParseTransactionSet("T1 = r1[x] w1[x]\nT2 = w2[y]\n");
+  const AtomicitySpec spec(*txns);  // absolute: T1 is one unit
+  RelativelyAtomicScheduler scheduler(*txns, spec);
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(0).op(0)), Decision::kGrant);
+  // T1's unit is open: T2 must wait even though there is no conflict.
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(1).op(0)), Decision::kBlock);
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(0).op(1)), Decision::kGrant);
+  // Unit complete: T2 may proceed.
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(1).op(0)), Decision::kGrant);
+}
+
+TEST(RelativelyAtomic, BreakpointOpensTheDoor) {
+  auto txns = ParseTransactionSet("T1 = r1[x] w1[x]\nT2 = w2[y]\n");
+  AtomicitySpec spec(*txns);
+  spec.SetBreakpoint(0, 1, 0);
+  RelativelyAtomicScheduler scheduler(*txns, spec);
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(0).op(0)), Decision::kGrant);
+  // T1 stands at a breakpoint for T2: no open unit.
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(1).op(0)), Decision::kGrant);
+}
+
+TEST(RelativelyAtomic, AbsoluteSpecSerializesStarts) {
+  // Under absolute atomicity a transaction's whole body is one unit, so
+  // once T1 starts, T2 cannot even begin until T1 finishes.
+  auto txns = ParseTransactionSet("T1 = r1[x] w1[x]\nT2 = r2[y] w2[y]\n");
+  const AtomicitySpec spec(*txns);
+  RelativelyAtomicScheduler scheduler(*txns, spec);
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(0).op(0)), Decision::kGrant);
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(1).op(0)), Decision::kBlock);
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(0).op(1)), Decision::kGrant);
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(1).op(0)), Decision::kGrant);
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(1).op(1)), Decision::kGrant);
+}
+
+TEST(RelativelyAtomic, NeverDeadlocksNorAborts) {
+  // Deadlock-freedom: a waits-for cycle would need cyclic opennesses
+  // T1 open-against-T2, ..., Tk open-against-T1; the *latest* grant that
+  // created one of them was only admissible because nothing was open
+  // against its transaction — contradicting an earlier openness of the
+  // cycle. Hence blocked transactions always drain and the abort path
+  // never fires.
+  Rng rng(0x4A4C);
+  for (int round = 0; round < 40; ++round) {
+    WorkloadParams wp;
+    wp.txn_count = 2 + rng.UniformIndex(5);
+    wp.min_ops_per_txn = 1;
+    wp.max_ops_per_txn = 6;
+    wp.object_count = 2 + rng.UniformIndex(4);
+    const TransactionSet txns = GenerateTransactions(wp, &rng);
+    const AtomicitySpec spec = RandomSpec(txns, rng.UniformDouble(), &rng);
+    RelativelyAtomicScheduler scheduler(txns, spec);
+    SimParams sp;
+    sp.seed = rng.Next();
+    sp.max_ticks = 200000;
+    const SimResult result = RunSimulation(txns, &scheduler, sp);
+    ASSERT_TRUE(result.metrics.completed) << "round " << round;
+    EXPECT_EQ(result.metrics.aborts, 0u) << "round " << round;
+    EXPECT_EQ(result.metrics.cascade_aborts, 0u) << "round " << round;
+  }
+}
+
+TEST(RelativelyAtomic, CommittedSchedulesAreRelativelyAtomic) {
+  Rng rng(0x4A4A);
+  for (int round = 0; round < 40; ++round) {
+    WorkloadParams wp;
+    wp.txn_count = 2 + rng.UniformIndex(4);
+    wp.min_ops_per_txn = 1;
+    wp.max_ops_per_txn = 5;
+    wp.object_count = 2 + rng.UniformIndex(4);
+    const TransactionSet txns = GenerateTransactions(wp, &rng);
+    const AtomicitySpec spec = RandomSpec(txns, rng.UniformDouble(), &rng);
+    RelativelyAtomicScheduler scheduler(txns, spec);
+    SimParams sp;
+    sp.seed = rng.Next();
+    sp.max_ticks = 200000;
+    const SimResult result = RunSimulation(txns, &scheduler, sp);
+    ASSERT_TRUE(result.metrics.completed) << "round " << round;
+    auto schedule = result.CommittedSchedule(txns);
+    ASSERT_TRUE(schedule.ok());
+    // The strongest guarantee in the lattice short of serial: Def. 1.
+    EXPECT_TRUE(IsRelativelyAtomic(txns, *schedule, spec))
+        << "round " << round;
+  }
+}
+
+TEST(RelativelyAtomic, FullyRelaxedSpecNeverBlocks) {
+  Rng rng(0x4A4B);
+  WorkloadParams wp;
+  wp.txn_count = 5;
+  wp.object_count = 2;
+  const TransactionSet txns = GenerateTransactions(wp, &rng);
+  const AtomicitySpec relaxed = FullyRelaxedSpec(txns);
+  RelativelyAtomicScheduler scheduler(txns, relaxed);
+  SimParams sp;
+  const SimResult result = RunSimulation(txns, &scheduler, sp);
+  ASSERT_TRUE(result.metrics.completed);
+  EXPECT_EQ(result.metrics.blocks, 0u);
+  EXPECT_EQ(result.metrics.aborts, 0u);
+}
+
+}  // namespace
+}  // namespace relser

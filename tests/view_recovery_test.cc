@@ -1,0 +1,177 @@
+// Tests for the classical-theory baselines: view equivalence / view
+// serializability and the recovery classes RC / ACA / ST.
+#include <gtest/gtest.h>
+
+#include "model/conflict.h"
+#include "model/recovery.h"
+#include "model/text.h"
+#include "model/view.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+
+namespace relser {
+namespace {
+
+// -------------------------------------------------------------- view
+
+TEST(View, ReadsFromInitialAndFromWriters) {
+  auto txns = ParseTransactionSet("T1 = r1[x] w1[x]\nT2 = r2[x]\n");
+  auto schedule = ParseSchedule(*txns, "r1[x] w1[x] r2[x]");
+  const ViewProfile profile = ComputeViewProfile(*txns, *schedule);
+  const OpIndexer ix(*txns);
+  EXPECT_EQ(profile.reads_from[ix.GlobalId(0, 0)], kInitialTxn);
+  EXPECT_EQ(profile.reads_from[ix.GlobalId(1, 0)], 0u);  // reads T1's write
+  EXPECT_EQ(profile.final_writer[0], 0u);
+}
+
+TEST(View, ReadOwnWrite) {
+  auto txns = ParseTransactionSet("T1 = w1[x] r1[x]\nT2 = w2[x]\n");
+  auto schedule = ParseSchedule(*txns, "w1[x] w2[x] r1[x]");
+  const ViewProfile profile = ComputeViewProfile(*txns, *schedule);
+  const OpIndexer ix(*txns);
+  // The latest write before r1[x] is w2[x] — under the standard model the
+  // read observes the most recent write regardless of writer.
+  EXPECT_EQ(profile.reads_from[ix.GlobalId(0, 1)], 1u);
+  EXPECT_EQ(profile.final_writer[0], 1u);
+}
+
+TEST(View, ViewEquivalenceDistinguishesReadsFrom) {
+  auto txns = ParseTransactionSet("T1 = w1[x]\nT2 = r2[x]\n");
+  auto a = ParseSchedule(*txns, "w1[x] r2[x]");
+  auto b = ParseSchedule(*txns, "r2[x] w1[x]");
+  EXPECT_FALSE(ViewEquivalent(*txns, *a, *b));
+  EXPECT_TRUE(ViewEquivalent(*txns, *a, *a));
+}
+
+TEST(View, ConflictEquivalenceImpliesViewEquivalence) {
+  Rng rng(1);
+  for (int round = 0; round < 40; ++round) {
+    WorkloadParams wp;
+    wp.txn_count = 3;
+    wp.max_ops_per_txn = 4;
+    wp.object_count = 3;
+    const TransactionSet txns = GenerateTransactions(wp, &rng);
+    const Schedule a = RandomSchedule(txns, &rng);
+    const Schedule b = RandomSchedule(txns, &rng);
+    if (ConflictEquivalent(txns, a, b)) {
+      EXPECT_TRUE(ViewEquivalent(txns, a, b)) << "round " << round;
+    }
+  }
+}
+
+TEST(View, ClassicBlindWriteExampleIsViewButNotConflictSerializable) {
+  // The textbook separation witness: blind writes make S view equivalent
+  // to the serial T1 T2 T3 although SG(S) has a T1/T2 cycle.
+  auto txns = ParseTransactionSet(
+      "T1 = w1[x] w1[y]\nT2 = w2[x] w2[y]\nT3 = w3[x] w3[y]\n");
+  auto schedule =
+      ParseSchedule(*txns, "w1[x] w2[x] w2[y] w1[y] w3[x] w3[y]");
+  ASSERT_TRUE(schedule.ok());
+  EXPECT_FALSE(IsConflictSerializable(*txns, *schedule));
+  EXPECT_TRUE(IsViewSerializable(*txns, *schedule));
+  const auto order = ViewSerializationOrder(*txns, *schedule);
+  ASSERT_TRUE(order.has_value());
+  EXPECT_EQ(*order, (std::vector<TxnId>{0, 1, 2}));
+}
+
+TEST(View, ConflictSerializableImpliesViewSerializable) {
+  Rng rng(2);
+  for (int round = 0; round < 50; ++round) {
+    WorkloadParams wp;
+    wp.txn_count = 3;
+    wp.max_ops_per_txn = 3;
+    wp.object_count = 2;
+    const TransactionSet txns = GenerateTransactions(wp, &rng);
+    const Schedule schedule = RandomSchedule(txns, &rng);
+    if (IsConflictSerializable(txns, schedule)) {
+      EXPECT_TRUE(IsViewSerializable(txns, schedule)) << "round " << round;
+    }
+  }
+}
+
+TEST(View, NonSerializableScheduleRejected) {
+  // Lost update with reads: no serial order matches the reads-from.
+  auto txns = ParseTransactionSet("T1 = r1[x] w1[x]\nT2 = r2[x] w2[x]\n");
+  auto schedule = ParseSchedule(*txns, "r1[x] r2[x] w1[x] w2[x]");
+  EXPECT_FALSE(IsViewSerializable(*txns, *schedule));
+}
+
+// ---------------------------------------------------------- recovery
+
+TEST(Recovery, SerialSchedulesAreStrict) {
+  Rng rng(3);
+  WorkloadParams wp;
+  wp.txn_count = 4;
+  const TransactionSet txns = GenerateTransactions(wp, &rng);
+  const Schedule serial = RandomSerialSchedule(txns, &rng);
+  const RecoveryClassification c = ClassifyRecovery(txns, serial);
+  EXPECT_TRUE(c.strict);
+  EXPECT_TRUE(c.avoids_cascading);
+  EXPECT_TRUE(c.recoverable);
+  EXPECT_EQ(c.ToFlags(), "ST ACA RC");
+}
+
+TEST(Recovery, DirtyReadBeforeWriterCommitBreaksAca) {
+  // T2 reads T1's write before T1's last op: not ACA; T2 commits after
+  // T1, so still recoverable.
+  auto txns = ParseTransactionSet("T1 = w1[x] w1[y]\nT2 = r2[x] r2[z]\n");
+  auto schedule = ParseSchedule(*txns, "w1[x] r2[x] w1[y] r2[z]");
+  const RecoveryClassification c = ClassifyRecovery(*txns, *schedule);
+  EXPECT_TRUE(c.recoverable);
+  EXPECT_FALSE(c.avoids_cascading);
+  EXPECT_FALSE(c.strict);
+  EXPECT_EQ(c.ToFlags(), "RC");
+  CheckRecoveryInvariants(c);
+}
+
+TEST(Recovery, ReaderCommittingFirstBreaksRecoverability) {
+  // T2 reads T1's dirty write and commits before T1 does.
+  auto txns = ParseTransactionSet("T1 = w1[x] w1[y]\nT2 = r2[x]\n");
+  auto schedule = ParseSchedule(*txns, "w1[x] r2[x] w1[y]");
+  const RecoveryClassification c = ClassifyRecovery(*txns, *schedule);
+  EXPECT_FALSE(c.recoverable);
+  EXPECT_FALSE(c.avoids_cascading);
+  EXPECT_EQ(c.ToFlags(), "-");
+}
+
+TEST(Recovery, DirtyOverwriteBreaksStrictnessOnly) {
+  // T2 overwrites T1's uncommitted write but never reads it: ACA holds,
+  // strictness does not.
+  auto txns = ParseTransactionSet("T1 = w1[x] w1[y]\nT2 = w2[x]\n");
+  auto schedule = ParseSchedule(*txns, "w1[x] w2[x] w1[y]");
+  const RecoveryClassification c = ClassifyRecovery(*txns, *schedule);
+  EXPECT_TRUE(c.recoverable);
+  EXPECT_TRUE(c.avoids_cascading);
+  EXPECT_FALSE(c.strict);
+  EXPECT_EQ(c.ToFlags(), "ACA RC");
+}
+
+TEST(Recovery, ReadAfterCommitIsClean) {
+  auto txns = ParseTransactionSet("T1 = w1[x] w1[y]\nT2 = r2[x]\n");
+  auto schedule = ParseSchedule(*txns, "w1[x] w1[y] r2[x]");
+  const RecoveryClassification c = ClassifyRecovery(*txns, *schedule);
+  EXPECT_TRUE(c.strict);
+}
+
+TEST(Recovery, InvariantsHoldOnRandomSchedules) {
+  Rng rng(4);
+  for (int round = 0; round < 100; ++round) {
+    WorkloadParams wp;
+    wp.txn_count = 2 + rng.UniformIndex(4);
+    wp.object_count = 2 + rng.UniformIndex(3);
+    wp.read_ratio = 0.5;
+    const TransactionSet txns = GenerateTransactions(wp, &rng);
+    const Schedule schedule = RandomSchedule(txns, &rng);
+    CheckRecoveryInvariants(ClassifyRecovery(txns, schedule));
+  }
+}
+
+TEST(Recovery, OwnWriteDoesNotCountAsDirty) {
+  auto txns = ParseTransactionSet("T1 = w1[x] r1[x] w1[y]\nT2 = w2[z]\n");
+  auto schedule = ParseSchedule(*txns, "w1[x] r1[x] w2[z] w1[y]");
+  const RecoveryClassification c = ClassifyRecovery(*txns, *schedule);
+  EXPECT_TRUE(c.strict);
+}
+
+}  // namespace
+}  // namespace relser

@@ -1,0 +1,297 @@
+// Tests for workload generation: random transactions/schedules, the
+// scenario builders (banking, CAD), and their specification structure.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/checkers.h"
+#include "model/text.h"
+#include "workload/generator.h"
+#include "workload/scenarios.h"
+#include "workload/spec_gen.h"
+
+namespace relser {
+namespace {
+
+TEST(Generator, RespectsParameters) {
+  Rng rng(10);
+  WorkloadParams wp;
+  wp.txn_count = 7;
+  wp.min_ops_per_txn = 2;
+  wp.max_ops_per_txn = 5;
+  wp.object_count = 4;
+  const TransactionSet txns = GenerateTransactions(wp, &rng);
+  EXPECT_EQ(txns.txn_count(), 7u);
+  EXPECT_EQ(txns.object_count(), 4u);
+  EXPECT_TRUE(txns.Validate().ok());
+  for (const Transaction& txn : txns.txns()) {
+    EXPECT_GE(txn.size(), 2u);
+    EXPECT_LE(txn.size(), 5u);
+    for (const Operation& op : txn.ops()) {
+      EXPECT_LT(op.object, 4u);
+    }
+  }
+}
+
+TEST(Generator, AvoidImmediateRepeatHolds) {
+  Rng rng(11);
+  WorkloadParams wp;
+  wp.txn_count = 10;
+  wp.min_ops_per_txn = 6;
+  wp.max_ops_per_txn = 6;
+  wp.object_count = 3;
+  wp.avoid_immediate_repeat = true;
+  const TransactionSet txns = GenerateTransactions(wp, &rng);
+  for (const Transaction& txn : txns.txns()) {
+    for (std::size_t k = 1; k < txn.size(); ++k) {
+      EXPECT_NE(txn.op(k).object, txn.op(k - 1).object);
+    }
+  }
+}
+
+TEST(Generator, ReadRatioExtremes) {
+  Rng rng(12);
+  WorkloadParams wp;
+  wp.txn_count = 5;
+  wp.read_ratio = 1.0;
+  const TransactionSet reads = GenerateTransactions(wp, &rng);
+  for (const Transaction& txn : reads.txns()) {
+    for (const Operation& op : txn.ops()) {
+      EXPECT_TRUE(op.is_read());
+    }
+  }
+  wp.read_ratio = 0.0;
+  const TransactionSet writes = GenerateTransactions(wp, &rng);
+  for (const Transaction& txn : writes.txns()) {
+    for (const Operation& op : txn.ops()) {
+      EXPECT_TRUE(op.is_write());
+    }
+  }
+}
+
+TEST(Generator, DeterministicForEqualSeeds) {
+  WorkloadParams wp;
+  wp.txn_count = 5;
+  Rng a(55);
+  Rng b(55);
+  const TransactionSet ta = GenerateTransactions(wp, &a);
+  const TransactionSet tb = GenerateTransactions(wp, &b);
+  ASSERT_EQ(ta.txn_count(), tb.txn_count());
+  for (TxnId t = 0; t < ta.txn_count(); ++t) {
+    EXPECT_EQ(ta.txn(t).ops(), tb.txn(t).ops());
+  }
+}
+
+TEST(RandomSchedules, AlwaysValidAndComplete) {
+  Rng rng(13);
+  WorkloadParams wp;
+  wp.txn_count = 4;
+  const TransactionSet txns = GenerateTransactions(wp, &rng);
+  for (int round = 0; round < 50; ++round) {
+    const Schedule schedule = RandomSchedule(txns, &rng);
+    EXPECT_EQ(schedule.size(), OpIndexer(txns).total_ops());
+  }
+}
+
+TEST(RandomSchedules, InterleavingsAreRoughlyUniform) {
+  // Two transactions of 2 ops each: 6 interleavings, each ~1/6.
+  auto txns = ParseTransactionSet("T1 = r1[x] w1[x]\nT2 = r2[y] w2[y]\n");
+  Rng rng(14);
+  std::map<std::string, int> counts;
+  constexpr int kDraws = 12000;
+  for (int i = 0; i < kDraws; ++i) {
+    counts[ToString(*txns, RandomSchedule(*txns, &rng))]++;
+  }
+  EXPECT_EQ(counts.size(), 6u);
+  for (const auto& [text, count] : counts) {
+    EXPECT_NEAR(count, kDraws / 6, 250) << text;
+  }
+}
+
+TEST(RandomSchedules, SerialSchedulesAreSerial) {
+  Rng rng(15);
+  WorkloadParams wp;
+  wp.txn_count = 5;
+  const TransactionSet txns = GenerateTransactions(wp, &rng);
+  for (int round = 0; round < 20; ++round) {
+    EXPECT_TRUE(RandomSerialSchedule(txns, &rng).IsSerial());
+  }
+}
+
+TEST(RandomSchedules, PerturbKeepsValidity) {
+  Rng rng(16);
+  WorkloadParams wp;
+  wp.txn_count = 4;
+  const TransactionSet txns = GenerateTransactions(wp, &rng);
+  const Schedule base = RandomSerialSchedule(txns, &rng);
+  for (const std::size_t swaps : {0u, 1u, 5u, 50u}) {
+    const Schedule perturbed = PerturbSchedule(txns, base, swaps, &rng);
+    EXPECT_EQ(perturbed.size(), base.size());
+    // Validity is enforced internally; also confirm program order here.
+    std::vector<std::uint32_t> next(txns.txn_count(), 0);
+    for (const Operation& op : perturbed.ops()) {
+      EXPECT_EQ(op.index, next[op.txn]++);
+    }
+  }
+}
+
+// --------------------------------------------------------------- banking
+
+TEST(Banking, StructureMatchesParams) {
+  BankingParams params;
+  params.families = 3;
+  params.accounts_per_family = 2;
+  params.customers_per_family = 2;
+  params.transfers_per_customer = 2;
+  params.credit_audits = 2;
+  params.include_bank_audit = true;
+  Rng rng(17);
+  const BankingScenario scenario = MakeBankingScenario(params, &rng);
+  EXPECT_EQ(scenario.txns.txn_count(), 3u * 2u + 2u + 1u);
+  EXPECT_EQ(scenario.txns.object_count(), 6u);
+  EXPECT_TRUE(scenario.txns.Validate().ok());
+  EXPECT_TRUE(scenario.spec.ValidateAgainst(scenario.txns).ok());
+  // Roles and labels are aligned.
+  EXPECT_EQ(scenario.role.size(), scenario.txns.txn_count());
+  EXPECT_EQ(scenario.label.size(), scenario.txns.txn_count());
+  EXPECT_EQ(scenario.role.back(), BankingRole::kBankAudit);
+}
+
+TEST(Banking, BankAuditIsAbsolutelyAtomic) {
+  BankingParams params;
+  Rng rng(18);
+  const BankingScenario scenario = MakeBankingScenario(params, &rng);
+  TxnId audit = 0;
+  for (TxnId t = 0; t < scenario.txns.txn_count(); ++t) {
+    if (scenario.role[t] == BankingRole::kBankAudit) audit = t;
+  }
+  for (TxnId j = 0; j < scenario.txns.txn_count(); ++j) {
+    if (j == audit) continue;
+    EXPECT_EQ(scenario.spec.UnitCount(audit, j), 1u);
+    EXPECT_EQ(scenario.spec.UnitCount(j, audit), 1u);
+  }
+}
+
+TEST(Banking, SameFamilyCustomersFullyInterleave) {
+  BankingParams params;
+  params.customers_per_family = 3;
+  Rng rng(19);
+  const BankingScenario scenario = MakeBankingScenario(params, &rng);
+  for (TxnId i = 0; i < scenario.txns.txn_count(); ++i) {
+    for (TxnId j = 0; j < scenario.txns.txn_count(); ++j) {
+      if (i == j) continue;
+      if (scenario.role[i] == BankingRole::kCustomer &&
+          scenario.role[j] == BankingRole::kCustomer &&
+          scenario.family[i] == scenario.family[j]) {
+        EXPECT_EQ(scenario.spec.UnitCount(i, j), scenario.txns.txn(i).size());
+      }
+    }
+  }
+}
+
+TEST(Banking, CustomerExposesTransferBoundariesToCreditAudit) {
+  BankingParams params;
+  params.transfers_per_customer = 3;
+  params.credit_audits = 1;
+  Rng rng(20);
+  const BankingScenario scenario = MakeBankingScenario(params, &rng);
+  for (TxnId i = 0; i < scenario.txns.txn_count(); ++i) {
+    if (scenario.role[i] != BankingRole::kCustomer ||
+        scenario.family[i] != 0) {
+      continue;
+    }
+    for (TxnId j = 0; j < scenario.txns.txn_count(); ++j) {
+      if (scenario.role[j] != BankingRole::kCreditAudit ||
+          scenario.family[j] != 0) {
+        continue;
+      }
+      // 3 transfers of 4 ops -> units of 4, i.e. 3 units.
+      EXPECT_EQ(scenario.spec.UnitCount(i, j), 3u);
+      const auto units = scenario.spec.Units(i, j);
+      for (const UnitRange& unit : units) {
+        EXPECT_EQ(unit.last - unit.first + 1, 4u);
+      }
+    }
+  }
+}
+
+TEST(Banking, CrossFamilyCustomersStayAtomic) {
+  BankingParams params;
+  params.families = 2;
+  Rng rng(21);
+  const BankingScenario scenario = MakeBankingScenario(params, &rng);
+  for (TxnId i = 0; i < scenario.txns.txn_count(); ++i) {
+    for (TxnId j = 0; j < scenario.txns.txn_count(); ++j) {
+      if (i == j) continue;
+      if (scenario.role[i] == BankingRole::kCustomer &&
+          scenario.role[j] == BankingRole::kCustomer &&
+          scenario.family[i] != scenario.family[j]) {
+        EXPECT_EQ(scenario.spec.UnitCount(i, j), 1u);
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------------- cad
+
+TEST(Cad, StructureMatchesParams) {
+  CadParams params;
+  params.teams = 2;
+  params.designers_per_team = 3;
+  params.phases = 2;
+  params.include_release = true;
+  Rng rng(22);
+  const CadScenario scenario = MakeCadScenario(params, &rng);
+  EXPECT_EQ(scenario.txns.txn_count(), 7u);
+  EXPECT_TRUE(scenario.txns.Validate().ok());
+  EXPECT_EQ(scenario.team.back(), CadScenario::kGlobal);
+  // Designer transactions have phases * 3 ops (shared read + RMW).
+  EXPECT_EQ(scenario.txns.txn(0).size(), 6u);
+}
+
+TEST(Cad, TeammatesInterleaveFreelyCrossTeamAtPhaseBoundaries) {
+  CadParams params;
+  params.teams = 2;
+  params.designers_per_team = 2;
+  params.phases = 3;
+  Rng rng(23);
+  const CadScenario scenario = MakeCadScenario(params, &rng);
+  for (TxnId i = 0; i < scenario.txns.txn_count(); ++i) {
+    if (scenario.team[i] == CadScenario::kGlobal) continue;
+    for (TxnId j = 0; j < scenario.txns.txn_count(); ++j) {
+      if (i == j || scenario.team[j] == CadScenario::kGlobal) continue;
+      if (scenario.team[i] == scenario.team[j]) {
+        EXPECT_EQ(scenario.spec.UnitCount(i, j), scenario.txns.txn(i).size());
+      } else {
+        EXPECT_EQ(scenario.spec.UnitCount(i, j), params.phases);
+      }
+    }
+  }
+}
+
+TEST(Cad, ReleaseTransactionIsAtomicBothWays) {
+  CadParams params;
+  Rng rng(24);
+  const CadScenario scenario = MakeCadScenario(params, &rng);
+  const TxnId release =
+      static_cast<TxnId>(scenario.txns.txn_count() - 1);
+  ASSERT_EQ(scenario.team[release], CadScenario::kGlobal);
+  for (TxnId j = 0; j < release; ++j) {
+    EXPECT_EQ(scenario.spec.UnitCount(release, j), 1u);
+    EXPECT_EQ(scenario.spec.UnitCount(j, release), 1u);
+  }
+}
+
+TEST(Scenarios, SerialExecutionsAreAlwaysAccepted) {
+  Rng rng(25);
+  const BankingScenario banking = MakeBankingScenario(BankingParams{}, &rng);
+  const CadScenario cad = MakeCadScenario(CadParams{}, &rng);
+  EXPECT_TRUE(IsRelativelyAtomic(banking.txns,
+                                 RandomSerialSchedule(banking.txns, &rng),
+                                 banking.spec));
+  EXPECT_TRUE(IsRelativelyAtomic(
+      cad.txns, RandomSerialSchedule(cad.txns, &rng), cad.spec));
+}
+
+}  // namespace
+}  // namespace relser
