@@ -3,8 +3,17 @@
 //     the arc streams online schedulers produce;
 //   * DAG-order bitset transitive closure vs per-source DFS closure (the
 //     two ways to realize the depends-on relation);
+//   * batched AddEdges (one compound Pearce-Kelly repair per chunk) vs
+//     per-edge trial insertion on the same arc stream;
 //   * end-to-end RSG build + acyclicity at growing schedule sizes.
+//
+// Results are mirrored to BENCH_graph_ablation.json (google-benchmark's
+// JSON reporter) for the perf-trajectory harness.
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
 
 #include "core/depends.h"
 #include "core/rsg.h"
@@ -77,6 +86,33 @@ void BM_FullRecheckCycleDetection(benchmark::State& state) {
                           state.iterations());
 }
 BENCHMARK(BM_FullRecheckCycleDetection)->Arg(64)->Arg(256)->Arg(1024);
+
+// The admission path submits each operation's pruned arc set as one
+// batch; this ablation measures the compound repair against inserting
+// the same chunks edge-by-edge (BM_IncrementalCycleDetection above).
+// Chunks that would close a cycle roll back whole, so the accepted-arc
+// counts differ from per-edge insertion by design.
+void BM_BatchedArcInsertion(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  constexpr std::size_t kChunk = 4;  // arcs per operation, typical pruned
+  const auto stream = MakeArcStream(n, n * 4, 7);
+  std::vector<std::pair<NodeId, NodeId>> chunk;
+  for (auto _ : state) {
+    IncrementalTopology topo(n);
+    std::size_t accepted_batches = 0;
+    for (std::size_t start = 0; start < stream.size(); start += kChunk) {
+      chunk.assign(stream.begin() + static_cast<std::ptrdiff_t>(start),
+                   stream.begin() + static_cast<std::ptrdiff_t>(
+                                        std::min(start + kChunk,
+                                                 stream.size())));
+      if (topo.AddEdges(chunk)) ++accepted_batches;
+    }
+    benchmark::DoNotOptimize(accepted_batches);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(stream.size()) *
+                          state.iterations());
+}
+BENCHMARK(BM_BatchedArcInsertion)->Arg(64)->Arg(256)->Arg(1024);
 
 Digraph MakeDag(std::size_t n, std::size_t arcs, std::uint64_t seed) {
   Rng rng(seed);
@@ -155,4 +191,28 @@ BENCHMARK(BM_DependsOnClosure)->Arg(4)->Arg(16)->Arg(64);
 }  // namespace
 }  // namespace relser
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): defaults --benchmark_out to
+// BENCH_graph_ablation.json (JSON format) so every invocation refreshes
+// the perf-trajectory file without extra command-line flags; explicit
+// --benchmark_out flags still win.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out", 0) == 0) has_out = true;
+  }
+  std::string out_flag = "--benchmark_out=BENCH_graph_ablation.json";
+  std::string format_flag = "--benchmark_out_format=json";
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,115 @@
+#include "bench/bench_json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace relser {
+
+void JsonWriter::BeforeValue() {
+  if (after_key_) {
+    after_key_ = false;
+    return;  // value belongs to the pending key; no comma
+  }
+  if (!needs_comma_.empty()) {
+    if (needs_comma_.back()) out_ += ',';
+    needs_comma_.back() = true;
+  }
+}
+
+void JsonWriter::Open(char bracket) {
+  BeforeValue();
+  out_ += bracket;
+  needs_comma_.push_back(false);
+}
+
+void JsonWriter::Close(char bracket) {
+  needs_comma_.pop_back();
+  out_ += bracket;
+}
+
+void JsonWriter::Key(std::string_view name) {
+  BeforeValue();
+  Escape(name);
+  out_ += ':';
+  after_key_ = true;
+}
+
+void JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  Escape(value);
+}
+
+void JsonWriter::Escape(std::string_view value) {
+  out_ += '"';
+  for (const char c : value) {
+    switch (c) {
+      case '"':
+        out_ += "\\\"";
+        break;
+      case '\\':
+        out_ += "\\\\";
+        break;
+      case '\n':
+        out_ += "\\n";
+        break;
+      case '\r':
+        out_ += "\\r";
+        break;
+      case '\t':
+        out_ += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out_ += buf;
+        } else {
+          out_ += c;
+        }
+    }
+  }
+  out_ += '"';
+}
+
+void JsonWriter::Int(std::int64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+}
+
+void JsonWriter::Uint(std::uint64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+}
+
+void JsonWriter::Double(double value) {
+  BeforeValue();
+  if (!std::isfinite(value)) {
+    out_ += "null";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  out_ += buf;
+}
+
+void JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+}
+
+void JsonWriter::Null() {
+  BeforeValue();
+  out_ += "null";
+}
+
+bool WriteJsonFile(const std::string& path, const std::string& content) {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) return false;
+  file << content << '\n';
+  file.flush();
+  return static_cast<bool>(file);
+}
+
+}  // namespace relser

@@ -11,6 +11,7 @@
 //   * at density 0 every protocol degenerates to its classical self.
 #include <iostream>
 
+#include "bench/bench_json.h"
 #include "sched/engine.h"
 #include "sched/factory.h"
 #include "sched/verify.h"
@@ -27,6 +28,14 @@ int main() {
 
   AsciiTable table({"density", "scheduler", "makespan", "throughput",
                     "blocks", "aborts", "cascades", "guarantee"});
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("bench");
+  json.String("scheduler_concurrency");
+  json.Key("runs_per_cell");
+  json.Int(kRuns);
+  json.Key("cells");
+  json.BeginArray();
   bool all_guarantees = true;
   for (const double density : densities) {
     for (const std::string& name : AllSchedulerNames()) {
@@ -72,10 +81,36 @@ int main() {
                     std::to_string(aborts / kRuns),
                     std::to_string(cascades / kRuns),
                     guarantee ? "held" : "VIOLATED"});
+      json.BeginObject();
+      json.Key("density");
+      json.Double(density);
+      json.Key("scheduler");
+      json.String(name);
+      json.Key("makespan");
+      json.Double(makespan_sum / kRuns);
+      json.Key("throughput");
+      json.Double(throughput_sum / kRuns);
+      json.Key("blocks");
+      json.Uint(blocks / kRuns);
+      json.Key("aborts");
+      json.Uint(aborts / kRuns);
+      json.Key("cascades");
+      json.Uint(cascades / kRuns);
+      json.Key("guarantee_held");
+      json.Bool(guarantee);
+      json.EndObject();
     }
   }
+  json.EndArray();
+  json.Key("all_guarantees_held");
+  json.Bool(all_guarantees);
+  json.EndObject();
   table.Print(std::cout);
+  const bool json_ok =
+      WriteJsonFile("BENCH_sched_concurrency.json", json.str());
   std::cout << "\nguarantees: " << (all_guarantees ? "all held" : "VIOLATED")
-            << "\n";
-  return all_guarantees ? 0 : 1;
+            << "\n"
+            << (json_ok ? "wrote" : "FAILED to write")
+            << " BENCH_sched_concurrency.json\n";
+  return (all_guarantees && json_ok) ? 0 : 1;
 }

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# CI entry point: sanitizer build, full test suite, and a perf smoke of
+# the online admission hot path. Fails on any test failure, any
+# sanitizer report, a decision mismatch between the optimized and
+# baseline checkers, or a malformed BENCH_online.json.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake --preset asan
+cmake --build --preset asan -j"$(nproc)"
+ctest --preset asan
+
+# Perf smoke: small sizes, but the same harness as the full trajectory
+# run — it exercises the allocation counters, the JSON emitter, and the
+# optimized-vs-baseline decision cross-check, and exits non-zero on any
+# of them failing.
+(cd build-asan && ./bench/bench_online_hotpath --smoke)
+
+# The emitted JSON must parse.
+python3 -c "import json; json.load(open('build-asan/BENCH_online.json'))"
+
+echo "ci: all checks passed"

@@ -6,120 +6,318 @@
 
 namespace relser {
 
-namespace {
-
-// Inserts `arcs` one by one; on a cycle, rolls back and returns false.
-bool TryInsertArcs(IncrementalTopology* topo,
-                   const std::vector<std::pair<NodeId, NodeId>>& arcs) {
-  std::vector<std::pair<NodeId, NodeId>> inserted;
-  inserted.reserve(arcs.size());
-  for (const auto& [from, to] : arcs) {
-    switch (topo->AddEdge(from, to)) {
-      case IncrementalTopology::AddResult::kInserted:
-        inserted.emplace_back(from, to);
-        break;
-      case IncrementalTopology::AddResult::kDuplicate:
-        break;
-      case IncrementalTopology::AddResult::kCycle:
-        for (const auto& [f, t] : inserted) {
-          topo->RemoveEdge(f, t);
-        }
-        return false;
-    }
-  }
-  return true;
-}
-
-}  // namespace
-
 OnlineRsrChecker::OnlineRsrChecker(const TransactionSet& txns,
                                    const AtomicitySpec& spec)
     : txns_(txns),
       spec_(spec),
       indexer_(txns),
       topo_(indexer_.total_ops()),
-      ancestors_(indexer_.total_ops(), DenseBitset(indexer_.total_ops())),
-      executed_(indexer_.total_ops(), false) {
+      txn_count_(indexer_.txn_count()),
+      executed_(indexer_.total_ops(), 0),
+      flags_(indexer_.total_ops(), 0),
+      slot_of_(indexer_.total_ops(), kNoSlot),
+      newest_gid_(txn_count_, kNoGid),
+      epoch_(txn_count_, 1),
+      txn_objects_(txn_count_),
+      scratch_anc_(txn_count_, 0) {
   RELSER_CHECK_MSG(spec.ValidateAgainst(txns).ok(),
                    "specification does not match the transaction set");
+  // Steady-state arc volume per op is bounded by the frontier size plus
+  // one F/B pair per ancestor transaction; reserve generously once.
+  arc_buf_.reserve(64);
+  pred_buf_.reserve(32);
+  pending_memos_.reserve(txn_count_);
+  topo_.Reserve(4 * indexer_.total_ops());
+  // Pre-size the adjacency arena; together with the per-object and
+  // per-transaction reservations below this keeps the steady-state
+  // admission path free of heap allocations (bench_online_hotpath
+  // measures the residual, which is only amortized growth of the few
+  // structures whose final size is workload-dependent).
+  topo_.ReserveAdjacency(8);
+  for (TxnId t = 0; t < txn_count_; ++t) {
+    // One entry per executed op of t (entries are appended per op, so the
+    // exact bound is the transaction length).
+    txn_objects_[t].reserve(txns_.txn(t).size());
+  }
+}
+
+std::uint32_t OnlineRsrChecker::ObjIndex(ObjectId object) {
+  const auto [slot, inserted] = object_index_.Upsert(object);
+  if (inserted) {
+    *slot = static_cast<std::uint32_t>(objects_.size());
+    objects_.emplace_back();
+    // Skip the small-capacity doublings every per-object vector would
+    // otherwise go through; hot objects still grow past this normally.
+    objects_.back().ops.reserve(16);
+    objects_.back().readers.reserve(8);
+    obj_stamp_.push_back(0);
+  }
+  return *slot;
+}
+
+std::uint32_t OnlineRsrChecker::AcquireSlot(std::size_t gid) {
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slot_owner_.size());
+    slot_owner_.push_back(kNoGid);
+    pool_.resize(pool_.size() + txn_count_);
+  }
+  slot_owner_[slot] = gid;
+  slot_of_[gid] = slot;
+  return slot;
+}
+
+void OnlineRsrChecker::ReleaseSlotIfAny(std::size_t gid) {
+  const std::uint32_t slot = slot_of_[gid];
+  if (slot == kNoSlot || flags_[gid] != 0) return;
+  slot_of_[gid] = kNoSlot;
+  slot_owner_[slot] = kNoGid;
+  free_slots_.push_back(slot);
 }
 
 bool OnlineRsrChecker::TryAppend(const Operation& op) {
   const std::size_t gid = indexer_.GlobalId(op);
-  RELSER_CHECK_MSG(!executed_[gid],
+  RELSER_CHECK_MSG(executed_[gid] == 0,
                    "operation fed twice without RemoveTransaction");
   if (op.index > 0) {
-    RELSER_CHECK_MSG(executed_[gid - 1],
+    RELSER_CHECK_MSG(executed_[gid - 1] != 0,
                      "operations must be fed in program order");
   }
+  const TxnId j = op.txn;
 
-  // Direct predecessors: previous op of the same transaction plus every
-  // executed conflicting op; ancestors = their transitive closure.
-  DenseBitset ancestors(indexer_.total_ops());
+  // Seed the scratch ancestor array from the previous op of the same
+  // transaction (ancestor arrays are cumulative along program order).
   if (op.index > 0) {
-    ancestors.Set(gid - 1);
-    ancestors.UnionWith(ancestors_[gid - 1]);
+    const std::uint32_t prev_slot = slot_of_[gid - 1];
+    RELSER_DCHECK(prev_slot != kNoSlot);
+    const std::uint32_t* prev = &pool_[prev_slot * txn_count_];
+    std::copy(prev, prev + txn_count_, scratch_anc_.begin());
+    scratch_anc_[j] = std::max(scratch_anc_[j], op.index);  // prev op itself
+  } else {
+    std::fill(scratch_anc_.begin(), scratch_anc_.end(), 0);
   }
-  const auto it = history_.find(op.object);
-  if (it != history_.end()) {
-    for (const std::size_t other : it->second) {
-      const Operation& other_op = txns_.OpByGlobalId(other);
-      if (other_op.txn != op.txn && (other_op.is_write() || op.is_write())) {
-        ancestors.Set(other);
-        ancestors.UnionWith(ancestors_[other]);
+
+  // Direct cross-transaction predecessors: the conflicting members of the
+  // object's conflict frontier (last writer + readers since it). Every
+  // older conflicting op is an ancestor of some frontier member, so the
+  // frontier is enough both for exact ancestor maxima and — transitively —
+  // for D-arc reachability (docs/hotpath.md, Lemma 1).
+  pred_buf_.clear();
+  const std::uint32_t obj_idx = ObjIndex(op.object);
+  {
+    const ObjState& state = objects_[obj_idx];
+    if (state.last_writer != kNoGid &&
+        txns_.OpByGlobalId(state.last_writer).txn != j) {
+      pred_buf_.push_back(state.last_writer);
+    }
+    if (op.is_write()) {
+      for (const std::size_t reader : state.readers) {
+        if (txns_.OpByGlobalId(reader).txn != j) {
+          pred_buf_.push_back(reader);
+        }
       }
     }
   }
 
-  // Definition 3 arcs induced by this operation.
-  std::vector<std::pair<NodeId, NodeId>> arcs;
+  arc_buf_.clear();
   if (op.index > 0) {
-    arcs.emplace_back(gid - 1, gid);  // I-arc
+    arc_buf_.emplace_back(gid - 1, gid);  // I-arc
   }
-  for (std::size_t u = ancestors.FindNext(0); u < ancestors.size();
-       u = ancestors.FindNext(u + 1)) {
-    const Operation& dep = txns_.OpByGlobalId(u);
-    if (dep.txn == op.txn) continue;  // internal: I-arcs chain them
-    arcs.emplace_back(u, gid);  // D-arc
-    const std::uint32_t pushed = spec_.PushForward(dep.txn, op.txn, dep.index);
-    arcs.emplace_back(indexer_.GlobalId(dep.txn, pushed), gid);  // F-arc
-    const std::uint32_t pulled = spec_.PullBackward(op.txn, dep.txn, op.index);
-    arcs.emplace_back(u, indexer_.GlobalId(op.txn, pulled));  // B-arc
+  for (const std::size_t pred : pred_buf_) {
+    arc_buf_.emplace_back(pred, gid);  // D-arc to the conflict frontier
+    const Operation& pred_op = txns_.OpByGlobalId(pred);
+    const std::uint32_t pred_slot = slot_of_[pred];
+    RELSER_DCHECK(pred_slot != kNoSlot);
+    const std::uint32_t* panc = &pool_[pred_slot * txn_count_];
+    for (std::size_t t = 0; t < txn_count_; ++t) {
+      scratch_anc_[t] = std::max(scratch_anc_[t], panc[t]);
+    }
+    scratch_anc_[pred_op.txn] =
+        std::max(scratch_anc_[pred_op.txn], pred_op.index + 1);
   }
-  if (!TryInsertArcs(&topo_, arcs)) {
+
+  // F/B arcs, memoized per (ancestor txn, this txn): re-evaluate only when
+  // the maximum ancestor index grew; emit only arcs not already implied
+  // transitively (docs/hotpath.md, Lemmas 2-3).
+  pending_memos_.clear();
+  for (TxnId i = 0; i < txn_count_; ++i) {
+    const std::uint32_t u_p1 = scratch_anc_[i];
+    if (u_p1 == 0 || i == j) continue;
+    const std::uint64_t key = MemoKey(i, j);
+    MemoEntry memo;
+    if (const MemoEntry* found = memo_.Find(key);
+        found != nullptr && found->epoch_i == epoch_[i] &&
+        found->epoch_j == epoch_[j]) {
+      memo = *found;
+    }
+    if (u_p1 <= memo.u_max_p1) continue;  // nothing new to push or pull
+    const std::uint32_t u = u_p1 - 1;
+    const std::uint32_t pushed = spec_.PushForward(i, j, u);
+    if (pushed + 1 > memo.pf_p1) {
+      if (pushed > u) {
+        arc_buf_.emplace_back(indexer_.GlobalId(i, pushed), gid);  // F-arc
+      }
+      // pushed <= u needs no arc: (i, pushed) is already an ancestor.
+      memo.pf_p1 = pushed + 1;
+    }
+    const std::uint32_t pulled = spec_.PullBackward(j, i, op.index);
+    if (pulled < op.index) {
+      arc_buf_.emplace_back(indexer_.GlobalId(i, u),
+                            indexer_.GlobalId(j, pulled));  // B-arc
+    }
+    // pulled == op.index needs no arc: (i, u) already reaches this op.
+    memo.u_max_p1 = u_p1;
+    memo.epoch_i = epoch_[i];
+    memo.epoch_j = epoch_[j];
+    pending_memos_.push_back({key, memo});
+  }
+
+  const std::size_t edges_before = topo_.edge_count();
+  if (!topo_.AddEdges(arc_buf_)) {
     ++rejections_;
     return false;
   }
-  executed_[gid] = true;
+  arcs_submitted_ += arc_buf_.size();
+  arcs_inserted_total_ += topo_.edge_count() - edges_before;
+
+  // Commit: memos, ancestor array, retention flags, frontier, indices.
+  for (const PendingMemo& pending : pending_memos_) {
+    *memo_.Upsert(pending.key).first = pending.entry;
+  }
+  const std::uint32_t slot = AcquireSlot(gid);
+  std::copy(scratch_anc_.begin(), scratch_anc_.end(),
+            &pool_[slot * txn_count_]);
+  flags_[gid] = static_cast<std::uint8_t>(kNewestFlag | kFrontierFlag);
+  if (op.index > 0) {
+    flags_[gid - 1] = static_cast<std::uint8_t>(flags_[gid - 1] &
+                                                ~std::uint32_t{kNewestFlag});
+    ReleaseSlotIfAny(gid - 1);
+  }
+  newest_gid_[j] = gid;
+
+  ObjState& state = objects_[obj_idx];
+  if (op.is_write()) {
+    // The old frontier is dominated: future conflicts reach it through
+    // this write. Drop its retention claims.
+    if (state.last_writer != kNoGid) {
+      flags_[state.last_writer] = static_cast<std::uint8_t>(
+          flags_[state.last_writer] & ~std::uint32_t{kFrontierFlag});
+      ReleaseSlotIfAny(state.last_writer);
+    }
+    for (const std::size_t reader : state.readers) {
+      flags_[reader] = static_cast<std::uint8_t>(
+          flags_[reader] & ~std::uint32_t{kFrontierFlag});
+      ReleaseSlotIfAny(reader);
+    }
+    state.readers.clear();
+    state.last_writer = gid;
+  } else {
+    state.readers.push_back(gid);
+  }
+  state.ops.push_back(gid);
+  txn_objects_[j].push_back(obj_idx);
+
+  executed_[gid] = 1;
   ++executed_count_;
-  ancestors_[gid] = std::move(ancestors);
-  history_[op.object].push_back(gid);
   return true;
 }
 
+void OnlineRsrChecker::RetainFrontier(std::size_t gid) {
+  flags_[gid] = static_cast<std::uint8_t>(flags_[gid] | kFrontierFlag);
+  if (slot_of_[gid] != kNoSlot) return;
+  // The array was released when this op left the frontier; resurrect it
+  // from the newest retained array of its transaction. That array is a
+  // superset of the op's true ancestors (arrays are cumulative along
+  // program order), so admission stays sound.
+  const TxnId txn = txns_.OpByGlobalId(gid).txn;
+  const std::size_t newest = newest_gid_[txn];
+  RELSER_DCHECK(newest != kNoGid && slot_of_[newest] != kNoSlot);
+  const std::size_t src = static_cast<std::size_t>(slot_of_[newest]) *
+                          txn_count_;
+  const std::uint32_t slot = AcquireSlot(gid);
+  std::copy(&pool_[src], &pool_[src + txn_count_], &pool_[slot * txn_count_]);
+}
+
+void OnlineRsrChecker::RebuildFrontier(ObjState& state) {
+  state.last_writer = kNoGid;
+  state.readers.clear();
+  rebuild_reads_.clear();
+  for (std::size_t i = state.ops.size(); i > 0; --i) {
+    const std::size_t gid = state.ops[i - 1];
+    if (txns_.OpByGlobalId(gid).is_write()) {
+      state.last_writer = gid;
+      break;
+    }
+    rebuild_reads_.push_back(gid);
+  }
+  state.readers.assign(rebuild_reads_.rbegin(), rebuild_reads_.rend());
+  // A removal only widens the frontier (survivors keep their membership),
+  // so re-flagging every member — resurrecting released arrays — restores
+  // the retention invariant.
+  if (state.last_writer != kNoGid) RetainFrontier(state.last_writer);
+  for (const std::size_t reader : state.readers) RetainFrontier(reader);
+}
+
 void OnlineRsrChecker::RemoveTransaction(TxnId txn) {
-  for (std::size_t gid = indexer_.TxnBegin(txn); gid < indexer_.TxnEnd(txn);
-       ++gid) {
+  const std::size_t begin = indexer_.TxnBegin(txn);
+  const std::size_t end = indexer_.TxnEnd(txn);
+  for (std::size_t gid = begin; gid < end; ++gid) {
+    // Unexecuted ops can still carry arcs (F-arc sources / B-arc targets
+    // land on future ops), so every node of the transaction is isolated.
+    //
+    // Frontier-pruned arcs encode many dependencies only as *paths*, and
+    // a path between survivors may route through this node (e.g. the
+    // write chain w1 -> w_removed -> w3 carries the direct w1/w3
+    // conflict). Bypass arcs pred -> succ preserve the survivor-restricted
+    // transitive closure exactly, so no admitted dependency loses its
+    // path (docs/hotpath.md, abort section). Internal I-arcs only ever
+    // point to higher gids, so processing gids in increasing order chains
+    // bypasses through multi-op removals correctly.
+    bypass_in_.assign(topo_.graph().InNeighbors(gid).begin(),
+                      topo_.graph().InNeighbors(gid).end());
+    bypass_out_.assign(topo_.graph().OutNeighbors(gid).begin(),
+                       topo_.graph().OutNeighbors(gid).end());
     topo_.IsolateNode(gid);
-    if (executed_[gid]) {
-      executed_[gid] = false;
+    for (const NodeId pred : bypass_in_) {
+      for (const NodeId succ : bypass_out_) {
+        // A rejected bypass would mean pred -> gid -> succ closed a cycle
+        // before the removal, which an acyclic graph cannot contain.
+        RELSER_CHECK(topo_.AddEdge(pred, succ) !=
+                     IncrementalTopology::AddResult::kCycle);
+      }
+    }
+    if (executed_[gid] != 0) {
+      executed_[gid] = 0;
       --executed_count_;
     }
-    ancestors_[gid].Clear();
+    flags_[gid] = 0;
+    ReleaseSlotIfAny(gid);
   }
-  for (auto& [object, gids] : history_) {
-    std::erase_if(gids, [&](std::size_t gid) {
-      return gid >= indexer_.TxnBegin(txn) && gid < indexer_.TxnEnd(txn);
-    });
-  }
-  // Scrub stale ancestor bits pointing at the removed attempt.
-  for (std::size_t gid = 0; gid < executed_.size(); ++gid) {
-    if (!executed_[gid]) continue;
-    for (std::size_t victim = indexer_.TxnBegin(txn);
-         victim < indexer_.TxnEnd(txn); ++victim) {
-      ancestors_[gid].Reset(victim);
+  newest_gid_[txn] = kNoGid;
+  // Scrub the removed transaction's column from every retained array.
+  // Entries of *other* transactions that flowed through the removed ops
+  // are kept: a sound over-approximation (class-level comment).
+  for (std::size_t slot = 0; slot < slot_owner_.size(); ++slot) {
+    if (slot_owner_[slot] != kNoGid) {
+      pool_[slot * txn_count_ + txn] = 0;
     }
   }
+  ++epoch_[txn];  // invalidates every memo involving this transaction
+  // Reverse-index scrub: only objects this transaction touched.
+  ++obj_gen_;
+  for (const std::uint32_t obj_idx : txn_objects_[txn]) {
+    if (obj_stamp_[obj_idx] == obj_gen_) continue;
+    obj_stamp_[obj_idx] = obj_gen_;
+    ObjState& state = objects_[obj_idx];
+    std::erase_if(state.ops, [&](std::size_t gid) {
+      return gid >= begin && gid < end;
+    });
+    RebuildFrontier(state);
+  }
+  txn_objects_[txn].clear();
 }
 
 std::size_t OnlineRsrChecker::FirstRejection(const TransactionSet& txns,

@@ -11,17 +11,31 @@
 // (Section 3): RSGTScheduler wraps it with the simulator's abort /
 // restart bookkeeping, and offline tools use FirstRejection to locate the
 // earliest operation at which a schedule leaves the class.
+//
+// Admission is frontier-pruned and allocation-free in the steady state:
+// instead of materializing each operation's transitive ancestor set as a
+// bitset and emitting a D/F/B arc triple per transitive ancestor (the
+// original formulation, preserved in core/online_baseline.h), the checker
+// keeps per object only the conflict frontier (last writer + readers
+// since it), per operation a dense per-transaction maximum-ancestor-index
+// array drawn from a reusable pool, and per transaction pair a memo of
+// the furthest F/B arcs already emitted. Dominated arcs are never
+// inserted; docs/hotpath.md proves the transitive closure — and therefore
+// every accept/reject decision — is bit-identical to the full emission.
+// After RemoveTransaction the ancestor arrays are rebuilt as a sound
+// over-approximation (see RemoveTransaction below), mirroring the
+// baseline's documented post-abort behavior.
 #ifndef RELSER_CORE_ONLINE_H_
 #define RELSER_CORE_ONLINE_H_
 
-#include <map>
+#include <cstdint>
 #include <vector>
 
 #include "graph/dynamic_topo.h"
 #include "model/op_indexer.h"
 #include "model/schedule.h"
 #include "spec/atomicity_spec.h"
-#include "util/bitset.h"
+#include "util/flat_map.h"
 
 namespace relser {
 
@@ -39,14 +53,23 @@ class OnlineRsrChecker {
   /// otherwise.
   bool TryAppend(const Operation& op);
 
-  /// Forgets every fed operation of `txn` (scheduler abort). Stale
-  /// transitive-dependency bits that flowed through the removed
-  /// operations are kept as a sound over-approximation.
+  /// Forgets every fed operation of `txn` (scheduler abort). Incremental:
+  /// isolates the transaction's nodes — inserting pred->succ bypass arcs
+  /// first, so every closure path between survivors that routed through a
+  /// removed node is preserved — scrubs its column from the retained
+  /// ancestor arrays, and rebuilds the conflict frontier of only the
+  /// objects the transaction touched (reverse index). Frontier members
+  /// whose ancestor arrays were released are resurrected from the newest
+  /// retained array of their transaction — a superset of their true
+  /// ancestors. Post-abort admission is therefore a sound
+  /// over-approximation (may reject a schedule the full graph would
+  /// accept, never the converse), matching the baseline's stale-bit
+  /// behavior in spirit; docs/hotpath.md gives the argument.
   void RemoveTransaction(TxnId txn);
 
   /// True iff o_{txn,index} has been fed and accepted.
   bool Executed(TxnId txn, std::uint32_t index) const {
-    return executed_[indexer_.GlobalId(txn, index)];
+    return executed_[indexer_.GlobalId(txn, index)] != 0;
   }
 
   /// Number of operations currently accepted.
@@ -54,6 +77,11 @@ class OnlineRsrChecker {
 
   /// Cycle rejections so far.
   std::size_t rejections() const { return rejections_; }
+
+  /// Cumulative arcs handed to the topology (after frontier pruning).
+  std::size_t arcs_submitted() const { return arcs_submitted_; }
+  /// Cumulative arcs actually inserted (deduplicated, committed).
+  std::size_t arcs_inserted_total() const { return arcs_inserted_total_; }
 
   /// The maintained graph (for diagnostics / DOT export).
   const IncrementalTopology& topology() const { return topo_; }
@@ -67,15 +95,86 @@ class OnlineRsrChecker {
                                     const Schedule& schedule);
 
  private:
+  static constexpr std::size_t kNoGid = ~static_cast<std::size_t>(0);
+  static constexpr std::uint32_t kNoSlot = ~static_cast<std::uint32_t>(0);
+  static constexpr std::uint8_t kNewestFlag = 1;    // newest executed of txn
+  static constexpr std::uint8_t kFrontierFlag = 2;  // in an object frontier
+
+  /// Conflict frontier and executed-op list of one object.
+  struct ObjState {
+    std::vector<std::size_t> ops;      // executed gids, feed order
+    std::vector<std::size_t> readers;  // reads since last_writer, feed order
+    std::size_t last_writer = kNoGid;
+  };
+
+  /// Furthest F/B emission already performed for a (Ti -> Tj) pair.
+  /// Stale when either transaction's epoch moved (abort invalidation).
+  struct MemoEntry {
+    std::uint32_t u_max_p1 = 0;  // +1-encoded max ancestor index in Ti
+    std::uint32_t pf_p1 = 0;     // +1-encoded furthest PushForward emitted
+    std::uint64_t epoch_i = 0;
+    std::uint64_t epoch_j = 0;
+  };
+
+  struct PendingMemo {
+    std::uint64_t key;
+    MemoEntry entry;
+  };
+
+  std::uint64_t MemoKey(TxnId i, TxnId j) const {
+    return static_cast<std::uint64_t>(i) * txn_count_ + j;
+  }
+
+  std::uint32_t ObjIndex(ObjectId object);
+  std::uint32_t AcquireSlot(std::size_t gid);
+  void ReleaseSlotIfAny(std::size_t gid);
+  /// Re-flags `gid` as frontier; if its ancestor array was released,
+  /// resurrects it from the newest retained array of its transaction.
+  void RetainFrontier(std::size_t gid);
+  void RebuildFrontier(ObjState& state);
+
   const TransactionSet& txns_;
   const AtomicitySpec& spec_;
   OpIndexer indexer_;
   IncrementalTopology topo_;
-  std::vector<DenseBitset> ancestors_;
-  std::vector<bool> executed_;
-  std::map<ObjectId, std::vector<std::size_t>> history_;
+  std::size_t txn_count_;
+
+  std::vector<std::uint8_t> executed_;
+  std::vector<std::uint8_t> flags_;        // retention flags per gid
+  std::vector<std::uint32_t> slot_of_;     // gid -> pool slot (kNoSlot)
+  std::vector<std::size_t> newest_gid_;    // txn -> newest executed gid
+  std::vector<std::uint64_t> epoch_;       // txn -> abort epoch
+
+  // Ancestor-array pool: row `slot` holds txn_count_ +1-encoded maximum
+  // ancestor indices (0 = no ancestor in that transaction). Rows are
+  // retained only for operations that can still become direct
+  // predecessors: the newest executed op of each transaction and the
+  // current object frontiers.
+  std::vector<std::uint32_t> pool_;
+  std::vector<std::uint32_t> free_slots_;
+  std::vector<std::size_t> slot_owner_;  // slot -> gid (kNoGid when free)
+
+  FlatMap64<std::uint32_t> object_index_;  // ObjectId -> objects_ index
+  std::vector<ObjState> objects_;
+  std::vector<std::vector<std::uint32_t>> txn_objects_;  // reverse index
+  std::vector<std::uint64_t> obj_stamp_;  // abort-scrub dedup stamps
+  std::uint64_t obj_gen_ = 0;
+
+  FlatMap64<MemoEntry> memo_;
+
+  // Reusable per-append scratch (no steady-state allocations).
+  std::vector<std::uint32_t> scratch_anc_;
+  std::vector<std::size_t> pred_buf_;
+  std::vector<std::pair<NodeId, NodeId>> arc_buf_;
+  std::vector<PendingMemo> pending_memos_;
+  std::vector<std::size_t> rebuild_reads_;  // RebuildFrontier scratch
+  std::vector<NodeId> bypass_in_;           // RemoveTransaction scratch
+  std::vector<NodeId> bypass_out_;
+
   std::size_t executed_count_ = 0;
   std::size_t rejections_ = 0;
+  std::size_t arcs_submitted_ = 0;
+  std::size_t arcs_inserted_total_ = 0;
 };
 
 }  // namespace relser

@@ -4,27 +4,70 @@
 // serialization graph SG(S), the relative serialization graph RSG(S), the
 // waits-for graph of the 2PL scheduler, and the dynamic graphs of the
 // online SGT / RSGT protocols. Nodes are pre-sized; edges are stored in
-// forward and reverse adjacency lists with optional de-duplication.
+// forward and reverse adjacency lists plus a hashed side index keyed on
+// (from, to), so AddEdge dedup, HasEdge, and RemoveEdge are O(1) average
+// instead of linear scans of the adjacency lists.
 #ifndef RELSER_GRAPH_DIGRAPH_H_
 #define RELSER_GRAPH_DIGRAPH_H_
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "util/check.h"
+#include "util/flat_map.h"
 
 namespace relser {
 
 /// Node identifier; dense in [0, node_count).
 using NodeId = std::size_t;
 
+/// Read-only view of a node's neighbor list. Iterable like a vector;
+/// invalidated by the next mutation of the graph (like vector iterators
+/// were before adjacency moved into the arena).
+class NeighborSpan {
+ public:
+  NeighborSpan(const NodeId* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  const NodeId* begin() const { return data_; }
+  const NodeId* end() const { return data_ + size_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  NodeId operator[](std::size_t i) const {
+    RELSER_DCHECK(i < size_);
+    return data_[i];
+  }
+
+ private:
+  const NodeId* data_;
+  std::size_t size_;
+};
+
 /// Directed graph with dense node ids and multigraph-free edges.
+///
+/// Adjacency lists live in a per-graph bump arena (geometrically sized
+/// blocks): a list that outgrows its slab is copied into a fresh slab of
+/// twice the capacity, abandoning the old one inside the arena. The
+/// admission hot path therefore performs no heap allocations per edge in
+/// the steady state — `operator new` is hit only when the arena itself
+/// grows, which happens O(log total-entries) times.
 class Digraph {
  public:
   Digraph() = default;
   /// Creates a graph with `node_count` isolated nodes.
   explicit Digraph(std::size_t node_count)
       : out_(node_count), in_(node_count) {}
+
+  // Adjacency pointers reference the arena, so copies must deep-copy
+  // (compacting into the destination arena); moves transfer the arena
+  // blocks and stay valid.
+  Digraph(const Digraph& other) { *this = other; }
+  Digraph& operator=(const Digraph& other);
+  Digraph(Digraph&&) = default;
+  Digraph& operator=(Digraph&&) = default;
 
   std::size_t node_count() const { return out_.size(); }
   std::size_t edge_count() const { return edge_count_; }
@@ -37,28 +80,41 @@ class Digraph {
     }
   }
 
+  /// Pre-sizes the edge index for `expected_edges` concurrent edges.
+  void Reserve(std::size_t expected_edges) { index_.Reserve(expected_edges); }
+
+  /// Pre-sizes the adjacency arena for about `per_node` neighbor entries
+  /// per node (one up-front block), so even the first arena growths are
+  /// avoided. Purely an optimization; lists grow on demand regardless.
+  void ReserveAdjacency(std::size_t per_node) {
+    arena_.Reserve(2 * per_node * out_.size());
+  }
+
   /// Adds the edge from -> to if not already present.
   /// Returns true when the edge was newly inserted. Self-loops are
   /// permitted (they make the graph cyclic).
   bool AddEdge(NodeId from, NodeId to);
 
-  /// True if the edge from -> to exists (linear scan of the shorter list).
-  bool HasEdge(NodeId from, NodeId to) const;
+  /// True if the edge from -> to exists (hashed index lookup).
+  bool HasEdge(NodeId from, NodeId to) const {
+    RELSER_DCHECK(from < out_.size() && to < out_.size());
+    return index_.Find(EdgeKey(from, to)) != nullptr;
+  }
 
   /// Removes the edge from -> to if present; returns true when removed.
   /// Used by online schedulers to roll back trial insertions.
   bool RemoveEdge(NodeId from, NodeId to);
 
-  /// Successors of `node` (insertion order).
-  const std::vector<NodeId>& OutNeighbors(NodeId node) const {
+  /// Successors of `node` (unspecified order: removals swap-compact).
+  NeighborSpan OutNeighbors(NodeId node) const {
     RELSER_DCHECK(node < out_.size());
-    return out_[node];
+    return NeighborSpan(out_[node].data, out_[node].size);
   }
 
-  /// Predecessors of `node` (insertion order).
-  const std::vector<NodeId>& InNeighbors(NodeId node) const {
+  /// Predecessors of `node` (unspecified order: removals swap-compact).
+  NeighborSpan InNeighbors(NodeId node) const {
     RELSER_DCHECK(node < in_.size());
-    return in_[node];
+    return NeighborSpan(in_[node].data, in_[node].size);
   }
 
   /// In-degree of `node`.
@@ -76,8 +132,74 @@ class Digraph {
   std::vector<std::pair<NodeId, NodeId>> Edges() const;
 
  private:
-  std::vector<std::vector<NodeId>> out_;
-  std::vector<std::vector<NodeId>> in_;
+  /// Position of an edge inside its two adjacency lists.
+  struct EdgePos {
+    std::uint32_t out_pos = 0;
+    std::uint32_t in_pos = 0;
+  };
+
+  /// One adjacency list: a slab inside the arena. Grows by slab
+  /// replacement (copy into a doubled slab), never by heap allocation.
+  struct AdjList {
+    NodeId* data = nullptr;
+    std::uint32_t size = 0;
+    std::uint32_t capacity = 0;
+  };
+
+  /// Bump allocator for adjacency slabs. Blocks double in size, so the
+  /// number of true heap allocations is logarithmic in the total number
+  /// of adjacency entries ever requested. Abandoned slabs (from list
+  /// growth and node isolation) stay inside their block until the graph
+  /// is destroyed — bounded waste in exchange for pointer stability and
+  /// allocation-free mutation.
+  class AdjArena {
+   public:
+    NodeId* Allocate(std::size_t count) {
+      if (count > remaining_) NewBlock(count);
+      NodeId* slab = bump_;
+      bump_ += count;
+      remaining_ -= count;
+      return slab;
+    }
+
+    /// Ensures at least `entries` are available without a new block.
+    void Reserve(std::size_t entries) {
+      if (entries > remaining_) NewBlock(entries);
+    }
+
+    void Clear() {
+      blocks_.clear();
+      bump_ = nullptr;
+      remaining_ = 0;
+      next_block_size_ = kFirstBlock;
+    }
+
+   private:
+    static constexpr std::size_t kFirstBlock = 1024;
+
+    void NewBlock(std::size_t min_size);
+
+    std::vector<std::unique_ptr<NodeId[]>> blocks_;
+    NodeId* bump_ = nullptr;
+    std::size_t remaining_ = 0;
+    std::size_t next_block_size_ = kFirstBlock;
+  };
+
+  static std::uint64_t EdgeKey(NodeId from, NodeId to) {
+    RELSER_DCHECK(from < (1ULL << 32) && to < (1ULL << 32));
+    return (static_cast<std::uint64_t>(from) << 32) |
+           static_cast<std::uint64_t>(to);
+  }
+
+  void Push(AdjList& list, NodeId value);
+  void UnlinkOut(NodeId from, std::uint32_t pos);
+  void UnlinkIn(NodeId to, std::uint32_t pos);
+
+  std::vector<AdjList> out_;
+  std::vector<AdjList> in_;
+  AdjArena arena_;
+  FlatMap64<EdgePos> index_;
+  std::vector<NodeId> scratch_;  // reusable buffer for IsolateNode
   std::size_t edge_count_ = 0;
 };
 

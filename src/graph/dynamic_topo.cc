@@ -2,15 +2,14 @@
 
 #include <algorithm>
 
-#include "graph/cycle.h"
-
 namespace relser {
 
 IncrementalTopology::IncrementalTopology(std::size_t node_count)
     : graph_(node_count),
       position_(node_count),
       order_(node_count),
-      visited_(node_count, false) {
+      visited_(node_count, false),
+      probe_stamp_(node_count, 0) {
   for (NodeId node = 0; node < node_count; ++node) {
     position_[node] = node;
     order_[node] = node;
@@ -24,6 +23,7 @@ void IncrementalTopology::EnsureNodes(std::size_t node_count) {
   position_.resize(node_count);
   order_.resize(node_count);
   visited_.resize(node_count, false);
+  probe_stamp_.resize(node_count, 0);
   for (NodeId node = old; node < node_count; ++node) {
     position_[node] = node;
     order_[node] = node;
@@ -56,46 +56,83 @@ IncrementalTopology::AddResult IncrementalTopology::AddEdge(NodeId from,
   return AddResult::kInserted;
 }
 
+bool IncrementalTopology::AddEdges(
+    const std::vector<std::pair<NodeId, NodeId>>& arcs) {
+  rollback_.clear();
+  deferred_.clear();
+  // Pass 1: arcs the current order already agrees with never trigger a
+  // repair; inserting them first keeps the repair regions of pass 2 small.
+  // Deferred arcs are remembered by index — pass-2 reorders move
+  // positions, so the predicate cannot be re-evaluated later.
+  for (std::size_t i = 0; i < arcs.size(); ++i) {
+    const auto& [from, to] = arcs[i];
+    if (from != to && position_[from] < position_[to]) {
+      if (graph_.AddEdge(from, to)) {
+        rollback_.emplace_back(from, to);
+      }
+    } else {
+      deferred_.push_back(i);
+    }
+  }
+  for (const std::size_t i : deferred_) {
+    const auto& [from, to] = arcs[i];
+    switch (AddEdge(from, to)) {
+      case AddResult::kInserted:
+        rollback_.emplace_back(from, to);
+        break;
+      case AddResult::kDuplicate:
+        break;
+      case AddResult::kCycle:
+        // All-or-nothing: unwind everything this call inserted. Removal
+        // never invalidates the maintained order, so no repair is needed.
+        for (auto it = rollback_.rbegin(); it != rollback_.rend(); ++it) {
+          graph_.RemoveEdge(it->first, it->second);
+        }
+        return false;
+    }
+  }
+  return true;
+}
+
 bool IncrementalTopology::WouldCreateCycle(NodeId from, NodeId to) const {
   if (from == to) return true;
   if (position_[to] > position_[from]) return false;
   // Any path to -> ... -> from must stay within positions <= pos(from).
-  std::vector<NodeId> stack = {to};
-  std::vector<NodeId> touched;
-  // visited_ is mutable scratch in spirit; keep const by using a local set.
-  std::vector<bool> seen(graph_.node_count(), false);
-  seen[to] = true;
+  ++probe_gen_;
+  probe_stack_.clear();
+  probe_stack_.push_back(to);
+  probe_stamp_[to] = probe_gen_;
   const std::size_t bound = position_[from];
-  while (!stack.empty()) {
-    const NodeId node = stack.back();
-    stack.pop_back();
+  while (!probe_stack_.empty()) {
+    const NodeId node = probe_stack_.back();
+    probe_stack_.pop_back();
     if (node == from) return true;
     for (const NodeId succ : graph_.OutNeighbors(node)) {
-      if (!seen[succ] && position_[succ] <= bound) {
-        seen[succ] = true;
-        stack.push_back(succ);
+      if (probe_stamp_[succ] != probe_gen_ && position_[succ] <= bound) {
+        probe_stamp_[succ] = probe_gen_;
+        probe_stack_.push_back(succ);
       }
     }
   }
-  (void)touched;
   return false;
 }
 
 bool IncrementalTopology::DiscoverForward(NodeId start, std::size_t bound,
                                           NodeId target) {
-  std::vector<NodeId> stack = {start};
+  stack_.clear();
+  stack_.push_back(start);
   visited_[start] = true;
   delta_forward_.push_back(start);
-  while (!stack.empty()) {
-    const NodeId node = stack.back();
-    stack.pop_back();
+  while (!stack_.empty()) {
+    const NodeId node = stack_.back();
+    stack_.pop_back();
     if (node == target) return false;
     for (const NodeId succ : graph_.OutNeighbors(node)) {
       if (succ == target) return false;
       if (!visited_[succ] && position_[succ] <= bound) {
         visited_[succ] = true;
         delta_forward_.push_back(succ);
-        stack.push_back(succ);
+        stack_.push_back(succ);
       }
     }
   }
@@ -103,17 +140,18 @@ bool IncrementalTopology::DiscoverForward(NodeId start, std::size_t bound,
 }
 
 void IncrementalTopology::DiscoverBackward(NodeId start, std::size_t bound) {
-  std::vector<NodeId> stack = {start};
+  stack_.clear();
+  stack_.push_back(start);
   visited_[start] = true;
   delta_backward_.push_back(start);
-  while (!stack.empty()) {
-    const NodeId node = stack.back();
-    stack.pop_back();
+  while (!stack_.empty()) {
+    const NodeId node = stack_.back();
+    stack_.pop_back();
     for (const NodeId pred : graph_.InNeighbors(node)) {
       if (!visited_[pred] && position_[pred] >= bound) {
         visited_[pred] = true;
         delta_backward_.push_back(pred);
-        stack.push_back(pred);
+        stack_.push_back(pred);
       }
     }
   }
@@ -128,22 +166,22 @@ void IncrementalTopology::Reorder() {
   std::sort(delta_backward_.begin(), delta_backward_.end(), by_position);
   std::sort(delta_forward_.begin(), delta_forward_.end(), by_position);
 
-  std::vector<std::size_t> pool;
-  pool.reserve(delta_backward_.size() + delta_forward_.size());
-  for (const NodeId node : delta_backward_) pool.push_back(position_[node]);
-  for (const NodeId node : delta_forward_) pool.push_back(position_[node]);
-  std::sort(pool.begin(), pool.end());
+  pool_.clear();
+  pool_.reserve(delta_backward_.size() + delta_forward_.size());
+  for (const NodeId node : delta_backward_) pool_.push_back(position_[node]);
+  for (const NodeId node : delta_forward_) pool_.push_back(position_[node]);
+  std::sort(pool_.begin(), pool_.end());
 
   std::size_t slot = 0;
   for (const NodeId node : delta_backward_) {
-    position_[node] = pool[slot];
-    order_[pool[slot]] = node;
+    position_[node] = pool_[slot];
+    order_[pool_[slot]] = node;
     visited_[node] = false;
     ++slot;
   }
   for (const NodeId node : delta_forward_) {
-    position_[node] = pool[slot];
-    order_[pool[slot]] = node;
+    position_[node] = pool_[slot];
+    order_[pool_[slot]] = node;
     visited_[node] = false;
     ++slot;
   }

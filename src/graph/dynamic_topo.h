@@ -8,9 +8,14 @@
 // Pearce-Kelly maintains a topological order and repairs only the
 // affected region, which is near-constant for the mostly-forward arc
 // streams schedulers produce. bench_graph_ablation quantifies the gap.
+//
+// All traversal scratch is owned by the instance, so AddEdge/AddEdges/
+// WouldCreateCycle perform no heap allocations in the steady state.
 #ifndef RELSER_GRAPH_DYNAMIC_TOPO_H_
 #define RELSER_GRAPH_DYNAMIC_TOPO_H_
 
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "graph/digraph.h"
@@ -34,8 +39,28 @@ class IncrementalTopology {
   /// topological order.
   void EnsureNodes(std::size_t node_count);
 
+  /// Pre-sizes the underlying edge index for `expected_edges` edges.
+  void Reserve(std::size_t expected_edges) { graph_.Reserve(expected_edges); }
+
+  /// Pre-reserves per-node adjacency capacity; see
+  /// Digraph::ReserveAdjacency.
+  void ReserveAdjacency(std::size_t per_node) {
+    graph_.ReserveAdjacency(per_node);
+  }
+
   /// Attempts to insert edge from -> to, repairing the order if needed.
   AddResult AddEdge(NodeId from, NodeId to);
+
+  /// Attempts to insert a batch of arcs atomically. Returns true when the
+  /// whole batch is in (duplicates are fine); when any arc would close a
+  /// cycle, every arc inserted by this call is rolled back via the
+  /// internal rollback log and false is returned. Because the outcome
+  /// depends only on whether graph ∪ batch is acyclic, the result is
+  /// independent of arc order; order-consistent arcs are inserted first so
+  /// the Pearce-Kelly repair regions of the remaining arcs stay small.
+  /// This is the shared replacement for the per-caller "insert one edge at
+  /// a time and unwind on failure" helpers the schedulers used to carry.
+  bool AddEdges(const std::vector<std::pair<NodeId, NodeId>>& arcs);
 
   /// Removes all edges incident to `node` (transaction retirement in the
   /// online schedulers). The current order remains valid.
@@ -77,6 +102,14 @@ class IncrementalTopology {
   std::vector<bool> visited_;          // scratch, cleared after use
   std::vector<NodeId> delta_forward_;
   std::vector<NodeId> delta_backward_;
+  std::vector<NodeId> stack_;                       // DFS scratch
+  std::vector<std::size_t> pool_;                   // Reorder scratch
+  std::vector<std::pair<NodeId, NodeId>> rollback_;  // AddEdges undo log
+  std::vector<std::size_t> deferred_;                // AddEdges pass-2 arcs
+  // WouldCreateCycle scratch: generation stamps avoid a per-probe clear.
+  mutable std::vector<std::uint64_t> probe_stamp_;
+  mutable std::vector<NodeId> probe_stack_;
+  mutable std::uint64_t probe_gen_ = 0;
 };
 
 }  // namespace relser

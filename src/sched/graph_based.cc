@@ -6,69 +6,97 @@
 
 namespace relser {
 
-namespace {
-
-// Inserts `arcs` into `topo` one by one; on a cycle, removes the arcs
-// inserted so far and returns false. Duplicate arcs are skipped (and not
-// rolled back).
-bool TryInsertArcs(IncrementalTopology* topo,
-                   const std::vector<std::pair<NodeId, NodeId>>& arcs) {
-  std::vector<std::pair<NodeId, NodeId>> inserted;
-  inserted.reserve(arcs.size());
-  for (const auto& [from, to] : arcs) {
-    switch (topo->AddEdge(from, to)) {
-      case IncrementalTopology::AddResult::kInserted:
-        inserted.emplace_back(from, to);
-        break;
-      case IncrementalTopology::AddResult::kDuplicate:
-        break;
-      case IncrementalTopology::AddResult::kCycle:
-        for (const auto& [f, t] : inserted) {
-          topo->RemoveEdge(f, t);
-        }
-        return false;
-    }
-  }
-  return true;
+SGTScheduler::SGTScheduler(const TransactionSet& txns)
+    : topo_(txns.txn_count()),
+      touched_(txns.txn_count()),
+      committed_(txns.txn_count(), 0),
+      retired_(txns.txn_count(), 0) {
+  arc_buf_.reserve(16);
 }
 
-}  // namespace
-
-SGTScheduler::SGTScheduler(const TransactionSet& txns)
-    : topo_(txns.txn_count()) {}
+std::uint32_t SGTScheduler::ObjIndex(ObjectId object) {
+  const auto [slot, inserted] = object_index_.Upsert(object);
+  if (inserted) {
+    *slot = static_cast<std::uint32_t>(objects_.size());
+    objects_.emplace_back();
+  }
+  return *slot;
+}
 
 Decision SGTScheduler::OnRequest(const Operation& op) {
-  std::vector<std::pair<NodeId, NodeId>> arcs;
-  const auto it = history_.find(op.object);
-  if (it != history_.end()) {
-    for (const Access& access : it->second) {
-      if (access.txn != op.txn && (access.write || op.is_write())) {
-        arcs.emplace_back(access.txn, op.txn);
-      }
+  arc_buf_.clear();
+  const std::uint32_t obj_idx = ObjIndex(op.object);
+  for (const Access& access : objects_[obj_idx]) {
+    if (access.txn != op.txn && (access.write || op.is_write())) {
+      arc_buf_.emplace_back(access.txn, op.txn);
     }
   }
-  if (!TryInsertArcs(&topo_, arcs)) {
+  if (!topo_.AddEdges(arc_buf_)) {
     ++cycle_rejections_;
     return Decision::kAbort;
   }
-  history_[op.object].push_back(Access{op.txn, op.is_write()});
+  objects_[obj_idx].push_back(Access{op.txn, op.is_write()});
+  touched_[op.txn].push_back(obj_idx);
   return Decision::kGrant;
 }
 
+void SGTScheduler::ScrubHistory(TxnId txn) {
+  for (const std::uint32_t obj_idx : touched_[txn]) {
+    std::erase_if(objects_[obj_idx],
+                  [txn](const Access& access) { return access.txn == txn; });
+  }
+  touched_[txn].clear();
+}
+
+void SGTScheduler::CollectRetirable() {
+  while (!gc_worklist_.empty()) {
+    const TxnId txn = gc_worklist_.back();
+    gc_worklist_.pop_back();
+    if (retired_[txn] != 0 || committed_[txn] == 0 ||
+        topo_.graph().InDegree(txn) != 0) {
+      continue;
+    }
+    // Safe to retire: conflict arcs always point *into* the requester, so
+    // a committed transaction (which requests nothing further) can never
+    // gain an in-edge. With in-degree zero it is a source forever and can
+    // never lie on a cycle; dropping its out-arcs and history entries
+    // cannot hide a future cycle.
+    gc_succs_.assign(topo_.graph().OutNeighbors(txn).begin(),
+                     topo_.graph().OutNeighbors(txn).end());
+    topo_.IsolateNode(txn);
+    retired_[txn] = 1;
+    ++retired_count_;
+    ScrubHistory(txn);
+    for (const NodeId succ : gc_succs_) {
+      if (committed_[succ] != 0 && retired_[succ] == 0 &&
+          topo_.graph().InDegree(succ) == 0) {
+        gc_worklist_.push_back(static_cast<TxnId>(succ));
+      }
+    }
+  }
+}
+
 void SGTScheduler::OnCommit(TxnId txn) {
-  // Committed transactions stay in the graph: a committed node can still
-  // lie on a future cycle, so removing it eagerly would be unsound. (A
-  // production implementation garbage-collects source nodes; the
-  // simulator's universes are small enough to keep everything.)
-  (void)txn;
+  // A committed transaction that is still *reachable* can lie on a future
+  // cycle, so only the in-degree-0 committed prefix of the graph is
+  // collected (plus whatever that exposes, transitively).
+  committed_[txn] = 1;
+  gc_worklist_.push_back(txn);
+  CollectRetirable();
 }
 
 void SGTScheduler::OnAbort(TxnId txn) {
+  gc_succs_.assign(topo_.graph().OutNeighbors(txn).begin(),
+                   topo_.graph().OutNeighbors(txn).end());
   topo_.IsolateNode(txn);
-  for (auto& [object, accesses] : history_) {
-    std::erase_if(accesses,
-                  [txn](const Access& access) { return access.txn == txn; });
+  ScrubHistory(txn);
+  // Removing the aborted node's out-arcs may expose committed sources.
+  for (const NodeId succ : gc_succs_) {
+    if (committed_[succ] != 0 && retired_[succ] == 0) {
+      gc_worklist_.push_back(static_cast<TxnId>(succ));
+    }
   }
+  CollectRetirable();
 }
 
 }  // namespace relser

@@ -14,14 +14,14 @@
 // allow — strictly more than SGT when specs have breakpoints, identical
 // to SGT under absolute atomicity (Lemma 1).
 //
-// Both use the Pearce-Kelly incremental topology for cycle checks and
-// roll back trial arcs before reporting kAbort. Aborted transactions are
-// restarted by the engine; dependents are cascade-aborted by the engine
-// (see SimulationEngine).
+// Both use the Pearce-Kelly incremental topology with its batched
+// all-or-nothing AddEdges (trial arcs are rolled back internally before
+// kAbort is reported). Aborted transactions are restarted by the engine;
+// dependents are cascade-aborted by the engine (see SimulationEngine).
 #ifndef RELSER_SCHED_GRAPH_BASED_H_
 #define RELSER_SCHED_GRAPH_BASED_H_
 
-#include <map>
+#include <cstdint>
 #include <vector>
 
 #include "core/online.h"
@@ -30,6 +30,7 @@
 #include "model/transaction.h"
 #include "sched/scheduler.h"
 #include "spec/atomicity_spec.h"
+#include "util/flat_map.h"
 
 namespace relser {
 
@@ -46,15 +47,32 @@ class SGTScheduler : public Scheduler {
   /// Cycle rejections so far (observability).
   std::size_t cycle_rejections() const { return cycle_rejections_; }
 
+  /// Committed transactions garbage-collected out of the graph so far.
+  std::size_t retired_count() const { return retired_count_; }
+
  private:
   struct Access {
     TxnId txn;
     bool write;
   };
 
+  std::uint32_t ObjIndex(ObjectId object);
+  /// Retires every committed in-degree-0 transaction reachable from the
+  /// GC worklist, cascading as removals expose new sources.
+  void CollectRetirable();
+  void ScrubHistory(TxnId txn);
+
   IncrementalTopology topo_;
-  std::map<ObjectId, std::vector<Access>> history_;
+  FlatMap64<std::uint32_t> object_index_;   // ObjectId -> objects_ index
+  std::vector<std::vector<Access>> objects_;  // per-object access history
+  std::vector<std::vector<std::uint32_t>> touched_;  // txn -> object indices
+  std::vector<std::uint8_t> committed_;
+  std::vector<std::uint8_t> retired_;
+  std::vector<TxnId> gc_worklist_;
+  std::vector<NodeId> gc_succs_;  // scratch: out-neighbors being retired
+  std::vector<std::pair<NodeId, NodeId>> arc_buf_;
   std::size_t cycle_rejections_ = 0;
+  std::size_t retired_count_ = 0;
 };
 
 /// Relative-serializability certification (operation-level RSG), a thin
@@ -71,7 +89,10 @@ class RSGTScheduler : public Scheduler {
     return checker_.TryAppend(op) ? Decision::kGrant : Decision::kAbort;
   }
 
-  // Nodes of committed transactions stay in the graph (as with SGT).
+  // Nodes of committed transactions stay in the graph: RSG arcs can land
+  // on any not-yet-executed operation (F/B arcs), so an op-level node is
+  // not provably in-degree-stable at commit time the way an SGT
+  // transaction node is.
   void OnCommit(TxnId txn) override { (void)txn; }
 
   void OnAbort(TxnId txn) override { checker_.RemoveTransaction(txn); }

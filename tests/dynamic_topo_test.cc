@@ -153,5 +153,98 @@ TEST(IncrementalTopology, RandomizedDifferentialAgainstOfflineOracle) {
   }
 }
 
+TEST(AddEdges, EmptyBatchSucceeds) {
+  IncrementalTopology topo(2);
+  EXPECT_TRUE(topo.AddEdges({}));
+  EXPECT_EQ(topo.edge_count(), 0u);
+}
+
+TEST(AddEdges, InsertsAllArcsAndTolerateDuplicates) {
+  IncrementalTopology topo(4);
+  topo.AddEdge(0, 1);
+  EXPECT_TRUE(topo.AddEdges({{0, 1}, {1, 2}, {1, 2}, {2, 3}}));
+  EXPECT_EQ(topo.edge_count(), 3u);
+  EXPECT_TRUE(topo.graph().HasEdge(1, 2));
+  EXPECT_TRUE(topo.graph().HasEdge(2, 3));
+}
+
+TEST(AddEdges, RollsBackEverythingOnCycle) {
+  IncrementalTopology topo(4);
+  topo.AddEdge(0, 1);
+  // With the pre-existing 0->1, arc 3->0 closes the cycle 0->1->2->3->0
+  // after 1->2 and 2->3 were already inserted by this batch.
+  EXPECT_FALSE(topo.AddEdges({{1, 2}, {2, 3}, {3, 0}, {2, 1}}));
+  // All-or-nothing: only the pre-existing edge survives.
+  EXPECT_EQ(topo.edge_count(), 1u);
+  EXPECT_TRUE(topo.graph().HasEdge(0, 1));
+  EXPECT_FALSE(topo.graph().HasEdge(1, 2));
+  EXPECT_FALSE(topo.graph().HasEdge(3, 0));
+  // The structure is still usable and consistent after rollback.
+  EXPECT_EQ(topo.AddEdge(1, 2), AddResult::kInserted);
+  EXPECT_EQ(topo.AddEdge(2, 0), AddResult::kCycle);
+}
+
+TEST(AddEdges, SelfLoopInBatchRejectsWholeBatch) {
+  IncrementalTopology topo(3);
+  EXPECT_FALSE(topo.AddEdges({{0, 1}, {2, 2}}));
+  EXPECT_EQ(topo.edge_count(), 0u);
+}
+
+// Regression: pass 1 defers order-inconsistent arcs by *index*. Re-testing
+// the position predicate in pass 2 is wrong because earlier pass-2 inserts
+// reorder positions — a deferred arc could then look "already consistent"
+// and be skipped entirely, silently missing cycles later.
+TEST(AddEdges, DeferredArcsAreInsertedEvenAfterReorders) {
+  IncrementalTopology topo(4);
+  // Initial order 0,1,2,3: both arcs are backward, so both are deferred.
+  // Inserting 3->1 reorders to 0,3,2,1 — at which point 2->1 *looks*
+  // order-consistent, and re-testing the predicate would skip it.
+  EXPECT_TRUE(topo.AddEdges({{3, 1}, {2, 1}}));
+  EXPECT_EQ(topo.edge_count(), 2u);
+  EXPECT_TRUE(topo.graph().HasEdge(3, 1));
+  EXPECT_TRUE(topo.graph().HasEdge(2, 1));
+  // The skipped arc would have let this cycle through.
+  EXPECT_EQ(topo.AddEdge(1, 2), AddResult::kCycle);
+}
+
+// Batched insertion must agree with "insert one at a time, unwind on
+// failure" — the semantics the schedulers relied on before the batch API.
+TEST(AddEdges, RandomizedEquivalentToPerEdgeTrialInsertion) {
+  Rng rng(77001);
+  for (int round = 0; round < 400; ++round) {
+    const std::size_t n = 2 + rng.UniformIndex(8);
+    IncrementalTopology batched(n);
+    IncrementalTopology per_edge(n);
+    for (int step = 0; step < 12; ++step) {
+      std::vector<std::pair<NodeId, NodeId>> arcs;
+      const std::size_t count = rng.UniformIndex(5);
+      for (std::size_t k = 0; k < count; ++k) {
+        arcs.emplace_back(rng.UniformIndex(n), rng.UniformIndex(n));
+      }
+      const bool batch_ok = batched.AddEdges(arcs);
+      // Reference: per-edge trial insertion with manual unwind.
+      std::vector<std::pair<NodeId, NodeId>> inserted;
+      bool ref_ok = true;
+      for (const auto& [from, to] : arcs) {
+        const AddResult result = per_edge.AddEdge(from, to);
+        if (result == AddResult::kInserted) {
+          inserted.emplace_back(from, to);
+        } else if (result == AddResult::kCycle) {
+          for (auto it = inserted.rbegin(); it != inserted.rend(); ++it) {
+            per_edge.RemoveEdge(it->first, it->second);
+          }
+          ref_ok = false;
+          break;
+        }
+      }
+      ASSERT_EQ(batch_ok, ref_ok) << "round " << round << " step " << step;
+      ASSERT_EQ(batched.edge_count(), per_edge.edge_count());
+      for (const auto& [from, to] : per_edge.graph().Edges()) {
+        ASSERT_TRUE(batched.graph().HasEdge(from, to));
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace relser

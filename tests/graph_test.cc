@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <set>
 
 #include "graph/closure.h"
 #include "graph/cycle.h"
@@ -45,8 +46,12 @@ TEST(Digraph, AdjacencyListsMirrorEachOther) {
   graph.AddEdge(0, 2);
   graph.AddEdge(1, 2);
   graph.AddEdge(2, 3);
-  EXPECT_EQ(graph.OutNeighbors(0), (std::vector<NodeId>{2}));
-  EXPECT_EQ(graph.InNeighbors(2), (std::vector<NodeId>{0, 1}));
+  const NeighborSpan outs0 = graph.OutNeighbors(0);
+  EXPECT_EQ(std::vector<NodeId>(outs0.begin(), outs0.end()),
+            (std::vector<NodeId>{2}));
+  const NeighborSpan ins2 = graph.InNeighbors(2);
+  EXPECT_EQ(std::vector<NodeId>(ins2.begin(), ins2.end()),
+            (std::vector<NodeId>{0, 1}));
   EXPECT_EQ(graph.InDegree(2), 2u);
   EXPECT_EQ(graph.OutDegree(2), 1u);
 }
@@ -105,6 +110,71 @@ TEST(Digraph, EdgesEnumeratesAll) {
   EXPECT_NE(std::find(edges.begin(), edges.end(),
                       std::make_pair(NodeId{2}, NodeId{0})),
             edges.end());
+}
+
+TEST(Digraph, SwapCompactedRemovalKeepsIndexCoherent) {
+  // Removing from the middle of a neighbor list swap-moves the last entry
+  // into the hole; the hashed edge index must track the moved edge.
+  Digraph graph(5);
+  graph.AddEdge(0, 1);
+  graph.AddEdge(0, 2);
+  graph.AddEdge(0, 3);
+  graph.AddEdge(0, 4);
+  EXPECT_TRUE(graph.RemoveEdge(0, 2));  // 0->4 moves into 0->2's slot
+  EXPECT_TRUE(graph.HasEdge(0, 4));
+  EXPECT_TRUE(graph.RemoveEdge(0, 4));  // must find it at its new slot
+  EXPECT_FALSE(graph.HasEdge(0, 4));
+  EXPECT_TRUE(graph.HasEdge(0, 1));
+  EXPECT_TRUE(graph.HasEdge(0, 3));
+  EXPECT_EQ(graph.edge_count(), 2u);
+  // Re-adding a removed edge works and dedup still holds.
+  EXPECT_TRUE(graph.AddEdge(0, 2));
+  EXPECT_FALSE(graph.AddEdge(0, 2));
+  EXPECT_EQ(graph.edge_count(), 3u);
+}
+
+TEST(Digraph, RandomizedChurnAgainstSetReference) {
+  Rng rng(98765);
+  for (int round = 0; round < 60; ++round) {
+    const std::size_t n = 2 + rng.UniformIndex(8);
+    Digraph graph(n);
+    std::set<std::pair<NodeId, NodeId>> reference;
+    for (int step = 0; step < 300; ++step) {
+      const NodeId a = rng.UniformIndex(n);
+      const NodeId b = rng.UniformIndex(n);
+      const double roll = rng.UniformDouble();
+      if (roll < 0.45) {
+        EXPECT_EQ(graph.AddEdge(a, b), reference.emplace(a, b).second);
+      } else if (roll < 0.8) {
+        EXPECT_EQ(graph.RemoveEdge(a, b), reference.erase({a, b}) > 0);
+      } else if (roll < 0.9) {
+        graph.IsolateNode(a);
+        std::erase_if(reference, [a](const auto& edge) {
+          return edge.first == a || edge.second == a;
+        });
+      } else {
+        EXPECT_EQ(graph.HasEdge(a, b), reference.count({a, b}) > 0);
+      }
+      ASSERT_EQ(graph.edge_count(), reference.size());
+    }
+    // Final structural audit: edges, degrees, and mirrored adjacency.
+    for (NodeId a = 0; a < n; ++a) {
+      std::size_t out = 0;
+      for (NodeId b = 0; b < n; ++b) {
+        if (reference.count({a, b}) > 0) {
+          ++out;
+          EXPECT_TRUE(graph.HasEdge(a, b));
+          const auto& outs = graph.OutNeighbors(a);
+          const auto& ins = graph.InNeighbors(b);
+          EXPECT_NE(std::find(outs.begin(), outs.end(), b), outs.end());
+          EXPECT_NE(std::find(ins.begin(), ins.end(), a), ins.end());
+        } else {
+          EXPECT_FALSE(graph.HasEdge(a, b));
+        }
+      }
+      EXPECT_EQ(graph.OutDegree(a), out);
+    }
+  }
 }
 
 // ----------------------------------------------------------------- cycle

@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "core/paper_examples.h"
+#include "model/text.h"
 #include "sched/engine.h"
 #include "sched/factory.h"
 #include "sched/graph_based.h"
@@ -159,6 +160,83 @@ TEST(SchedulerBasics, UnitLockReleasesEarlyOnlyWithBreakpoints) {
     ASSERT_TRUE(result.metrics.completed);
     EXPECT_GT(scheduler.early_releases(), 0u);
   }
+}
+
+TEST(SchedulerBasics, SgtRetiresCommittedSourcesAndCascades) {
+  auto txns = ParseTransactionSet("T1 = w1[x]\nT2 = r2[x]\nT3 = r3[x]\n");
+  SGTScheduler scheduler(*txns);
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(0).op(0)), Decision::kGrant);
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(1).op(0)), Decision::kGrant);
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(2).op(0)), Decision::kGrant);
+  // T2 commits first but has an in-edge from uncommitted T1: not retirable.
+  scheduler.OnCommit(1);
+  EXPECT_EQ(scheduler.retired_count(), 0u);
+  // T1 commits with in-degree 0: retired, which exposes committed T2 as a
+  // new source and cascades. Uncommitted T3 stays.
+  scheduler.OnCommit(0);
+  EXPECT_EQ(scheduler.retired_count(), 2u);
+  scheduler.OnCommit(2);
+  EXPECT_EQ(scheduler.retired_count(), 3u);
+}
+
+TEST(SchedulerBasics, SgtStillCatchesCyclesAmongLiveTxnsAfterGc) {
+  auto txns = ParseTransactionSet(
+      "T1 = w1[x]\nT2 = w2[x] w2[y]\nT3 = w3[y] w3[x]\n");
+  SGTScheduler scheduler(*txns);
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(0).op(0)), Decision::kGrant);
+  scheduler.OnCommit(0);
+  EXPECT_EQ(scheduler.retired_count(), 1u);
+  // The retired writer's history entry on x is gone, so T2's write gets no
+  // arc — and none is needed: T1 can no longer join any cycle.
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(1).op(0)), Decision::kGrant);
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(2).op(0)), Decision::kGrant);
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(1).op(1)), Decision::kGrant);
+  // w3[x] closes T2 -> T3 -> T2: must still be rejected after GC.
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(2).op(1)), Decision::kAbort);
+  EXPECT_EQ(scheduler.cycle_rejections(), 1u);
+}
+
+TEST(SchedulerBasics, SgtAbortScrubsHistoryAndExposesSources) {
+  auto txns = ParseTransactionSet("T1 = w1[x]\nT2 = r2[x]\nT3 = w3[x]\n");
+  SGTScheduler scheduler(*txns);
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(0).op(0)), Decision::kGrant);
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(1).op(0)), Decision::kGrant);
+  // Arcs only point into requesters, so committed T1 retires immediately.
+  scheduler.OnCommit(0);
+  EXPECT_EQ(scheduler.retired_count(), 1u);
+  // Abort T2: its read of x must vanish from the history, so T3's write
+  // gains no arc from it.
+  scheduler.OnAbort(1);
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(2).op(0)), Decision::kGrant);
+  EXPECT_EQ(scheduler.cycle_rejections(), 0u);
+}
+
+TEST(SchedulerBasics, SgtGcKeepsRunsCorrectOnRandomWorkloads) {
+  Rng rng(0x56717);
+  std::size_t total_retired = 0;
+  for (int round = 0; round < 20; ++round) {
+    WorkloadParams wp;
+    wp.txn_count = 3 + rng.UniformIndex(4);
+    wp.min_ops_per_txn = 1;
+    wp.max_ops_per_txn = 5;
+    wp.object_count = 2 + rng.UniformIndex(4);
+    const TransactionSet txns = GenerateTransactions(wp, &rng);
+    const AtomicitySpec spec = AbsoluteSpec(txns);
+    SGTScheduler scheduler(txns);
+    SimParams sp;
+    sp.seed = rng.Next();
+    sp.max_ticks = 200000;
+    const SimResult result = RunSimulation(txns, &scheduler, sp);
+    ASSERT_TRUE(result.metrics.completed) << "round " << round;
+    const RunVerification verification =
+        VerifyRun(txns, spec, result, GuaranteeOf("sgt"));
+    EXPECT_TRUE(verification.guarantee_held) << "round " << round;
+    // Every transaction eventually commits, so every node must retire.
+    EXPECT_EQ(scheduler.retired_count(), txns.txn_count())
+        << "round " << round;
+    total_retired += scheduler.retired_count();
+  }
+  EXPECT_GT(total_retired, 0u);
 }
 
 }  // namespace
