@@ -1,65 +1,10 @@
-// Minimal JSON emission for the perf-trajectory harness.
-//
-// The bench binaries append machine-readable results (BENCH_*.json) so
-// performance can be tracked across commits without parsing stdout
-// tables. The writer is deliberately tiny: objects, arrays, strings,
-// numbers and booleans, with automatic comma placement and string
-// escaping. Non-finite doubles are emitted as null (JSON has no NaN).
+// Forwarding header: the JSON writer grew a parser and moved to
+// src/util/json.h so the observability layer (src/obs/) can share it.
+// Bench binaries keep including "bench/bench_json.h" for source
+// stability; new code should include "util/json.h" directly.
 #ifndef RELSER_BENCH_BENCH_JSON_H_
 #define RELSER_BENCH_BENCH_JSON_H_
 
-#include <cstdint>
-#include <string>
-#include <string_view>
-#include <vector>
-
-namespace relser {
-
-/// Streaming JSON builder. Usage:
-///   JsonWriter w;
-///   w.BeginObject();
-///   w.Key("ops"); w.Int(1000);
-///   w.Key("sizes"); w.BeginArray(); w.Int(1); w.Int(2); w.EndArray();
-///   w.EndObject();
-///   WriteJsonFile("BENCH_x.json", w.str());
-class JsonWriter {
- public:
-  void BeginObject() { Open('{'); }
-  void EndObject() { Close('}'); }
-  void BeginArray() { Open('['); }
-  void EndArray() { Close(']'); }
-
-  /// Emits an object key; the next value call provides its value.
-  void Key(std::string_view name);
-
-  void String(std::string_view value);
-  void Int(std::int64_t value);
-  void Uint(std::uint64_t value);
-  /// Finite doubles with up to 6 significant decimals; NaN/Inf -> null.
-  void Double(double value);
-  void Bool(bool value);
-  void Null();
-
-  /// The serialized document so far.
-  const std::string& str() const { return out_; }
-
- private:
-  void Open(char bracket);
-  void Close(char bracket);
-  void BeforeValue();
-  void Escape(std::string_view value);
-
-  std::string out_;
-  // One entry per open container: true when the next element needs a
-  // leading comma. A pending Key suppresses the comma of its value.
-  std::vector<bool> needs_comma_;
-  bool after_key_ = false;
-};
-
-/// Writes `content` to `path` atomically enough for bench use (truncate +
-/// write + flush). Returns false on any I/O failure.
-bool WriteJsonFile(const std::string& path, const std::string& content);
-
-}  // namespace relser
+#include "util/json.h"  // IWYU pragma: export
 
 #endif  // RELSER_BENCH_BENCH_JSON_H_

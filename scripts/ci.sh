@@ -20,4 +20,38 @@ ctest --preset asan
 # The emitted JSON must parse.
 python3 -c "import json; json.load(open('build-asan/BENCH_online.json'))"
 
+# Docs gate: every relative markdown link and every repo path mentioned
+# in README.md / docs/*.md must exist on disk.
+python3 - <<'EOF'
+import os, re, sys
+
+bad = []
+docs = ["README.md"] + sorted(
+    os.path.join("docs", f) for f in os.listdir("docs") if f.endswith(".md"))
+for doc in docs:
+    text = open(doc, encoding="utf-8").read()
+    base = os.path.dirname(doc)
+    for target in re.findall(r"\]\(([^)#]+?)(?:#[^)]*)?\)", text):
+        if re.match(r"[a-z]+:", target):  # http(s), mailto, ...
+            continue
+        if not os.path.exists(os.path.join(base, target)):
+            bad.append(f"{doc}: broken link -> {target}")
+    for path in re.findall(
+            r"\b(?:src|docs|tests|bench|tools|scripts|examples)/"
+            r"[\w./-]+\.(?:h|cc|cpp|md|sh|json|txt)\b", text):
+        if not os.path.exists(path):
+            bad.append(f"{doc}: dangling path -> {path}")
+for line in bad:
+    print("docs-gate:", line)
+sys.exit(1 if bad else 0)
+EOF
+
+# Trace smoke: export a paper-figure trace, validate it against the
+# documented schema, and summarize it.
+(cd build-asan &&
+ ./tools/trace_inspect --demo ra ci_trace.jsonl ci_trace.chrome.json &&
+ ./tools/trace_inspect --check ci_trace.jsonl &&
+ ./tools/trace_inspect ci_trace.jsonl > /dev/null &&
+ python3 -c "import json; json.load(open('ci_trace.chrome.json'))")
+
 echo "ci: all checks passed"

@@ -79,4 +79,29 @@ RejectionExplanation ExplainRejection(const TransactionSet& txns,
   return explanation;
 }
 
+std::string ExplainWitnessArc(const TransactionSet& txns,
+                              const AtomicitySpec& spec, std::uint8_t kinds,
+                              const Operation& from, const Operation& to) {
+  ExplainedArc arc;
+  arc.from = from;
+  arc.to = to;
+  arc.kinds = kinds;
+  AnnotateUnit(spec, &arc);
+  std::string reason;
+  if (kinds & kInternalArc) {
+    reason = "program order within the transaction";
+  } else if (kinds & kDependencyArc) {
+    reason = "depends-on (conflict on a shared object)";
+  } else if (kinds & kPushForwardArc) {
+    reason = "push-forward: the unit must complete first";
+  } else if (kinds & kPullBackwardArc) {
+    reason = "pull-backward: the unit opened earlier";
+  } else {
+    reason = "conflict order between the transactions";
+  }
+  return StrCat(ToString(txns, arc.from), " must precede ",
+                ToString(txns, arc.to), " [", ArcKindsToString(arc.kinds),
+                "]: ", reason, RenderUnit(txns, arc));
+}
+
 }  // namespace relser

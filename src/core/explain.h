@@ -45,6 +45,14 @@ RejectionExplanation ExplainRejection(const TransactionSet& txns,
                                       const Schedule& schedule,
                                       const AtomicitySpec& spec);
 
+/// Renders a one-line explanation of a single witnessing RSG arc — the
+/// story behind one trace event's cause: which arc kind connects `from`
+/// to `to`, and for F/B arcs which atomic unit forced it. Used by the
+/// schedulers to fill TraceCause::note.
+std::string ExplainWitnessArc(const TransactionSet& txns,
+                              const AtomicitySpec& spec, std::uint8_t kinds,
+                              const Operation& from, const Operation& to);
+
 }  // namespace relser
 
 #endif  // RELSER_CORE_EXPLAIN_H_

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "core/explain.h"
+#include "core/rsg.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace relser {
@@ -122,12 +125,18 @@ bool OnlineRsrChecker::TryAppend(const Operation& op) {
     }
   }
 
+  // Tracing keeps a parallel kind buffer so a failing batch can name the
+  // exact witnessing arc; costs nothing when no tracer is attached.
+  const bool tracing = tracer_ != nullptr && tracer_->events_on();
   arc_buf_.clear();
+  if (tracing) arc_kind_buf_.clear();
   if (op.index > 0) {
     arc_buf_.emplace_back(gid - 1, gid);  // I-arc
+    if (tracing) arc_kind_buf_.push_back(kInternalArc);
   }
   for (const std::size_t pred : pred_buf_) {
     arc_buf_.emplace_back(pred, gid);  // D-arc to the conflict frontier
+    if (tracing) arc_kind_buf_.push_back(kDependencyArc);
     const Operation& pred_op = txns_.OpByGlobalId(pred);
     const std::uint32_t pred_slot = slot_of_[pred];
     RELSER_DCHECK(pred_slot != kNoSlot);
@@ -159,6 +168,7 @@ bool OnlineRsrChecker::TryAppend(const Operation& op) {
     if (pushed + 1 > memo.pf_p1) {
       if (pushed > u) {
         arc_buf_.emplace_back(indexer_.GlobalId(i, pushed), gid);  // F-arc
+        if (tracing) arc_kind_buf_.push_back(kPushForwardArc);
       }
       // pushed <= u needs no arc: (i, pushed) is already an ancestor.
       memo.pf_p1 = pushed + 1;
@@ -167,6 +177,7 @@ bool OnlineRsrChecker::TryAppend(const Operation& op) {
     if (pulled < op.index) {
       arc_buf_.emplace_back(indexer_.GlobalId(i, u),
                             indexer_.GlobalId(j, pulled));  // B-arc
+      if (tracing) arc_kind_buf_.push_back(kPullBackwardArc);
     }
     // pulled == op.index needs no arc: (i, u) already reaches this op.
     memo.u_max_p1 = u_p1;
@@ -176,12 +187,41 @@ bool OnlineRsrChecker::TryAppend(const Operation& op) {
   }
 
   const std::size_t edges_before = topo_.edge_count();
+  const std::uint64_t repairs_before = topo_.reorder_count();
   if (!topo_.AddEdges(arc_buf_)) {
     ++rejections_;
+    if (tracing) {
+      const auto [bad_from, bad_to] = topo_.last_rejected_edge();
+      TraceCause cause;
+      cause.kind = TraceCauseKind::kRsgArc;
+      cause.from = txns_.OpByGlobalId(bad_from);
+      cause.to = txns_.OpByGlobalId(bad_to);
+      for (std::size_t a = 0; a < arc_buf_.size(); ++a) {
+        if (arc_buf_[a].first == bad_from && arc_buf_[a].second == bad_to) {
+          cause.arc_kinds = arc_kind_buf_[a];
+          break;
+        }
+      }
+      cause.note = ExplainWitnessArc(txns_, spec_, cause.arc_kinds,
+                                     cause.from, cause.to);
+      tracer_->AttachCause(std::move(cause));
+    }
     return false;
   }
   arcs_submitted_ += arc_buf_.size();
   arcs_inserted_total_ += topo_.edge_count() - edges_before;
+  if (tracer_ != nullptr && tracer_->counting()) {
+    tracer_->AddArcStats(arc_buf_.size(), topo_.edge_count() - edges_before,
+                         topo_.reorder_count() - repairs_before);
+    if (tracing) {
+      for (std::size_t a = 0; a < arc_buf_.size(); ++a) {
+        tracer_->RecordArc(arc_kind_buf_[a],
+                           txns_.OpByGlobalId(arc_buf_[a].first),
+                           txns_.OpByGlobalId(arc_buf_[a].second),
+                           tracer_->tick());
+      }
+    }
+  }
 
   // Commit: memos, ancestor array, retention flags, frontier, indices.
   for (const PendingMemo& pending : pending_memos_) {

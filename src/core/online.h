@@ -39,6 +39,8 @@
 
 namespace relser {
 
+class Tracer;
+
 /// Incremental relative-serializability certification.
 class OnlineRsrChecker {
  public:
@@ -86,6 +88,13 @@ class OnlineRsrChecker {
   /// The maintained graph (for diagnostics / DOT export).
   const IncrementalTopology& topology() const { return topo_; }
   const OpIndexer& indexer() const { return indexer_; }
+
+  /// Attaches an observability collector (obs/trace.h); nullptr detaches.
+  /// With no tracer (the default) every hook costs one pointer compare;
+  /// at TraceLevel::kFull each arc handed to the topology is recorded
+  /// with its I/D/F/B kind and each rejection attaches a TraceCause
+  /// naming the witnessing arc that closed the cycle.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
 
   /// Streams `schedule` through a fresh checker; returns the position of
   /// the first rejected operation, or schedule.size() when the whole
@@ -166,6 +175,7 @@ class OnlineRsrChecker {
   std::vector<std::uint32_t> scratch_anc_;
   std::vector<std::size_t> pred_buf_;
   std::vector<std::pair<NodeId, NodeId>> arc_buf_;
+  std::vector<std::uint8_t> arc_kind_buf_;  // parallel to arc_buf_ (tracing)
   std::vector<PendingMemo> pending_memos_;
   std::vector<std::size_t> rebuild_reads_;  // RebuildFrontier scratch
   std::vector<NodeId> bypass_in_;           // RemoveTransaction scratch
@@ -175,6 +185,7 @@ class OnlineRsrChecker {
   std::size_t rejections_ = 0;
   std::size_t arcs_submitted_ = 0;
   std::size_t arcs_inserted_total_ = 0;
+  Tracer* tracer_ = nullptr;
 };
 
 }  // namespace relser

@@ -33,7 +33,10 @@ void IncrementalTopology::EnsureNodes(std::size_t node_count) {
 IncrementalTopology::AddResult IncrementalTopology::AddEdge(NodeId from,
                                                             NodeId to) {
   RELSER_CHECK(from < graph_.node_count() && to < graph_.node_count());
-  if (from == to) return AddResult::kCycle;
+  if (from == to) {
+    last_rejected_edge_ = {from, to};
+    return AddResult::kCycle;
+  }
   if (graph_.HasEdge(from, to)) return AddResult::kDuplicate;
   const std::size_t lower = position_[to];
   const std::size_t upper = position_[from];
@@ -48,10 +51,12 @@ IncrementalTopology::AddResult IncrementalTopology::AddEdge(NodeId from,
   const bool acyclic = DiscoverForward(to, upper, from);
   if (!acyclic) {
     for (const NodeId node : delta_forward_) visited_[node] = false;
+    last_rejected_edge_ = {from, to};
     return AddResult::kCycle;
   }
   DiscoverBackward(from, lower);
   Reorder();
+  ++reorder_count_;
   graph_.AddEdge(from, to);
   return AddResult::kInserted;
 }

@@ -85,6 +85,17 @@ class IncrementalTopology {
   std::size_t node_count() const { return graph_.node_count(); }
   std::size_t edge_count() const { return graph_.edge_count(); }
 
+  /// The edge whose insertion last returned kCycle (from AddEdge or
+  /// AddEdges). Meaningful only immediately after a rejected insertion;
+  /// the observability layer reads it to name the witnessing arc.
+  std::pair<NodeId, NodeId> last_rejected_edge() const {
+    return last_rejected_edge_;
+  }
+
+  /// Number of Pearce-Kelly order repairs performed so far (insertions
+  /// that had to move nodes, as opposed to order-consistent appends).
+  std::uint64_t reorder_count() const { return reorder_count_; }
+
  private:
   // Forward DFS from `start` over nodes with position <= `bound`.
   // Returns false when `target` was reached (cycle); visited nodes are
@@ -110,6 +121,8 @@ class IncrementalTopology {
   mutable std::vector<std::uint64_t> probe_stamp_;
   mutable std::vector<NodeId> probe_stack_;
   mutable std::uint64_t probe_gen_ = 0;
+  std::pair<NodeId, NodeId> last_rejected_edge_{0, 0};
+  std::uint64_t reorder_count_ = 0;
 };
 
 }  // namespace relser

@@ -1,0 +1,214 @@
+#include "obs/export.h"
+
+#include "util/json.h"
+
+namespace relser {
+
+namespace {
+
+std::string OpString(const Operation& op, const TransactionSet& txns) {
+  return OperationToString(op, txns.ObjectName(op.object));
+}
+
+bool IsDecision(TraceEventKind kind) {
+  return kind == TraceEventKind::kAdmit || kind == TraceEventKind::kDelay ||
+         kind == TraceEventKind::kReject;
+}
+
+// Emits the "cause" object (shared by the JSONL and Chrome exporters).
+void EmitCause(JsonWriter& json, const TraceCause& cause,
+               const TransactionSet& txns) {
+  json.BeginObject();
+  json.Key("kind");
+  json.String(TraceCauseKindName(cause.kind));
+  switch (cause.kind) {
+    case TraceCauseKind::kRsgArc:
+    case TraceCauseKind::kConflictArc:
+      json.Key("arc");
+      json.String(TraceArcKindsToString(cause.arc_kinds));
+      json.Key("from");
+      json.String(OpString(cause.from, txns));
+      json.Key("from_txn");
+      json.Uint(cause.from.txn + 1);
+      json.Key("from_index");
+      json.Uint(cause.from.index);
+      json.Key("to");
+      json.String(OpString(cause.to, txns));
+      json.Key("to_txn");
+      json.Uint(cause.to.txn + 1);
+      json.Key("to_index");
+      json.Uint(cause.to.index);
+      break;
+    case TraceCauseKind::kLock:
+      json.Key("object");
+      json.String(txns.ObjectName(cause.object));
+      json.Key("holder");
+      json.Uint(cause.holder + 1);
+      json.Key("exclusive");
+      json.Bool(cause.exclusive);
+      break;
+    case TraceCauseKind::kDeadlock:
+      json.Key("holder");
+      json.Uint(cause.holder + 1);
+      break;
+    case TraceCauseKind::kNone:
+      break;
+  }
+  if (!cause.note.empty()) {
+    json.Key("explain");
+    json.String(cause.note);
+  }
+  json.EndObject();
+}
+
+}  // namespace
+
+std::string TraceToJsonl(const Tracer& tracer, const TransactionSet& txns) {
+  std::string out;
+  for (const TraceEvent& event : tracer.events()) {
+    JsonWriter json;
+    json.BeginObject();
+    json.Key("seq");
+    json.Uint(event.seq);
+    json.Key("tick");
+    json.Uint(event.tick);
+    json.Key("kind");
+    json.String(TraceEventKindName(event.kind));
+    json.Key("txn");
+    json.Uint(event.txn + 1);  // printed 1-based, like the paper's T1
+    if (event.has_op) {
+      json.Key("op");
+      json.String(OpString(event.op, txns));
+      json.Key("op_index");
+      json.Uint(event.op.index);
+      json.Key("op_type");
+      json.String(event.op.is_write() ? "w" : "r");
+      json.Key("object");
+      json.String(txns.ObjectName(event.op.object));
+    }
+    if (IsDecision(event.kind)) {
+      json.Key("latency_ns");
+      json.Uint(event.latency_ns);
+    }
+    if (event.cause.kind != TraceCauseKind::kNone) {
+      json.Key("cause");
+      EmitCause(json, event.cause, txns);
+    }
+    json.EndObject();
+    out += json.str();
+    out += '\n';
+  }
+  return out;
+}
+
+bool WriteTraceJsonl(const Tracer& tracer, const TransactionSet& txns,
+                     const std::string& path) {
+  // WriteJsonFile appends a final newline; strip ours to avoid a blank
+  // trailing line.
+  std::string content = TraceToJsonl(tracer, txns);
+  if (!content.empty() && content.back() == '\n') content.pop_back();
+  return WriteJsonFile(path, content);
+}
+
+std::string TraceToChromeJson(const Tracer& tracer,
+                              const TransactionSet& txns) {
+  // One microsecond-scale column per tick: tick t spans [10t, 10t+10).
+  const auto tick_us = [](std::uint64_t tick) { return tick * 10; };
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("displayTimeUnit");
+  json.String("ms");
+  json.Key("traceEvents");
+  json.BeginArray();
+
+  json.BeginObject();
+  json.Key("name");
+  json.String("process_name");
+  json.Key("ph");
+  json.String("M");
+  json.Key("pid");
+  json.Uint(1);
+  json.Key("args");
+  json.BeginObject();
+  json.Key("name");
+  json.String("relser scheduler run");
+  json.EndObject();
+  json.EndObject();
+
+  for (TxnId t = 0; t < txns.txn_count(); ++t) {
+    json.BeginObject();
+    json.Key("name");
+    json.String("thread_name");
+    json.Key("ph");
+    json.String("M");
+    json.Key("pid");
+    json.Uint(1);
+    json.Key("tid");
+    json.Uint(t + 1);
+    json.Key("args");
+    json.BeginObject();
+    json.Key("name");
+    std::string lane = "T";
+    lane += std::to_string(t + 1);
+    json.String(lane);
+    json.EndObject();
+    json.EndObject();
+  }
+
+  for (const TraceEvent& event : tracer.events()) {
+    json.BeginObject();
+    json.Key("name");
+    std::string name = TraceEventKindName(event.kind);
+    if (event.has_op) {
+      name = OpString(event.op, txns) + " " + name;
+    }
+    json.String(name);
+    json.Key("cat");
+    json.String(TraceEventKindName(event.kind));
+    json.Key("pid");
+    json.Uint(1);
+    json.Key("tid");
+    json.Uint(event.txn + 1);
+    json.Key("ts");
+    json.Uint(tick_us(event.tick));
+    if (IsDecision(event.kind)) {
+      json.Key("ph");
+      json.String("X");  // complete slice spanning most of the tick
+      json.Key("dur");
+      json.Uint(8);
+    } else {
+      json.Key("ph");
+      json.String("i");  // instant: arcs, commits, aborts
+      json.Key("s");
+      json.String("t");
+    }
+    json.Key("args");
+    json.BeginObject();
+    json.Key("seq");
+    json.Uint(event.seq);
+    json.Key("tick");
+    json.Uint(event.tick);
+    if (IsDecision(event.kind)) {
+      json.Key("latency_ns");
+      json.Uint(event.latency_ns);
+    }
+    if (event.cause.kind != TraceCauseKind::kNone) {
+      json.Key("cause");
+      EmitCause(json, event.cause, txns);
+    }
+    json.EndObject();
+    json.EndObject();
+  }
+
+  json.EndArray();
+  json.EndObject();
+  return json.str();
+}
+
+bool WriteChromeTrace(const Tracer& tracer, const TransactionSet& txns,
+                      const std::string& path) {
+  return WriteJsonFile(path, TraceToChromeJson(tracer, txns));
+}
+
+}  // namespace relser

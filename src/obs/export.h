@@ -1,0 +1,42 @@
+// Trace sinks: the JSONL event log and the Chrome trace_event exporter.
+//
+// JSONL — one self-contained JSON object per line, the machine-readable
+// record tools/trace_inspect and tests consume. The schema is documented
+// field-by-field in docs/observability.md and validated by
+// obs/inspect.h's ValidateTraceJsonl.
+//
+// Chrome trace — the `trace_event` JSON format understood by
+// chrome://tracing and https://ui.perfetto.dev: one lane (tid) per
+// transaction, one slice per decision event, arc/cause details in args.
+// Ticks are mapped to microseconds so a discrete-tick run renders with
+// one tick per microsecond column.
+#ifndef RELSER_OBS_EXPORT_H_
+#define RELSER_OBS_EXPORT_H_
+
+#include <string>
+
+#include "model/transaction.h"
+#include "obs/trace.h"
+
+namespace relser {
+
+/// Serializes every recorded event as JSON Lines. `txns` supplies the
+/// object names used in the rendered operation strings.
+std::string TraceToJsonl(const Tracer& tracer, const TransactionSet& txns);
+
+/// TraceToJsonl + WriteJsonFile. Returns false on I/O failure.
+bool WriteTraceJsonl(const Tracer& tracer, const TransactionSet& txns,
+                     const std::string& path);
+
+/// Serializes the trace in Chrome trace_event format (a single JSON
+/// object with a "traceEvents" array; load in chrome://tracing or
+/// Perfetto).
+std::string TraceToChromeJson(const Tracer& tracer,
+                              const TransactionSet& txns);
+
+bool WriteChromeTrace(const Tracer& tracer, const TransactionSet& txns,
+                      const std::string& path);
+
+}  // namespace relser
+
+#endif  // RELSER_OBS_EXPORT_H_

@@ -1,0 +1,88 @@
+// Offline analysis of JSONL traces (obs/export.h's format).
+//
+// ValidateTraceJsonl is the executable form of the schema documented in
+// docs/observability.md: every required field of every event kind is
+// checked, so tests and scripts/ci.sh can gate on "the trace a build
+// produces is the trace the docs promise". SummarizeTraceJsonl computes
+// the aggregates tools/trace_inspect prints: top blocking arcs,
+// longest-delayed operations, and the per-transaction wait breakdown.
+#ifndef RELSER_OBS_INSPECT_H_
+#define RELSER_OBS_INSPECT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace relser {
+
+/// Result of a schema validation pass; `errors` lists one human-readable
+/// message per violating line (capped at 20).
+struct TraceValidation {
+  bool ok = false;
+  std::size_t lines = 0;
+  std::vector<std::string> errors;
+};
+
+/// Validates one JSONL document against the trace event schema.
+TraceValidation ValidateTraceJsonl(std::string_view content);
+
+/// One aggregated blocking cause: a witnessing arc (or lock) and how
+/// many delay/reject decisions cited it.
+struct BlockingCauseStat {
+  std::string label;   ///< e.g. "F r1[z] -> r2[x]" or "lock x held by T2"
+  std::uint64_t delays = 0;
+  std::uint64_t rejects = 0;
+};
+
+/// One operation's waiting profile.
+struct OpWaitStat {
+  std::string op;            ///< rendered operation, e.g. "r2[x]"
+  std::uint64_t txn = 0;     ///< 1-based
+  std::uint64_t delays = 0;  ///< times the request was delayed/rejected
+  std::uint64_t first_request_tick = 0;
+  std::uint64_t decided_tick = 0;  ///< admit tick (or last event tick)
+  bool admitted = false;
+  /// decided_tick - first_request_tick (0 when never delayed).
+  std::uint64_t wait_ticks() const {
+    return decided_tick - first_request_tick;
+  }
+};
+
+/// Per-transaction roll-up.
+struct TxnWaitStat {
+  std::uint64_t txn = 0;  ///< 1-based
+  std::uint64_t admits = 0;
+  std::uint64_t delays = 0;
+  std::uint64_t rejects = 0;
+  std::uint64_t delays_on_arcs = 0;   ///< rsg_arc / conflict_arc causes
+  std::uint64_t delays_on_locks = 0;  ///< lock / deadlock causes
+  bool committed = false;
+  bool aborted = false;
+};
+
+/// Everything trace_inspect prints.
+struct TraceSummary {
+  std::uint64_t events = 0;
+  std::uint64_t admits = 0;
+  std::uint64_t delays = 0;
+  std::uint64_t rejects = 0;
+  std::uint64_t aborts = 0;
+  std::uint64_t cascade_aborts = 0;
+  std::uint64_t commits = 0;
+  std::uint64_t arcs = 0;
+  std::vector<BlockingCauseStat> top_blocking;  ///< most-cited first
+  std::vector<OpWaitStat> longest_delayed;      ///< largest wait first
+  std::vector<TxnWaitStat> per_txn;             ///< by transaction id
+};
+
+/// Aggregates a (previously validated) JSONL trace. Unparseable lines
+/// are skipped.
+TraceSummary SummarizeTraceJsonl(std::string_view content);
+
+/// Renders the summary as the human-readable report the CLI prints.
+std::string RenderTraceSummary(const TraceSummary& summary);
+
+}  // namespace relser
+
+#endif  // RELSER_OBS_INSPECT_H_

@@ -1,0 +1,242 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "util/json.h"
+
+namespace relser {
+
+const char* TraceEventKindName(TraceEventKind kind) {
+  switch (kind) {
+    case TraceEventKind::kAdmit: return "admit";
+    case TraceEventKind::kDelay: return "delay";
+    case TraceEventKind::kReject: return "reject";
+    case TraceEventKind::kAbort: return "abort";
+    case TraceEventKind::kCascadeAbort: return "cascade_abort";
+    case TraceEventKind::kCommit: return "commit";
+    case TraceEventKind::kArc: return "arc";
+  }
+  return "?";
+}
+
+const char* TraceCauseKindName(TraceCauseKind kind) {
+  switch (kind) {
+    case TraceCauseKind::kNone: return "none";
+    case TraceCauseKind::kRsgArc: return "rsg_arc";
+    case TraceCauseKind::kConflictArc: return "conflict_arc";
+    case TraceCauseKind::kLock: return "lock";
+    case TraceCauseKind::kDeadlock: return "deadlock";
+  }
+  return "?";
+}
+
+std::string TraceArcKindsToString(TraceArcKinds kinds) {
+  if (kinds == 0) return "C";
+  std::string out;
+  const auto append = [&out](const char* name) {
+    if (!out.empty()) out += ',';
+    out += name;
+  };
+  if (kinds & 0x1) append("I");
+  if (kinds & 0x2) append("D");
+  if (kinds & 0x4) append("F");
+  if (kinds & 0x8) append("B");
+  return out;
+}
+
+void LatencyHistogram::Record(std::uint64_t ns) {
+  const auto bucket =
+      std::min<std::size_t>(static_cast<std::size_t>(std::bit_width(ns)),
+                            buckets_.size() - 1);
+  ++buckets_[bucket];
+  ++samples_;
+}
+
+double LatencyHistogram::Quantile(double q) const {
+  if (samples_ == 0) return 0.0;
+  const double rank = q * static_cast<double>(samples_ - 1);
+  double seen = 0.0;
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    seen += static_cast<double>(buckets_[b]);
+    if (seen > rank) {
+      // bucket b holds [2^(b-1), 2^b); report the geometric midpoint.
+      if (b == 0) return 0.0;
+      const double lo = std::ldexp(1.0, static_cast<int>(b) - 1);
+      return lo * 1.5;
+    }
+  }
+  return std::ldexp(1.0, 63);
+}
+
+void Tracer::AttachCause(TraceCause cause) {
+  if (!events_on()) return;
+  pending_cause_ = std::move(cause);
+  has_pending_cause_ = true;
+}
+
+void Tracer::RecordArc(TraceArcKinds kinds, const Operation& from,
+                       const Operation& to, std::uint64_t tick) {
+  if (!events_on()) return;
+  TraceEvent event;
+  event.seq = next_seq_++;
+  event.tick = tick;
+  event.kind = TraceEventKind::kArc;
+  event.txn = to.txn;
+  event.has_op = true;
+  event.op = to;
+  event.cause.kind = kinds == 0 ? TraceCauseKind::kConflictArc
+                                : TraceCauseKind::kRsgArc;
+  event.cause.arc_kinds = kinds;
+  event.cause.from = from;
+  event.cause.to = to;
+  events_.push_back(std::move(event));
+}
+
+void Tracer::AddArcStats(std::uint64_t submitted, std::uint64_t inserted,
+                         std::uint64_t repairs) {
+  if (!counting()) return;
+  counters_.arcs_submitted += submitted;
+  counters_.arcs_inserted += inserted;
+  counters_.cycle_repairs += repairs;
+}
+
+void Tracer::CountEarlyLockRelease() {
+  if (!counting()) return;
+  ++counters_.early_lock_releases;
+}
+
+void Tracer::RecordDecisionEvent(TraceEventKind kind, const Operation& op,
+                                 std::uint64_t tick,
+                                 std::uint64_t latency_ns) {
+  if (events_on()) {
+    TraceEvent event;
+    event.seq = next_seq_++;
+    event.tick = tick;
+    event.kind = kind;
+    event.txn = op.txn;
+    event.has_op = true;
+    event.op = op;
+    event.latency_ns = latency_ns;
+    if (has_pending_cause_) {
+      event.cause = std::move(pending_cause_);
+      pending_cause_ = TraceCause{};
+    }
+    events_.push_back(std::move(event));
+  }
+  has_pending_cause_ = false;
+}
+
+void Tracer::RecordAdmit(const Operation& op, std::uint64_t tick,
+                         std::uint64_t latency_ns) {
+  if (!counting()) return;
+  ++counters_.requests;
+  ++counters_.admits;
+  admit_latency_.Record(latency_ns);
+  RecordDecisionEvent(TraceEventKind::kAdmit, op, tick, latency_ns);
+}
+
+void Tracer::RecordDelay(const Operation& op, std::uint64_t tick,
+                         std::uint64_t latency_ns) {
+  if (!counting()) return;
+  ++counters_.requests;
+  ++counters_.delays;
+  RecordDecisionEvent(TraceEventKind::kDelay, op, tick, latency_ns);
+}
+
+void Tracer::RecordReject(const Operation& op, std::uint64_t tick,
+                          std::uint64_t latency_ns) {
+  if (!counting()) return;
+  ++counters_.requests;
+  ++counters_.rejects;
+  RecordDecisionEvent(TraceEventKind::kReject, op, tick, latency_ns);
+}
+
+void Tracer::RecordCommit(TxnId txn, std::uint64_t tick) {
+  if (!counting()) return;
+  ++counters_.commits;
+  if (!events_on()) return;
+  TraceEvent event;
+  event.seq = next_seq_++;
+  event.tick = tick;
+  event.kind = TraceEventKind::kCommit;
+  event.txn = txn;
+  events_.push_back(std::move(event));
+}
+
+void Tracer::RecordAbort(TxnId txn, std::uint64_t tick, bool cascade) {
+  if (!counting()) return;
+  if (cascade) {
+    ++counters_.cascade_aborts;
+  } else {
+    ++counters_.aborts;
+  }
+  if (!events_on()) return;
+  TraceEvent event;
+  event.seq = next_seq_++;
+  event.tick = tick;
+  event.kind = cascade ? TraceEventKind::kCascadeAbort
+                       : TraceEventKind::kAbort;
+  event.txn = txn;
+  events_.push_back(std::move(event));
+}
+
+TraceSnapshot Tracer::Snapshot() const {
+  TraceSnapshot snapshot;
+  snapshot.counters = counters_;
+  snapshot.events_recorded = events_.size();
+  snapshot.admit_latency_samples = admit_latency_.samples();
+  snapshot.admit_p50_ns = admit_latency_.Quantile(0.50);
+  snapshot.admit_p99_ns = admit_latency_.Quantile(0.99);
+  return snapshot;
+}
+
+void Tracer::Clear() {
+  counters_ = TraceCounters{};
+  admit_latency_ = LatencyHistogram{};
+  events_.clear();
+  next_seq_ = 0;
+  tick_ = 0;
+  pending_cause_ = TraceCause{};
+  has_pending_cause_ = false;
+}
+
+std::string SnapshotToJson(const TraceSnapshot& snapshot) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("requests");
+  json.Uint(snapshot.counters.requests);
+  json.Key("admits");
+  json.Uint(snapshot.counters.admits);
+  json.Key("delays");
+  json.Uint(snapshot.counters.delays);
+  json.Key("rejects");
+  json.Uint(snapshot.counters.rejects);
+  json.Key("aborts");
+  json.Uint(snapshot.counters.aborts);
+  json.Key("cascade_aborts");
+  json.Uint(snapshot.counters.cascade_aborts);
+  json.Key("commits");
+  json.Uint(snapshot.counters.commits);
+  json.Key("arcs_submitted");
+  json.Uint(snapshot.counters.arcs_submitted);
+  json.Key("arcs_inserted");
+  json.Uint(snapshot.counters.arcs_inserted);
+  json.Key("cycle_repairs");
+  json.Uint(snapshot.counters.cycle_repairs);
+  json.Key("early_lock_releases");
+  json.Uint(snapshot.counters.early_lock_releases);
+  json.Key("events_recorded");
+  json.Uint(snapshot.events_recorded);
+  json.Key("admit_latency_samples");
+  json.Uint(snapshot.admit_latency_samples);
+  json.Key("admit_p50_ns");
+  json.Double(snapshot.admit_p50_ns);
+  json.Key("admit_p99_ns");
+  json.Double(snapshot.admit_p99_ns);
+  json.EndObject();
+  return json.str();
+}
+
+}  // namespace relser

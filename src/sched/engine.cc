@@ -1,7 +1,9 @@
 #include "sched/engine.h"
 
 #include <algorithm>
+#include <chrono>
 
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace relser {
@@ -52,6 +54,10 @@ SimResult RunSimulation(const TransactionSet& txns, Scheduler* scheduler,
   auto think = [&params, &per_txn](TxnId t) {
     return per_txn(params.think_time, t);
   };
+
+  Tracer* const tracer = params.tracer;
+  scheduler->set_tracer(tracer);
+  const bool tracer_counting = tracer != nullptr && tracer->counting();
 
   Rng rng(params.seed);
   std::vector<TxnState> state(n);
@@ -111,6 +117,10 @@ SimResult RunSimulation(const TransactionSet& txns, Scheduler* scheduler,
       state[t].next_op = 0;
       state[t].status = TxnStatus::kIdle;
       ++state[t].attempts;
+      if (tracer_counting) {
+        tracer->RecordAbort(t, now,
+                            /*cascade=*/!(t == victim && scheduler_initiated));
+      }
       // Randomized backoff with a window growing in the attempt count:
       // deterministic backoff can let conflicting transactions restart in
       // lockstep and replay the same cycle forever.
@@ -133,6 +143,7 @@ SimResult RunSimulation(const TransactionSet& txns, Scheduler* scheduler,
 
   std::size_t tick = 0;
   for (; tick < params.max_ticks && committed_txns < n; ++tick) {
+    if (tracer_counting) tracer->SetTick(tick);
     rng.Shuffle(&order);
     std::size_t active = 0;
     for (const TxnId t : order) {
@@ -141,15 +152,27 @@ SimResult RunSimulation(const TransactionSet& txns, Scheduler* scheduler,
       if (state[t].wake_tick > tick) continue;
       const Transaction& txn = txns.txn(t);
       const Operation& op = txn.op(state[t].next_op);
-      switch (scheduler->OnRequest(op)) {
+      std::chrono::steady_clock::time_point decide_start;
+      if (tracer_counting) decide_start = std::chrono::steady_clock::now();
+      const Decision decision = scheduler->OnRequest(op);
+      std::uint64_t latency_ns = 0;
+      if (tracer_counting) {
+        latency_ns = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - decide_start)
+                .count());
+      }
+      switch (decision) {
         case Decision::kGrant: {
           ++metrics.grants;
+          if (tracer_counting) tracer->RecordAdmit(op, tick, latency_ns);
           state[t].status = TxnStatus::kRunning;
           state[t].executed_log_slots.push_back(raw_log.size());
           raw_log.push_back(LogEntry{op, tick, false, false});
           ++state[t].next_op;
           if (state[t].next_op == txn.size()) {
             scheduler->OnCommit(t);
+            if (tracer_counting) tracer->RecordCommit(t, tick);
             for (const std::size_t slot : state[t].executed_log_slots) {
               raw_log[slot].committed = true;
             }
@@ -164,9 +187,11 @@ SimResult RunSimulation(const TransactionSet& txns, Scheduler* scheduler,
         }
         case Decision::kBlock:
           ++metrics.blocks;
+          if (tracer_counting) tracer->RecordDelay(op, tick, latency_ns);
           state[t].status = TxnStatus::kRunning;
           break;
         case Decision::kAbort:
+          if (tracer_counting) tracer->RecordReject(op, tick, latency_ns);
           abort_with_cascades(t, tick, /*scheduler_initiated=*/true);
           break;
       }

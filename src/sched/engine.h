@@ -41,6 +41,12 @@ struct SimParams {
   std::vector<std::size_t> start_tick;
   /// Restart backoff after the a-th abort is backoff_base * a ticks.
   std::size_t backoff_base = 3;
+  /// Optional observability collector (obs/trace.h). The engine forwards
+  /// it to the scheduler, stamps the tick clock, measures per-decision
+  /// latency, and records one admit/delay/reject event per request plus
+  /// commit/abort lifecycle events. nullptr (the default) keeps the run
+  /// on the untraced hot path.
+  Tracer* tracer = nullptr;
 };
 
 /// One executed-and-committed operation with its grant tick.

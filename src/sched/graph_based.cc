@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace relser {
@@ -24,18 +25,53 @@ std::uint32_t SGTScheduler::ObjIndex(ObjectId object) {
 }
 
 Decision SGTScheduler::OnRequest(const Operation& op) {
+  const bool tracing = tracer_ != nullptr && tracer_->events_on();
   arc_buf_.clear();
+  if (tracing) arc_from_buf_.clear();
   const std::uint32_t obj_idx = ObjIndex(op.object);
   for (const Access& access : objects_[obj_idx]) {
     if (access.txn != op.txn && (access.write || op.is_write())) {
       arc_buf_.emplace_back(access.txn, op.txn);
+      if (tracing) {
+        // SGT arcs are transaction-level; remember the conflicting
+        // access that induced each arc so a rejection can cite it.
+        arc_from_buf_.push_back(Operation{
+            access.txn, access.index,
+            access.write ? OpType::kWrite : OpType::kRead, op.object});
+      }
     }
   }
+  const std::size_t edges_before = topo_.edge_count();
+  const std::uint64_t repairs_before = topo_.reorder_count();
   if (!topo_.AddEdges(arc_buf_)) {
     ++cycle_rejections_;
+    if (tracing) {
+      const auto [bad_from, bad_to] = topo_.last_rejected_edge();
+      TraceCause cause;
+      cause.kind = TraceCauseKind::kConflictArc;
+      cause.arc_kinds = 0;  // rendered "C": txn-level conflict arc
+      cause.from = op;
+      cause.to = op;
+      for (std::size_t a = 0; a < arc_buf_.size(); ++a) {
+        if (arc_buf_[a].first == bad_from && arc_buf_[a].second == bad_to) {
+          cause.from = arc_from_buf_[a];
+          break;
+        }
+      }
+      tracer_->AttachCause(std::move(cause));
+    }
     return Decision::kAbort;
   }
-  objects_[obj_idx].push_back(Access{op.txn, op.is_write()});
+  if (tracer_ != nullptr && tracer_->counting()) {
+    tracer_->AddArcStats(arc_buf_.size(), topo_.edge_count() - edges_before,
+                         topo_.reorder_count() - repairs_before);
+    if (tracing) {
+      for (std::size_t a = 0; a < arc_buf_.size(); ++a) {
+        tracer_->RecordArc(0, arc_from_buf_[a], op, tracer_->tick());
+      }
+    }
+  }
+  objects_[obj_idx].push_back(Access{op.txn, op.index, op.is_write()});
   touched_[op.txn].push_back(obj_idx);
   return Decision::kGrant;
 }

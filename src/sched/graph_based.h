@@ -53,6 +53,7 @@ class SGTScheduler : public Scheduler {
  private:
   struct Access {
     TxnId txn;
+    std::uint32_t index;  ///< op position in txn (trace attribution)
     bool write;
   };
 
@@ -71,6 +72,7 @@ class SGTScheduler : public Scheduler {
   std::vector<TxnId> gc_worklist_;
   std::vector<NodeId> gc_succs_;  // scratch: out-neighbors being retired
   std::vector<std::pair<NodeId, NodeId>> arc_buf_;
+  std::vector<Operation> arc_from_buf_;  // parallel to arc_buf_ (tracing)
   std::size_t cycle_rejections_ = 0;
   std::size_t retired_count_ = 0;
 };
@@ -98,6 +100,13 @@ class RSGTScheduler : public Scheduler {
   void OnAbort(TxnId txn) override { checker_.RemoveTransaction(txn); }
 
   std::string name() const override { return "rsgt"; }
+
+  /// The checker is the component that knows each arc's kind and the
+  /// witnessing arc of a rejection, so it gets the tracer directly.
+  void set_tracer(Tracer* tracer) override {
+    Scheduler::set_tracer(tracer);
+    checker_.set_tracer(tracer);
+  }
 
   std::size_t cycle_rejections() const { return checker_.rejections(); }
   std::size_t arcs_added() const { return checker_.topology().edge_count(); }

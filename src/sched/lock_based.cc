@@ -1,5 +1,7 @@
 #include "sched/lock_based.h"
 
+#include "obs/trace.h"
+
 namespace relser {
 
 Decision Strict2PLScheduler::OnRequest(const Operation& op) {
@@ -10,12 +12,29 @@ Decision Strict2PLScheduler::OnRequest(const Operation& op) {
     AfterGrant(op);
     return Decision::kGrant;
   }
-  waits_.SetWaits(op.txn, locks_.Blockers(op.txn, op.object, exclusive));
+  const std::vector<TxnId> blockers =
+      locks_.Blockers(op.txn, op.object, exclusive);
+  waits_.SetWaits(op.txn, blockers);
   if (waits_.CycleThrough(op.txn)) {
     // Deadlock: the requester is the victim (simple, starvation-free in
     // combination with the engine's restart backoff).
     waits_.ClearWaits(op.txn);
+    if (tracer_ != nullptr && tracer_->events_on() && !blockers.empty()) {
+      TraceCause cause;
+      cause.kind = TraceCauseKind::kDeadlock;
+      cause.object = op.object;
+      cause.holder = blockers.front();
+      tracer_->AttachCause(std::move(cause));
+    }
     return Decision::kAbort;
+  }
+  if (tracer_ != nullptr && tracer_->events_on() && !blockers.empty()) {
+    TraceCause cause;
+    cause.kind = TraceCauseKind::kLock;
+    cause.object = op.object;
+    cause.holder = blockers.front();
+    cause.exclusive = locks_.Holds(cause.holder, op.object, true);
+    tracer_->AttachCause(std::move(cause));
   }
   return Decision::kBlock;
 }
@@ -70,6 +89,7 @@ void UnitLockScheduler::AfterGrant(const Operation& op) {
     if (!needed_again) {
       locks_.Release(op.txn, object);
       ++early_releases_;
+      if (tracer_ != nullptr) tracer_->CountEarlyLockRelease();
     }
   }
 }

@@ -1,5 +1,8 @@
 #include "sched/relatively_atomic.h"
 
+#include "core/explain.h"
+#include "core/rsg.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace relser {
@@ -30,11 +33,31 @@ Decision RelativelyAtomicScheduler::OnRequest(const Operation& op) {
   }
   if (!blockers.empty()) {
     waits_.SetWaits(op.txn, blockers);
-    if (waits_.CycleThrough(op.txn)) {
-      waits_.ClearWaits(op.txn);
-      return Decision::kAbort;
+    const bool deadlock = waits_.CycleThrough(op.txn);
+    if (deadlock) waits_.ClearWaits(op.txn);
+    if (tracer_ != nullptr && tracer_->events_on()) {
+      TraceCause cause;
+      if (deadlock) {
+        cause.kind = TraceCauseKind::kDeadlock;
+        cause.holder = blockers.front();
+      } else {
+        // The blocker's open unit (relative to the requester) must run to
+        // its last operation before `op` may proceed — exactly the
+        // PushForward arc of Definition 3, reported as the F-arc from
+        // that unit-closing operation to the delayed request.
+        const TxnId i = blockers.front();
+        const std::uint32_t last =
+            spec_.PushForward(i, op.txn, cursor_[i] - 1);
+        cause.kind = TraceCauseKind::kRsgArc;
+        cause.arc_kinds = kPushForwardArc;
+        cause.from = txns_.txn(i).op(last);
+        cause.to = op;
+        cause.note =
+            ExplainWitnessArc(txns_, spec_, kPushForwardArc, cause.from, op);
+      }
+      tracer_->AttachCause(std::move(cause));
     }
-    return Decision::kBlock;
+    return deadlock ? Decision::kAbort : Decision::kBlock;
   }
   waits_.ClearWaits(op.txn);
   ++cursor_[op.txn];

@@ -1,0 +1,90 @@
+#include "sched/replay.h"
+
+#include <chrono>
+
+#include "obs/trace.h"
+#include "util/check.h"
+
+namespace relser {
+
+ReplayResult ReplaySchedule(const TransactionSet& txns, Scheduler* scheduler,
+                            const Schedule& schedule, Tracer* tracer,
+                            std::size_t max_rounds) {
+  RELSER_CHECK(scheduler != nullptr);
+  scheduler->set_tracer(tracer);
+  const bool tracer_counting = tracer != nullptr && tracer->counting();
+
+  const std::size_t n = txns.txn_count();
+  std::vector<std::uint32_t> next_op(n, 0);  // program-order cursor
+  std::vector<std::uint8_t> dead(n, 0);
+  std::vector<std::uint8_t> done(schedule.size(), 0);
+
+  ReplayResult result;
+  std::size_t remaining = schedule.size();
+
+  for (std::size_t round = 0; round < max_rounds && remaining > 0; ++round) {
+    result.rounds = round + 1;
+    if (tracer_counting) tracer->SetTick(round);
+    bool progressed = false;
+    for (std::size_t pos = 0; pos < schedule.size(); ++pos) {
+      if (done[pos] != 0) continue;
+      const Operation& op = schedule.op(pos);
+      if (dead[op.txn] != 0) {
+        done[pos] = 1;
+        --remaining;
+        progressed = true;
+        continue;
+      }
+      // Program order: an operation waits for its predecessor's grant.
+      if (op.index != next_op[op.txn]) continue;
+
+      std::chrono::steady_clock::time_point decide_start;
+      if (tracer_counting) decide_start = std::chrono::steady_clock::now();
+      const Decision decision = scheduler->OnRequest(op);
+      std::uint64_t latency_ns = 0;
+      if (tracer_counting) {
+        latency_ns = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - decide_start)
+                .count());
+      }
+      switch (decision) {
+        case Decision::kGrant:
+          if (tracer_counting) tracer->RecordAdmit(op, round, latency_ns);
+          done[pos] = 1;
+          --remaining;
+          progressed = true;
+          ++result.granted;
+          result.executed.push_back(op);
+          ++next_op[op.txn];
+          if (next_op[op.txn] == txns.txn(op.txn).size()) {
+            scheduler->OnCommit(op.txn);
+            if (tracer_counting) tracer->RecordCommit(op.txn, round);
+          }
+          break;
+        case Decision::kBlock:
+          if (tracer_counting) tracer->RecordDelay(op, round, latency_ns);
+          ++result.delays;
+          break;
+        case Decision::kAbort:
+          if (tracer_counting) tracer->RecordReject(op, round, latency_ns);
+          scheduler->OnAbort(op.txn);
+          if (tracer_counting) {
+            tracer->RecordAbort(op.txn, round, /*cascade=*/false);
+          }
+          dead[op.txn] = 1;
+          ++result.aborted_txns;
+          done[pos] = 1;
+          --remaining;
+          progressed = true;
+          break;
+      }
+    }
+    if (!progressed) break;  // every pending operation is blocked for good
+  }
+
+  result.completed = result.granted == schedule.size();
+  return result;
+}
+
+}  // namespace relser

@@ -1,0 +1,56 @@
+// Deterministic schedule replay through an online scheduler.
+//
+// SimulationEngine randomizes per-tick request order, which is right for
+// throughput experiments but wrong for studying a *specific* interleaving
+// (e.g. the paper's Figure 1-4 schedules). ReplaySchedule feeds the
+// operations of a given schedule, in schedule order, through a scheduler:
+//
+//   * Each round is one tick. Within a round the pending operations are
+//     offered in schedule order; an operation is only offered once every
+//     earlier operation of its transaction has been granted.
+//   * kGrant executes the operation; the last grant of a transaction
+//     commits it.
+//   * kBlock leaves the operation pending: it is retried next round
+//     (recorded as a delay event when a Tracer is attached).
+//   * kAbort kills the transaction: its remaining operations are dropped
+//     and it is not restarted, so the replay shows exactly which prefix
+//     of the interleaving the scheduler accepts.
+//
+// A round that grants and aborts nothing cannot make progress (the
+// schedulers are deterministic), so the replay stops there.
+#ifndef RELSER_SCHED_REPLAY_H_
+#define RELSER_SCHED_REPLAY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "model/schedule.h"
+#include "model/transaction.h"
+#include "sched/scheduler.h"
+
+namespace relser {
+
+class Tracer;
+
+/// Outcome of one replay.
+struct ReplayResult {
+  bool completed = false;   ///< every transaction committed
+  std::size_t rounds = 0;   ///< ticks consumed
+  std::size_t granted = 0;  ///< operations executed
+  std::size_t delays = 0;   ///< kBlock decisions observed
+  std::size_t aborted_txns = 0;
+  /// Operations in grant order (the schedule actually executed).
+  std::vector<Operation> executed;
+};
+
+/// Replays `schedule` through `scheduler`. `tracer` may be nullptr; when
+/// attached it is forwarded to the scheduler and receives one decision
+/// event per offer plus commit/abort lifecycle events, with the round
+/// number as the tick.
+ReplayResult ReplaySchedule(const TransactionSet& txns, Scheduler* scheduler,
+                            const Schedule& schedule, Tracer* tracer,
+                            std::size_t max_rounds = 1000);
+
+}  // namespace relser
+
+#endif  // RELSER_SCHED_REPLAY_H_

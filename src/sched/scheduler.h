@@ -29,6 +29,8 @@
 
 namespace relser {
 
+class Tracer;
+
 /// Outcome of an operation request.
 enum class Decision { kGrant, kBlock, kAbort };
 
@@ -50,6 +52,17 @@ class Scheduler {
 
   /// Stable display name ("rsgt", "2pl", ...).
   virtual std::string name() const = 0;
+
+  /// Attaches an observability collector (obs/trace.h); nullptr (the
+  /// default) keeps every instrumentation site at one pointer compare.
+  /// Schedulers that can name the witness of a kBlock/kAbort decision
+  /// attach a TraceCause during OnRequest; the engine records the
+  /// decision event itself. Overridden by schedulers that forward the
+  /// tracer to an internal component (RSGT -> OnlineRsrChecker).
+  virtual void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
+ protected:
+  Tracer* tracer_ = nullptr;
 };
 
 }  // namespace relser
