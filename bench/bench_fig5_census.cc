@@ -8,100 +8,36 @@
 // with every containment *strict* (witnesses counted per spec family).
 // Every sampled schedule is additionally run through
 // CheckLatticeInvariants, which aborts on any containment violation.
+//
+// The census itself lives in workload/census.{h,cc} and runs sharded
+// over a thread pool; shards are Rng::Split-seeded, so the counts below
+// are bit-identical for every thread count (bench_parallel and
+// exec_test verify that claim explicitly).
 #include <iostream>
 
-#include "core/brute.h"
 #include "core/classify.h"
 #include "core/paper_examples.h"
+#include "exec/thread_pool.h"
 #include "model/enumerate.h"
 #include "util/table.h"
-#include "workload/generator.h"
-#include "workload/spec_gen.h"
+#include "workload/census.h"
 
 int main() {
   using namespace relser;
-  std::cout << "== FIG5: correctness-class census ==\n\n";
+  ThreadPool pool(ThreadPool::HardwareConcurrency());
+  std::cout << "== FIG5: correctness-class census (threads="
+            << pool.thread_count() << ") ==\n\n";
 
-  struct FamilyRow {
-    std::string name;
-    std::size_t samples = 0;
-    std::size_t serial = 0;
-    std::size_t ra = 0;
-    std::size_t rs = 0;
-    std::size_t rc = 0;
-    std::size_t rsr = 0;
-    std::size_t csr = 0;
-    std::size_t rs_not_rc = 0;   // Figure 4's strictness witness
-    std::size_t rc_not_ra = 0;
-    std::size_t rsr_not_csr = 0; // the concurrency gain over serializability
-  };
-
-  Rng rng(20260705);
-  std::vector<FamilyRow> rows;
-  const char* families[] = {"absolute", "density_0.3", "density_0.7",
-                            "compat_sets", "multilevel"};
-  constexpr int kWorkloads = 40;
-  constexpr int kSchedulesPerWorkload = 30;
-
-  for (const char* family : families) {
-    FamilyRow row;
-    row.name = family;
-    for (int w = 0; w < kWorkloads; ++w) {
-      WorkloadParams wp;
-      wp.txn_count = 3;
-      wp.min_ops_per_txn = 2;
-      wp.max_ops_per_txn = 4;
-      wp.object_count = 3;
-      wp.read_ratio = 0.4;
-      const TransactionSet txns = GenerateTransactions(wp, &rng);
-      AtomicitySpec spec(txns);
-      const std::string name = family;
-      if (name == "density_0.3") spec = RandomSpec(txns, 0.3, &rng);
-      if (name == "density_0.7") spec = RandomSpec(txns, 0.7, &rng);
-      if (name == "compat_sets") {
-        spec = RandomCompatibilitySetSpec(txns, 2, &rng);
-      }
-      if (name == "multilevel") {
-        spec = RandomMultilevelSpec(txns, 2, 0.3, 0.6, &rng);
-      }
-      ClassifyOptions options;
-      options.with_relative_consistency = true;
-      for (int k = 0; k < kSchedulesPerWorkload; ++k) {
-        // Mix uniform interleavings with near-serial perturbations so the
-        // sample covers the interesting boundary region.
-        const Schedule schedule =
-            (k % 2 == 0)
-                ? RandomSchedule(txns, &rng)
-                : PerturbSchedule(txns, RandomSerialSchedule(txns, &rng),
-                                  3 + rng.UniformIndex(5), &rng);
-        const ScheduleClassification c =
-            Classify(txns, schedule, spec, options);
-        CheckLatticeInvariants(c);  // aborts on any containment violation
-        ++row.samples;
-        row.serial += c.serial;
-        row.ra += c.relatively_atomic;
-        row.rs += c.relatively_serial;
-        row.rc += c.relatively_consistent.value_or(false);
-        row.rsr += c.relatively_serializable;
-        row.csr += c.conflict_serializable;
-        row.rs_not_rc +=
-            c.relatively_serial && !c.relatively_consistent.value_or(true);
-        row.rc_not_ra +=
-            c.relatively_consistent.value_or(false) && !c.relatively_atomic;
-        row.rsr_not_csr +=
-            c.relatively_serializable && !c.conflict_serializable;
-      }
-    }
-    rows.push_back(row);
-  }
+  const CensusParams params;
+  std::vector<CensusCounts> rows = RunClassCensus(params, &pool);
 
   // The RS\RC witnesses require the crafted structure of Figure 4 (the
   // paper needed a gadget for exactly this reason): enumerate *all*
   // interleavings of Figure 4's transaction set and classify each.
   {
     const PaperExample fig = Figure4();
-    FamilyRow row;
-    row.name = "figure4_exhaustive";
+    CensusCounts row;
+    row.family = "figure4_exhaustive";
     ClassifyOptions options;
     options.with_relative_consistency = true;
     EnumerateSchedules(fig.txns, [&](const Schedule& schedule) {
@@ -129,8 +65,8 @@ int main() {
   AsciiTable table({"spec family", "n", "serial", "RA", "RS", "RC", "RSR",
                     "CSR", "RS\\RC", "RC\\RA", "RSR\\CSR"});
   bool lattice_ok = true;
-  for (const FamilyRow& row : rows) {
-    table.AddRow({row.name, std::to_string(row.samples),
+  for (const CensusCounts& row : rows) {
+    table.AddRow({row.family, std::to_string(row.samples),
                   std::to_string(row.serial), std::to_string(row.ra),
                   std::to_string(row.rs), std::to_string(row.rc),
                   std::to_string(row.rsr), std::to_string(row.csr),
@@ -148,8 +84,8 @@ int main() {
   std::size_t rsr_not_csr = 0;
   std::size_t ra_total = 0;
   std::size_t serial_total = 0;
-  for (const FamilyRow& row : rows) {
-    if (row.name == "absolute") continue;
+  for (const CensusCounts& row : rows) {
+    if (row.family == "absolute") continue;
     rs_not_rc += row.rs_not_rc;  // expected from figure4_exhaustive
     rc_not_ra += row.rc_not_ra;
     rsr_not_csr += row.rsr_not_csr;

@@ -22,7 +22,7 @@
 #include <string>
 #include <vector>
 
-#include "bench/bench_json.h"
+#include "util/json.h"
 #include "core/online.h"
 #include "core/online_baseline.h"
 #include "util/rng.h"
@@ -311,7 +311,7 @@ int Run(bool smoke) {
   json.Uint(baseline_cap);
   json.EndObject();
 
-  if (!WriteJsonFile("BENCH_online.json", json.str())) {
+  if (!WriteBenchJsonFile("BENCH_online.json", json.str())) {
     std::fprintf(stderr, "FAIL: could not write BENCH_online.json\n");
     ok = false;
   } else {

@@ -11,7 +11,7 @@
 //   * at density 0 every protocol degenerates to its classical self.
 #include <iostream>
 
-#include "bench/bench_json.h"
+#include "util/json.h"
 #include "sched/engine.h"
 #include "sched/factory.h"
 #include "sched/verify.h"
@@ -107,7 +107,7 @@ int main() {
   json.EndObject();
   table.Print(std::cout);
   const bool json_ok =
-      WriteJsonFile("BENCH_sched_concurrency.json", json.str());
+      WriteBenchJsonFile("BENCH_sched_concurrency.json", json.str());
   std::cout << "\nguarantees: " << (all_guarantees ? "all held" : "VIOLATED")
             << "\n"
             << (json_ok ? "wrote" : "FAILED to write")

@@ -46,6 +46,16 @@ for line in bad:
 sys.exit(1 if bad else 0)
 EOF
 
+# ThreadSanitizer job: the execution substrate and the concurrent
+# admission front-end are the only components with real cross-thread
+# traffic, so the TSan build compiles just their test binaries and runs
+# them under the race detector (pool churn, MPSC producer storms, the
+# 8-client admitter stress). -fno-sanitize-recover turns any report
+# into a non-zero exit.
+cmake --preset tsan
+cmake --build --preset tsan -j"$(nproc)" --target exec_test admitter_test
+(cd build-tsan && ctest -R '^(exec_test|admitter_test)$' --output-on-failure)
+
 # Trace smoke: export a paper-figure trace, validate it against the
 # documented schema, and summarize it.
 (cd build-asan &&

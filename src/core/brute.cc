@@ -1,9 +1,12 @@
 #include "core/brute.h"
 
+#include <atomic>
+#include <limits>
 #include <memory>
 #include <unordered_set>
 #include <vector>
 
+#include "exec/thread_pool.h"
 #include "model/op_indexer.h"
 #include "util/check.h"
 
@@ -78,6 +81,56 @@ class EquivalentScheduleSearch {
     return result;
   }
 
+  /// Runs the search restricted to candidate schedules whose first
+  /// operation comes from `first_txn` — one first-level branch of the
+  /// root. The union of branches over all transactions covers the whole
+  /// search space exactly once, which is what the parallel driver fans
+  /// out over the pool.
+  BruteForceResult RunBranch(TxnId first_txn) {
+    BruteForceResult result;
+    bool found = false;
+    ++stats_.states_visited;  // the shared root state, counted per branch
+    if (Placeable(first_txn)) {
+      const Operation& op = txns_.txn(first_txn).op(cursors_[first_txn]);
+      prefix_.push_back(op);
+      placed_[indexer_.GlobalId(op)] = true;
+      ++cursors_[first_txn];
+      found = Extend();
+      if (!found) {
+        --cursors_[first_txn];
+        placed_[indexer_.GlobalId(op)] = false;
+        prefix_.pop_back();
+      }
+    }
+    result.stats = stats_;
+    if (budget_exhausted_) {
+      result.decided = std::nullopt;
+      result.stats.exhausted = false;
+      return result;
+    }
+    result.stats.exhausted = true;
+    result.decided = found;
+    if (found) {
+      auto witness = Schedule::Over(txns_, prefix_);
+      RELSER_CHECK_MSG(witness.ok(), witness.status().ToString());
+      result.witness = *std::move(witness);
+    }
+    return result;
+  }
+
+  /// Arms cooperative cancellation for a parallel branch: the search
+  /// abandons itself once `*cutoff` drops below `branch_index`, i.e.
+  /// once a lower-indexed branch has already decided the overall answer.
+  /// Cancellation therefore never affects any branch the ordered
+  /// reduction will actually consume — determinism is preserved.
+  void ArmCancellation(const std::atomic<std::size_t>* cutoff,
+                       std::size_t branch_index) {
+    cancel_cutoff_ = cutoff;
+    branch_index_ = branch_index;
+  }
+
+  bool cancelled() const { return cancelled_; }
+
  private:
   bool Placeable(TxnId j) const {
     const Transaction& txn = txns_.txn(j);
@@ -114,6 +167,14 @@ class EquivalentScheduleSearch {
     ++stats_.states_visited;
     if (max_states_ != 0 && stats_.states_visited > max_states_) {
       budget_exhausted_ = true;
+      return false;
+    }
+    // Poll the cancellation cutoff every 1024 states — cheap enough to
+    // leave armed, frequent enough to abandon a doomed branch quickly.
+    if (cancel_cutoff_ != nullptr && (stats_.states_visited & 1023u) == 0 &&
+        cancel_cutoff_->load(std::memory_order_relaxed) < branch_index_) {
+      cancelled_ = true;
+      budget_exhausted_ = true;  // reuse the budget unwind path
       return false;
     }
     if (prefix_.size() == indexer_.total_ops()) return true;
@@ -154,6 +215,9 @@ class EquivalentScheduleSearch {
   std::unordered_set<std::vector<std::uint32_t>, CursorHash> failed_states_;
   BruteForceStats stats_;
   bool budget_exhausted_ = false;
+  const std::atomic<std::size_t>* cancel_cutoff_ = nullptr;
+  std::size_t branch_index_ = 0;
+  bool cancelled_ = false;
 };
 
 }  // namespace
@@ -167,6 +231,74 @@ BruteForceResult IsRelativelyConsistent(const TransactionSet& txns,
                                   Mode::kRelativelyAtomic, max_states,
                                   memoize);
   return search.Run();
+}
+
+BruteForceResult IsRelativelyConsistentParallel(
+    const TransactionSet& txns, const Schedule& schedule,
+    const AtomicitySpec& spec, ThreadPool* pool,
+    std::uint64_t max_states_per_branch, bool memoize) {
+  const std::size_t txn_count = txns.txn_count();
+  if (txn_count == 0 || OpIndexer(txns).total_ops() == 0) {
+    // No first operation to branch on; the serial search answers
+    // trivially (the empty schedule is its own witness).
+    return IsRelativelyConsistent(txns, schedule, spec, max_states_per_branch,
+                                  memoize);
+  }
+
+  std::vector<BruteForceResult> branch_results(txn_count);
+  std::vector<std::uint8_t> branch_cancelled(txn_count, 0);
+  // Lowest branch index known to decide the overall answer; branches
+  // above it may abandon themselves (the ordered reduction below never
+  // reads past it, so cancellation cannot change the result).
+  std::atomic<std::size_t> cutoff{std::numeric_limits<std::size_t>::max()};
+  ParallelFor(pool, 0, txn_count, /*grain=*/1,
+              [&](std::size_t lo, std::size_t hi) {
+                for (std::size_t b = lo; b < hi; ++b) {
+                  EquivalentScheduleSearch search(
+                      txns, schedule, spec, Mode::kRelativelyAtomic,
+                      max_states_per_branch, memoize);
+                  search.ArmCancellation(&cutoff, b);
+                  branch_results[b] = search.RunBranch(static_cast<TxnId>(b));
+                  branch_cancelled[b] = search.cancelled() ? 1 : 0;
+                  const BruteForceResult& r = branch_results[b];
+                  const bool decisive =
+                      r.IsYes() ||
+                      (!search.cancelled() && !r.decided.has_value());
+                  if (!decisive) continue;
+                  std::size_t cur = cutoff.load(std::memory_order_relaxed);
+                  while (b < cur && !cutoff.compare_exchange_weak(
+                                        cur, b, std::memory_order_relaxed)) {
+                  }
+                }
+              });
+
+  // Ordered reduction, mirroring the serial root loop: scan branches in
+  // ascending transaction order and stop at the first decisive one, so
+  // the decision, witness, and aggregate stats are independent of the
+  // pool size and of which branches were cancelled.
+  BruteForceResult out;
+  for (std::size_t b = 0; b < txn_count; ++b) {
+    const BruteForceResult& r = branch_results[b];
+    // A branch cancels only when a *lower* branch was decisive, and the
+    // scan returns at that lower branch first.
+    RELSER_CHECK(branch_cancelled[b] == 0);
+    out.stats.states_visited += r.stats.states_visited;
+    out.stats.memo_hits += r.stats.memo_hits;
+    if (r.IsYes()) {
+      out.decided = true;
+      out.witness = r.witness;
+      out.stats.exhausted = true;
+      return out;
+    }
+    if (!r.decided.has_value()) {
+      out.decided = std::nullopt;
+      out.stats.exhausted = false;
+      return out;
+    }
+  }
+  out.decided = false;
+  out.stats.exhausted = true;
+  return out;
 }
 
 BruteForceResult BruteForceRelativelySerializable(const TransactionSet& txns,

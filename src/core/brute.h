@@ -30,6 +30,8 @@
 
 namespace relser {
 
+class ThreadPool;
+
 /// Search effort accounting for the complexity experiment.
 struct BruteForceStats {
   std::uint64_t states_visited = 0;  ///< search-tree nodes expanded
@@ -59,6 +61,22 @@ BruteForceResult IsRelativelyConsistent(const TransactionSet& txns,
                                         const AtomicitySpec& spec,
                                         std::uint64_t max_states = 0,
                                         bool memoize = true);
+
+/// Parallel variant of IsRelativelyConsistent. Fans the first-level
+/// branches of the search (one per transaction that could contribute the
+/// first operation of the candidate schedule) out over `pool` (nullptr =
+/// run inline on the calling thread). The decision, witness, and stats
+/// are bit-identical for every pool size, including nullptr: branches
+/// are explored independently, reduced in ascending branch order, and a
+/// branch is only abandoned when a lower-indexed branch has already
+/// decided the answer. `max_states_per_branch` bounds each branch's
+/// search independently (0 = unlimited); with a nonzero budget the
+/// aggregate states_visited differs from the serial procedure's
+/// shared-budget accounting, but remains deterministic.
+BruteForceResult IsRelativelyConsistentParallel(
+    const TransactionSet& txns, const Schedule& schedule,
+    const AtomicitySpec& spec, ThreadPool* pool,
+    std::uint64_t max_states_per_branch = 0, bool memoize = true);
 
 /// Brute-force relative serializability (oracle for Theorem 1): does a
 /// relatively serial schedule conflict-equivalent to `schedule` exist?

@@ -17,6 +17,7 @@ OnlineRsrChecker::OnlineRsrChecker(const TransactionSet& txns,
       topo_(indexer_.total_ops()),
       txn_count_(indexer_.txn_count()),
       executed_(indexer_.total_ops(), 0),
+      safe_(txn_count_, 1),
       flags_(indexer_.total_ops(), 0),
       slot_of_(indexer_.total_ops(), kNoSlot),
       newest_gid_(txn_count_, kNoGid),
@@ -223,10 +224,91 @@ bool OnlineRsrChecker::TryAppend(const Operation& op) {
     }
   }
 
-  // Commit: memos, ancestor array, retention flags, frontier, indices.
+  // Commit: memos, then the shared tail (ancestor array, retention
+  // flags, frontier, indices).
   for (const PendingMemo& pending : pending_memos_) {
     *memo_.Upsert(pending.key).first = pending.entry;
   }
+  // Isolation tracking for TryAppendIsolated: every arc emitted above is
+  // incident only on transactions with a nonzero scratch entry (plus j
+  // itself), so clearing exactly those bits maintains the invariant that
+  // safe_[t] == 1 implies no cross-transaction arc touches t's nodes.
+  bool cross = false;
+  for (std::size_t t = 0; t < txn_count_; ++t) {
+    if (t != j && scratch_anc_[t] != 0) {
+      safe_[t] = 0;
+      cross = true;
+    }
+  }
+  if (cross) safe_[j] = 0;
+  CommitOp(op, gid, obj_idx);
+  return true;
+}
+
+bool OnlineRsrChecker::TryAppendIsolated(const Operation& op) {
+  const std::size_t gid = indexer_.GlobalId(op);
+  RELSER_CHECK_MSG(executed_[gid] == 0,
+                   "operation fed twice without RemoveTransaction");
+  if (op.index > 0) {
+    RELSER_CHECK_MSG(executed_[gid - 1] != 0,
+                     "operations must be fed in program order");
+  }
+  const TxnId j = op.txn;
+  if (safe_[j] == 0) return false;
+  const std::uint32_t obj_idx = ObjIndex(op.object);
+  {
+    // Eligibility mirrors ShardedConflictIndex::ObviouslyConflictFree:
+    // the object's frontier must be empty or owned by j. (A read could
+    // tolerate foreign readers, but keeping eligibility object-exclusive
+    // matches the one-word accessor the clients pre-filter on.)
+    const ObjState& state = objects_[obj_idx];
+    if (state.last_writer != kNoGid &&
+        txns_.OpByGlobalId(state.last_writer).txn != j) {
+      return false;
+    }
+    for (const std::size_t reader : state.readers) {
+      if (txns_.OpByGlobalId(reader).txn != j) return false;
+    }
+  }
+
+  // Guaranteed accept: j's nodes carry no cross-transaction arcs
+  // (safe_), the frontier contributes no D-arc and the ancestor array
+  // has no cross entries, so no F/B arc is due — the only emission is
+  // the program-order I-arc into the fresh sink node `gid`, which
+  // cannot close a cycle. The F/B memo scan is skipped entirely.
+  if (op.index > 0) {
+    const std::uint32_t prev_slot = slot_of_[gid - 1];
+    RELSER_DCHECK(prev_slot != kNoSlot);
+    const std::uint32_t* prev = &pool_[prev_slot * txn_count_];
+    std::copy(prev, prev + txn_count_, scratch_anc_.begin());
+    scratch_anc_[j] = std::max(scratch_anc_[j], op.index);
+    const IncrementalTopology::AddResult added = topo_.AddEdge(gid - 1, gid);
+    RELSER_CHECK(added != IncrementalTopology::AddResult::kCycle);
+    ++arcs_submitted_;
+    if (added == IncrementalTopology::AddResult::kInserted) {
+      ++arcs_inserted_total_;
+    }
+    if (tracer_ != nullptr && tracer_->counting()) {
+      tracer_->AddArcStats(1,
+                           added == IncrementalTopology::AddResult::kInserted
+                               ? 1
+                               : 0,
+                           0);
+      if (tracer_->events_on()) {
+        tracer_->RecordArc(kInternalArc, txns_.OpByGlobalId(gid - 1), op,
+                           tracer_->tick());
+      }
+    }
+  } else {
+    std::fill(scratch_anc_.begin(), scratch_anc_.end(), 0);
+  }
+  CommitOp(op, gid, obj_idx);
+  return true;
+}
+
+void OnlineRsrChecker::CommitOp(const Operation& op, std::size_t gid,
+                                std::uint32_t obj_idx) {
+  const TxnId j = op.txn;
   const std::uint32_t slot = AcquireSlot(gid);
   std::copy(scratch_anc_.begin(), scratch_anc_.end(),
             &pool_[slot * txn_count_]);
@@ -262,7 +344,6 @@ bool OnlineRsrChecker::TryAppend(const Operation& op) {
 
   executed_[gid] = 1;
   ++executed_count_;
-  return true;
 }
 
 void OnlineRsrChecker::RetainFrontier(std::size_t gid) {
@@ -337,6 +418,10 @@ void OnlineRsrChecker::RemoveTransaction(TxnId txn) {
     ReleaseSlotIfAny(gid);
   }
   newest_gid_[txn] = kNoGid;
+  // Every arc incident on the transaction's nodes was removed by
+  // IsolateNode (the bypass arcs connect only survivor nodes), so its
+  // fresh incarnation starts isolated again.
+  safe_[txn] = 1;
   // Scrub the removed transaction's column from every retained array.
   // Entries of *other* transactions that flowed through the removed ops
   // are kept: a sound over-approximation (class-level comment).

@@ -55,6 +55,23 @@ class OnlineRsrChecker {
   /// otherwise.
   bool TryAppend(const Operation& op);
 
+  /// Fast-path variant for operations that provably cannot conflict:
+  /// returns true and commits `op` (identically to TryAppend) when its
+  /// transaction is *isolated* — no cross-transaction RSG arc has ever
+  /// touched any of its nodes — and its object's conflict frontier is
+  /// empty or owned by the same transaction. Under those conditions the
+  /// only new arc is the program-order I-arc into a fresh sink node,
+  /// which cannot close a cycle, so acceptance is guaranteed and the
+  /// F/B memo scan is skipped entirely. Returns false — with the checker
+  /// unchanged — when the preconditions do not hold; the caller then
+  /// falls back to the full TryAppend. Same feeding contract as
+  /// TryAppend (next unfed op, program order).
+  bool TryAppendIsolated(const Operation& op);
+
+  /// True while no cross-transaction arc has ever been incident on a
+  /// node of `txn` (the TryAppendIsolated eligibility bit).
+  bool TxnIsolated(TxnId txn) const { return safe_[txn] != 0; }
+
   /// Forgets every fed operation of `txn` (scheduler abort). Incremental:
   /// isolates the transaction's nodes — inserting pred->succ bypass arcs
   /// first, so every closure path between survivors that routed through a
@@ -137,6 +154,10 @@ class OnlineRsrChecker {
   std::uint32_t ObjIndex(ObjectId object);
   std::uint32_t AcquireSlot(std::size_t gid);
   void ReleaseSlotIfAny(std::size_t gid);
+  /// Shared commit tail of TryAppend / TryAppendIsolated: persists
+  /// scratch_anc_ into the slot pool and updates retention flags, the
+  /// object frontier, reverse indices and executed bookkeeping.
+  void CommitOp(const Operation& op, std::size_t gid, std::uint32_t obj_idx);
   /// Re-flags `gid` as frontier; if its ancestor array was released,
   /// resurrects it from the newest retained array of its transaction.
   void RetainFrontier(std::size_t gid);
@@ -149,6 +170,7 @@ class OnlineRsrChecker {
   std::size_t txn_count_;
 
   std::vector<std::uint8_t> executed_;
+  std::vector<std::uint8_t> safe_;         // txn -> isolated bit (fast path)
   std::vector<std::uint8_t> flags_;        // retention flags per gid
   std::vector<std::uint32_t> slot_of_;     // gid -> pool slot (kNoSlot)
   std::vector<std::size_t> newest_gid_;    // txn -> newest executed gid

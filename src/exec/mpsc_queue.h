@@ -1,0 +1,154 @@
+// Bounded multi-producer / single-consumer queue.
+//
+// The concurrent admission front-end (src/sched/admitter.h) funnels
+// operation requests from N client threads into one admission core; this
+// queue is that funnel. The ring is Dmitry Vyukov's bounded MPMC design
+// — one atomic sequence stamp per cell, producers claim cells with a CAS
+// on the tail, the (single) consumer walks the head without contention —
+// restricted here to one consumer, which keeps Dequeue a plain
+// load/store pair on the claimed cell.
+//
+// Blocking behavior: TryEnqueue/TryDequeue never block. Enqueue spins
+// with yields while the ring is full (bounded queues are the back-
+// pressure mechanism — a full ring means the admission core is the
+// bottleneck and producers *should* stall). The consumer parks on a
+// condition variable via WaitNonEmpty; producers ring the doorbell only
+// when a waiter advertised itself, so the steady-state enqueue path is
+// two atomic RMWs and no syscalls.
+#ifndef RELSER_EXEC_MPSC_QUEUE_H_
+#define RELSER_EXEC_MPSC_QUEUE_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/check.h"
+
+namespace relser {
+
+template <typename T>
+class MpscQueue {
+ public:
+  /// Capacity is rounded up to a power of two (minimum 2).
+  explicit MpscQueue(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap *= 2;
+    cells_ = std::vector<Cell>(cap);
+    mask_ = cap - 1;
+    for (std::size_t i = 0; i < cap; ++i) {
+      cells_[i].sequence.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  /// Attempts to enqueue without blocking; false when the ring is full.
+  bool TryEnqueue(const T& value) {
+    Cell* cell;
+    std::size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::size_t seq = cell->sequence.load(std::memory_order_acquire);
+      const std::ptrdiff_t dif = static_cast<std::ptrdiff_t>(seq) -
+                                 static_cast<std::ptrdiff_t>(pos);
+      if (dif == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (dif < 0) {
+        return false;  // full
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->value = value;
+    cell->sequence.store(pos + 1, std::memory_order_release);
+    RingDoorbell();
+    return true;
+  }
+
+  /// Enqueues, spinning (with yields) while the ring is full.
+  void Enqueue(const T& value) {
+    std::size_t spins = 0;
+    while (!TryEnqueue(value)) {
+      if (++spins < 64) {
+        std::this_thread::yield();
+      } else {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+    }
+  }
+
+  /// Single-consumer dequeue; false when the ring is empty.
+  bool TryDequeue(T* out) {
+    Cell& cell = cells_[head_ & mask_];
+    const std::size_t seq = cell.sequence.load(std::memory_order_acquire);
+    if (static_cast<std::ptrdiff_t>(seq) -
+            static_cast<std::ptrdiff_t>(head_ + 1) <
+        0) {
+      return false;  // empty (or the producer is mid-write)
+    }
+    *out = cell.value;
+    cell.sequence.store(head_ + mask_ + 1, std::memory_order_release);
+    ++head_;
+    return true;
+  }
+
+  /// Single-consumer park: returns true when an element is (probably)
+  /// ready, false on timeout. Spurious true is fine — callers loop on
+  /// TryDequeue.
+  bool WaitNonEmpty(std::chrono::microseconds timeout) {
+    if (Peek()) return true;
+    std::unique_lock<std::mutex> lock(doorbell_mu_);
+    consumer_waiting_.store(true, std::memory_order_seq_cst);
+    // Re-check after advertising: an enqueue that raced ahead of the
+    // store has already published its cell and may have skipped the
+    // doorbell.
+    if (Peek()) {
+      consumer_waiting_.store(false, std::memory_order_relaxed);
+      return true;
+    }
+    const bool signaled =
+        doorbell_.wait_for(lock, timeout) == std::cv_status::no_timeout;
+    consumer_waiting_.store(false, std::memory_order_relaxed);
+    return signaled || Peek();
+  }
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> sequence{0};
+    T value{};
+  };
+
+  /// True when the head cell is published (consumer-side snapshot).
+  bool Peek() const {
+    const Cell& cell = cells_[head_ & mask_];
+    const std::size_t seq = cell.sequence.load(std::memory_order_acquire);
+    return static_cast<std::ptrdiff_t>(seq) -
+               static_cast<std::ptrdiff_t>(head_ + 1) >=
+           0;
+  }
+
+  void RingDoorbell() {
+    if (!consumer_waiting_.load(std::memory_order_seq_cst)) return;
+    std::lock_guard<std::mutex> lock(doorbell_mu_);
+    doorbell_.notify_one();
+  }
+
+  std::vector<Cell> cells_;
+  std::size_t mask_ = 0;
+  std::atomic<std::size_t> tail_{0};  // producers
+  std::size_t head_ = 0;              // consumer-private
+  std::atomic<bool> consumer_waiting_{false};
+  std::mutex doorbell_mu_;
+  std::condition_variable doorbell_;
+};
+
+}  // namespace relser
+
+#endif  // RELSER_EXEC_MPSC_QUEUE_H_

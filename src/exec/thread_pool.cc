@@ -1,0 +1,165 @@
+#include "exec/thread_pool.h"
+
+#include <atomic>
+#include <memory>
+#include <utility>
+
+#include "util/check.h"
+
+namespace relser {
+
+ThreadPool::ThreadPool(std::size_t thread_count) {
+  queues_.reserve(thread_count);
+  for (std::size_t i = 0; i < thread_count; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(thread_count);
+  for (std::size_t i = 0; i < thread_count; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  WaitIdle();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+std::size_t ThreadPool::HardwareConcurrency() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : n;
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    task();  // inline pool: the caller is the worker
+    return;
+  }
+  std::size_t target;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++pending_;
+    target = next_queue_;
+    next_queue_ = (next_queue_ + 1) % queues_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(queues_[target]->mu);
+    queues_[target]->tasks.push_back(std::move(task));
+  }
+  wake_.notify_one();
+}
+
+void ThreadPool::WaitIdle() {
+  if (workers_.empty()) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_.wait(lock, [this] { return pending_ == 0; });
+}
+
+bool ThreadPool::TryTake(std::size_t self, std::function<void()>* task) {
+  // Own deque first (newest task: cache-warm), then steal the *oldest*
+  // task of each sibling, starting after self to spread contention.
+  {
+    WorkerQueue& own = *queues_[self];
+    std::lock_guard<std::mutex> lock(own.mu);
+    if (!own.tasks.empty()) {
+      *task = std::move(own.tasks.back());
+      own.tasks.pop_back();
+      return true;
+    }
+  }
+  for (std::size_t i = 1; i < queues_.size(); ++i) {
+    WorkerQueue& victim = *queues_[(self + i) % queues_.size()];
+    std::lock_guard<std::mutex> lock(victim.mu);
+    if (!victim.tasks.empty()) {
+      *task = std::move(victim.tasks.front());
+      victim.tasks.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::WorkerLoop(std::size_t self) {
+  for (;;) {
+    std::function<void()> task;
+    if (TryTake(self, &task)) {
+      task();
+      std::lock_guard<std::mutex> lock(mu_);
+      RELSER_CHECK(pending_ > 0);
+      if (--pending_ == 0) idle_.notify_all();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stopping_) return;
+    if (pending_ == 0) idle_.notify_all();
+    // Re-check the deques under mu_: a Submit that enqueued between our
+    // failed TryTake and this wait has already bumped pending_, so the
+    // predicate below cannot miss it.
+    wake_.wait(lock, [this, self] {
+      if (stopping_) return true;
+      for (const auto& queue : queues_) {
+        std::lock_guard<std::mutex> qlock(queue->mu);
+        if (!queue->tasks.empty()) return true;
+      }
+      return false;
+    });
+    if (stopping_) return;
+  }
+}
+
+void ParallelFor(ThreadPool* pool, std::size_t begin, std::size_t end,
+                 std::size_t grain,
+                 const std::function<void(std::size_t, std::size_t)>& body) {
+  if (begin >= end) return;
+  if (grain == 0) grain = 1;
+  const std::size_t chunk_count = (end - begin + grain - 1) / grain;
+  if (pool == nullptr || pool->thread_count() == 0 || chunk_count == 1) {
+    for (std::size_t c = 0; c < chunk_count; ++c) {
+      const std::size_t lo = begin + c * grain;
+      body(lo, std::min(end, lo + grain));
+    }
+    return;
+  }
+
+  // One claiming task per worker; each loops on the shared cursor until
+  // the chunks run dry. A worker finishing a cheap chunk immediately
+  // claims the next one — chunk-level work stealing without moving any
+  // task objects around.
+  struct Shared {
+    std::atomic<std::size_t> cursor{0};
+    std::atomic<std::size_t> done{0};
+    std::mutex mu;
+    std::condition_variable all_done;
+  };
+  auto shared = std::make_shared<Shared>();
+  const std::size_t runners =
+      std::min<std::size_t>(pool->thread_count(), chunk_count);
+  for (std::size_t r = 0; r < runners; ++r) {
+    pool->Submit([shared, begin, end, grain, chunk_count, &body] {
+      for (;;) {
+        const std::size_t c =
+            shared->cursor.fetch_add(1, std::memory_order_relaxed);
+        if (c >= chunk_count) break;
+        const std::size_t lo = begin + c * grain;
+        body(lo, std::min(end, lo + grain));
+        if (shared->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+            chunk_count) {
+          std::lock_guard<std::mutex> lock(shared->mu);
+          shared->all_done.notify_all();
+        }
+      }
+    });
+  }
+  std::unique_lock<std::mutex> lock(shared->mu);
+  shared->all_done.wait(lock, [&shared, chunk_count] {
+    return shared->done.load(std::memory_order_acquire) == chunk_count;
+  });
+}
+
+}  // namespace relser

@@ -182,6 +182,20 @@ void Tracer::RecordAbort(TxnId txn, std::uint64_t tick, bool cascade) {
   events_.push_back(std::move(event));
 }
 
+void Tracer::NoteQueueDepth(std::uint64_t depth) {
+  if (!counting()) return;
+  if (depth > counters_.queue_depth_high_water) {
+    counters_.queue_depth_high_water = depth;
+  }
+}
+
+void Tracer::NoteBatch(std::uint64_t ops) {
+  if (!counting()) return;
+  ++counters_.batches;
+  counters_.batched_ops += ops;
+  batch_size_.Record(ops);
+}
+
 TraceSnapshot Tracer::Snapshot() const {
   TraceSnapshot snapshot;
   snapshot.counters = counters_;
@@ -189,12 +203,15 @@ TraceSnapshot Tracer::Snapshot() const {
   snapshot.admit_latency_samples = admit_latency_.samples();
   snapshot.admit_p50_ns = admit_latency_.Quantile(0.50);
   snapshot.admit_p99_ns = admit_latency_.Quantile(0.99);
+  snapshot.batch_size_p50 = batch_size_.Quantile(0.50);
+  snapshot.batch_size_p99 = batch_size_.Quantile(0.99);
   return snapshot;
 }
 
 void Tracer::Clear() {
   counters_ = TraceCounters{};
   admit_latency_ = LatencyHistogram{};
+  batch_size_ = LatencyHistogram{};
   events_.clear();
   next_seq_ = 0;
   tick_ = 0;
@@ -227,6 +244,16 @@ std::string SnapshotToJson(const TraceSnapshot& snapshot) {
   json.Uint(snapshot.counters.cycle_repairs);
   json.Key("early_lock_releases");
   json.Uint(snapshot.counters.early_lock_releases);
+  json.Key("batches");
+  json.Uint(snapshot.counters.batches);
+  json.Key("batched_ops");
+  json.Uint(snapshot.counters.batched_ops);
+  json.Key("queue_depth_high_water");
+  json.Uint(snapshot.counters.queue_depth_high_water);
+  json.Key("batch_size_p50");
+  json.Double(snapshot.batch_size_p50);
+  json.Key("batch_size_p99");
+  json.Double(snapshot.batch_size_p99);
   json.Key("events_recorded");
   json.Uint(snapshot.events_recorded);
   json.Key("admit_latency_samples");

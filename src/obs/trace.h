@@ -132,6 +132,10 @@ struct TraceCounters {
   std::uint64_t arcs_inserted = 0;    ///< actually new in the graph
   std::uint64_t cycle_repairs = 0;    ///< Pearce-Kelly reorder passes
   std::uint64_t early_lock_releases = 0;  ///< unit-2PL / altruistic
+  // ConcurrentAdmitter (sched/admitter.h): drain-batch shape.
+  std::uint64_t batches = 0;          ///< admission-core drain batches
+  std::uint64_t batched_ops = 0;      ///< operations drained in batches
+  std::uint64_t queue_depth_high_water = 0;  ///< max ops seen in one drain
 };
 
 /// Power-of-two-bucketed latency histogram: bucket b holds samples with
@@ -156,6 +160,9 @@ struct TraceSnapshot {
   std::uint64_t admit_latency_samples = 0;
   double admit_p50_ns = 0.0;
   double admit_p99_ns = 0.0;
+  // Drain-batch size distribution (ConcurrentAdmitter).
+  double batch_size_p50 = 0.0;
+  double batch_size_p99 = 0.0;
 };
 
 /// Serializes a snapshot as a single JSON object.
@@ -202,6 +209,13 @@ class Tracer {
 
   void CountEarlyLockRelease();
 
+  /// ConcurrentAdmitter hooks (called by its single admission core, so
+  /// the Tracer's single-writer contract is preserved): the number of
+  /// operations found queued at the start of a drain, and the size of
+  /// the batch actually drained (also fed to the batch-size histogram).
+  void NoteQueueDepth(std::uint64_t depth);
+  void NoteBatch(std::uint64_t ops);
+
   /// Records the outcome of one request. `granted`/`blocked` map to
   /// admit/delay; anything else is a reject. Consumes the pending cause.
   void RecordAdmit(const Operation& op, std::uint64_t tick,
@@ -229,6 +243,7 @@ class Tracer {
   TraceLevel level_;
   TraceCounters counters_;
   LatencyHistogram admit_latency_;
+  LatencyHistogram batch_size_;  // power-of-two buckets fit counts too
   std::vector<TraceEvent> events_;
   std::uint64_t next_seq_ = 0;
   std::uint64_t tick_ = 0;

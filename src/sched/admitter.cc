@@ -1,0 +1,163 @@
+#include "sched/admitter.h"
+
+#include <chrono>
+
+#include "obs/trace.h"
+#include "util/check.h"
+
+namespace relser {
+
+ConcurrentAdmitter::ConcurrentAdmitter(const TransactionSet& txns,
+                                       const AtomicitySpec& spec,
+                                       AdmitterOptions options)
+    : txns_(txns),
+      checker_(txns, spec),
+      index_(txns.object_count(), txns.txn_count(), options.index_shards),
+      options_(options),
+      queue_(options.queue_capacity),
+      decision_(
+          std::vector<std::atomic<std::uint8_t>>(checker_.indexer().total_ops())),
+      pending_(std::vector<std::atomic<std::uint32_t>>(txns.txn_count())),
+      txn_rejected_(std::vector<std::atomic<std::uint8_t>>(txns.txn_count())),
+      dead_(txns.txn_count(), 0) {
+  RELSER_CHECK_MSG(options_.max_batch > 0, "max_batch must be positive");
+  if (options_.record_log) {
+    admitted_log_.reserve(checker_.indexer().total_ops());
+  }
+  if (options_.tracer != nullptr) checker_.set_tracer(options_.tracer);
+  core_ = std::thread([this] { CoreLoop(); });
+}
+
+ConcurrentAdmitter::~ConcurrentAdmitter() { Stop(); }
+
+bool ConcurrentAdmitter::SubmitAndWait(const Operation& op) {
+  const std::size_t gid = checker_.indexer().GlobalId(op);
+  SubmitDetached(op);
+  std::unique_lock<std::mutex> lock(decide_mu_);
+  decided_cv_.wait(lock, [&] {
+    return decision_[gid].load(std::memory_order_acquire) !=
+           static_cast<std::uint8_t>(Verdict::kPending);
+  });
+  return decision_[gid].load(std::memory_order_acquire) ==
+         static_cast<std::uint8_t>(Verdict::kAccepted);
+}
+
+void ConcurrentAdmitter::SubmitDetached(const Operation& op) {
+  pending_[op.txn].fetch_add(1, std::memory_order_relaxed);
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  queue_.Enqueue(op);
+}
+
+bool ConcurrentAdmitter::Probe(const Operation& op) const {
+  return index_.ObviouslyConflictFree(op.txn, op.object);
+}
+
+ConcurrentAdmitter::Verdict ConcurrentAdmitter::OpVerdict(
+    const Operation& op) const {
+  return static_cast<Verdict>(decision_[checker_.indexer().GlobalId(op)].load(
+      std::memory_order_acquire));
+}
+
+bool ConcurrentAdmitter::TxnVerdict(TxnId txn) {
+  std::unique_lock<std::mutex> lock(decide_mu_);
+  decided_cv_.wait(lock, [&] {
+    return pending_[txn].load(std::memory_order_acquire) == 0;
+  });
+  return txn_rejected_[txn].load(std::memory_order_acquire) == 0;
+}
+
+void ConcurrentAdmitter::Flush() {
+  std::unique_lock<std::mutex> lock(decide_mu_);
+  decided_cv_.wait(lock, [&] {
+    return decided_.load(std::memory_order_acquire) ==
+           submitted_.load(std::memory_order_acquire);
+  });
+}
+
+void ConcurrentAdmitter::Stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  Flush();
+  stop_.store(true, std::memory_order_release);
+  if (core_.joinable()) core_.join();
+}
+
+void ConcurrentAdmitter::CoreLoop() {
+  Tracer* const tracer = options_.tracer;
+  std::vector<Operation> batch;
+  batch.reserve(options_.max_batch);
+  for (;;) {
+    batch.clear();
+    Operation op;
+    while (batch.size() < options_.max_batch && queue_.TryDequeue(&op)) {
+      batch.push_back(op);
+    }
+    if (batch.empty()) {
+      if (stop_.load(std::memory_order_acquire)) return;
+      // Park until a producer rings the doorbell; the timeout bounds how
+      // long Stop waits after the final flush.
+      queue_.WaitNonEmpty(std::chrono::microseconds(500));
+      continue;
+    }
+    if (tracer != nullptr) tracer->NoteQueueDepth(batch.size());
+    for (const Operation& queued : batch) Decide(queued);
+    if (tracer != nullptr) tracer->NoteBatch(batch.size());
+    decided_.fetch_add(batch.size(), std::memory_order_release);
+    // Empty critical section so waiters that saw stale state under the
+    // lock are guaranteed to observe this batch after the notify.
+    { std::lock_guard<std::mutex> lock(decide_mu_); }
+    decided_cv_.notify_all();
+  }
+}
+
+void ConcurrentAdmitter::Decide(const Operation& op) {
+  const std::size_t gid = checker_.indexer().GlobalId(op);
+  const TxnId txn = op.txn;
+  if (dead_[txn] != 0) {
+    // First rejection killed the transaction; later operations are
+    // auto-rejected without touching the checker (same policy as the
+    // scheduler benches' feed loop).
+    Publish(gid, txn, Verdict::kRejected);
+  } else {
+    bool ok = checker_.TryAppendIsolated(op);
+    if (ok) {
+      fast_path_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      ok = checker_.TryAppend(op);
+    }
+    index_.NoteAccess(txn, op.object);
+    if (!checker_.TxnIsolated(txn)) index_.MarkTxnDirty(txn);
+    if (ok) {
+      if (options_.record_log) admitted_log_.push_back(op);
+      Publish(gid, txn, Verdict::kAccepted);
+    } else {
+      dead_[txn] = 1;
+      index_.MarkTxnDirty(txn);
+      Publish(gid, txn, Verdict::kRejected);
+    }
+  }
+  if (Tracer* const tracer = options_.tracer;
+      tracer != nullptr && tracer->counting()) {
+    const std::uint64_t tick = decided_.load(std::memory_order_relaxed);
+    if (decision_[gid].load(std::memory_order_relaxed) ==
+        static_cast<std::uint8_t>(Verdict::kAccepted)) {
+      tracer->RecordAdmit(op, tick, 0);
+    } else {
+      tracer->RecordReject(op, tick, 0);
+    }
+  }
+}
+
+void ConcurrentAdmitter::Publish(std::size_t gid, TxnId txn, Verdict verdict) {
+  if (verdict == Verdict::kAccepted) {
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    txn_rejected_[txn].store(1, std::memory_order_release);
+  }
+  decision_[gid].store(static_cast<std::uint8_t>(verdict),
+                       std::memory_order_release);
+  pending_[txn].fetch_sub(1, std::memory_order_release);
+}
+
+}  // namespace relser

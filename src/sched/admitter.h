@@ -1,0 +1,168 @@
+// ConcurrentAdmitter: a multi-client front-end for OnlineRsrChecker.
+//
+// The streaming certifier itself is inherently sequential — admission
+// mutates one relative serialization graph — so instead of a lock
+// around TryAppend, the admitter runs a *single admission core* thread
+// and funnels requests from N client threads into it through a bounded
+// MPSC queue (exec/mpsc_queue.h). The core drains the queue in batches
+// (each operation's arcs go through the all-or-nothing batched
+// IncrementalTopology::AddEdges inside TryAppend), publishes one
+// decision word per operation, and wakes waiters once per batch instead
+// of once per operation.
+//
+// Two mechanisms keep uncontended traffic off the slow path:
+//
+//  * A sharded read-mostly conflict index (exec/conflict_index.h),
+//    written only by the admission core and read by clients. Probe()
+//    lets a client see that an operation is *obviously* conflict-free
+//    and submit it fire-and-forget (SubmitDetached) instead of blocking
+//    — reconciling later through the TxnVerdict commit barrier. The
+//    index is advisory: staleness can only downgrade a fast-path
+//    candidate to the slow path, never corrupt a decision.
+//  * Inside the core, OnlineRsrChecker::TryAppendIsolated skips the F/B
+//    memo scan entirely for operations whose transaction has never
+//    carried a cross-transaction arc and whose object frontier is
+//    private — the guaranteed-accept case the index predicts.
+//
+// Decision policy mirrors the repo's scheduler benches: the first
+// rejected operation marks its transaction dead, and every later
+// operation of that transaction is auto-rejected without touching the
+// checker (a real scheduler would abort and retry it; this front-end
+// certifies a single incarnation).
+//
+// Feeding contract: all operations of one transaction must be submitted
+// by one thread in program order (the MPSC ring is FIFO per producer,
+// so their arrival order at the core is their program order). Distinct
+// transactions may be submitted from distinct threads concurrently.
+#ifndef RELSER_SCHED_ADMITTER_H_
+#define RELSER_SCHED_ADMITTER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/online.h"
+#include "exec/conflict_index.h"
+#include "exec/mpsc_queue.h"
+#include "model/schedule.h"
+
+namespace relser {
+
+class Tracer;
+
+/// Knobs for ConcurrentAdmitter.
+struct AdmitterOptions {
+  std::size_t queue_capacity = 1024;  ///< MPSC ring size (back-pressure)
+  std::size_t max_batch = 64;         ///< max operations per drain batch
+  std::size_t index_shards = 16;      ///< conflict-index shards
+  /// Observability sink. Only the admission core touches it (Tracer is
+  /// single-writer): decisions are recorded as admit/reject events, and
+  /// the drain loop feeds queue-depth and batch-size counters.
+  Tracer* tracer = nullptr;
+  /// Keep the admitted operations, in admission order, for soundness
+  /// replay (admitted_log()); costs one vector push per accept.
+  bool record_log = false;
+};
+
+/// Multi-threaded admission front-end over one OnlineRsrChecker.
+class ConcurrentAdmitter {
+ public:
+  enum class Verdict : std::uint8_t { kPending = 0, kAccepted, kRejected };
+
+  /// `txns` and `spec` must outlive the admitter. The admission core
+  /// thread starts immediately.
+  ConcurrentAdmitter(const TransactionSet& txns, const AtomicitySpec& spec,
+                     AdmitterOptions options = {});
+  ConcurrentAdmitter(const TransactionSet&, AtomicitySpec&&,
+                     AdmitterOptions = {}) = delete;
+  ~ConcurrentAdmitter();
+
+  ConcurrentAdmitter(const ConcurrentAdmitter&) = delete;
+  ConcurrentAdmitter& operator=(const ConcurrentAdmitter&) = delete;
+
+  /// Enqueues `op` and blocks until the admission core decides it.
+  bool SubmitAndWait(const Operation& op);
+
+  /// Fire-and-forget submission: enqueues and returns immediately. The
+  /// decision is published asynchronously — read it later via
+  /// OpVerdict, or wait for the whole transaction with TxnVerdict.
+  void SubmitDetached(const Operation& op);
+
+  /// Advisory client-side pre-filter: true when, as of the last
+  /// published index state, `op` is obviously conflict-free (its
+  /// transaction never conflicted, its object is untouched or private).
+  /// Never authoritative — the admission core re-validates — so a stale
+  /// true merely sends a doomed operation down SubmitDetached whose
+  /// rejection TxnVerdict still reports.
+  bool Probe(const Operation& op) const;
+
+  /// The published decision for `op` (kPending until the core got to it).
+  Verdict OpVerdict(const Operation& op) const;
+
+  /// Commit barrier: blocks until every submitted operation of `txn`
+  /// has been decided; returns true iff none was rejected.
+  bool TxnVerdict(TxnId txn);
+
+  /// Blocks until every operation submitted so far has been decided.
+  void Flush();
+
+  /// Flushes and joins the admission core. Idempotent; called by the
+  /// destructor. No submissions may race with or follow Stop.
+  void Stop();
+
+  std::size_t accepted() const {
+    return accepted_.load(std::memory_order_acquire);
+  }
+  std::size_t rejected() const {
+    return rejected_.load(std::memory_order_acquire);
+  }
+  /// Accepts that went through TryAppendIsolated (no F/B memo scan).
+  std::size_t fast_path_accepts() const {
+    return fast_path_.load(std::memory_order_acquire);
+  }
+
+  /// Admission-ordered accepted operations (record_log only). Stable —
+  /// and safe to read — once Flush/Stop has returned.
+  const std::vector<Operation>& admitted_log() const { return admitted_log_; }
+
+  /// The wrapped checker. Safe to inspect once Stop has returned.
+  const OnlineRsrChecker& checker() const { return checker_; }
+
+ private:
+  void CoreLoop();
+  void Decide(const Operation& op);
+  void Publish(std::size_t gid, TxnId txn, Verdict verdict);
+
+  const TransactionSet& txns_;
+  OnlineRsrChecker checker_;
+  ShardedConflictIndex index_;
+  AdmitterOptions options_;
+
+  MpscQueue<Operation> queue_;
+  std::vector<std::atomic<std::uint8_t>> decision_;   // gid -> Verdict
+  std::vector<std::atomic<std::uint32_t>> pending_;   // txn -> undecided ops
+  std::vector<std::atomic<std::uint8_t>> txn_rejected_;  // txn -> any reject
+  std::vector<std::uint8_t> dead_;  // core-private: auto-reject after reject
+
+  std::atomic<std::size_t> submitted_{0};
+  std::atomic<std::size_t> decided_{0};
+  std::atomic<std::size_t> accepted_{0};
+  std::atomic<std::size_t> rejected_{0};
+  std::atomic<std::size_t> fast_path_{0};
+
+  std::vector<Operation> admitted_log_;  // core-private until Stop/Flush
+
+  std::mutex decide_mu_;
+  std::condition_variable decided_cv_;
+
+  std::atomic<bool> stop_{false};
+  bool stopped_ = false;  // caller-side (Stop is not thread-safe)
+  std::thread core_;
+};
+
+}  // namespace relser
+
+#endif  // RELSER_SCHED_ADMITTER_H_

@@ -1,10 +1,9 @@
 // Minimal JSON emission and parsing.
 //
-// JsonWriter started life as bench/bench_json.h (the perf-trajectory
-// emitter) and moved here so the observability layer (src/obs/) can
-// reuse it for trace snapshots, JSONL event logs and the Chrome
-// trace_event exporter. bench/bench_json.h remains as a forwarding
-// header. The writer is deliberately tiny: objects, arrays, strings,
+// JsonWriter started life as the bench perf-trajectory emitter and
+// moved here so the observability layer (src/obs/) can reuse it for
+// trace snapshots, JSONL event logs and the Chrome trace_event
+// exporter. The writer is deliberately tiny: objects, arrays, strings,
 // numbers and booleans, with automatic comma placement and string
 // escaping. Non-finite doubles are emitted as null (JSON has no NaN).
 //
@@ -70,6 +69,23 @@ class JsonWriter {
 /// Writes `content` to `path` atomically enough for bench use (truncate +
 /// write + flush). Returns false on any I/O failure.
 bool WriteJsonFile(const std::string& path, const std::string& content);
+
+/// Nearest ancestor of the current directory containing `marker`
+/// (i.e. the repository root when run from anywhere inside the repo);
+/// empty string when no ancestor qualifies.
+std::string FindRepoRoot(const std::string& marker = "ROADMAP.md");
+
+/// Emits a canonical perf-trajectory artifact. Writes `content` to
+/// `filename` in the current directory and, when the repository root can
+/// be located (see FindRepoRoot), at `<root>/<filename>` too — so the
+/// canonical BENCH_*.json lands at the repo root no matter which build
+/// directory the bench ran from. When `tag` — or, if `tag` is empty, the
+/// RELSER_BENCH_TAG environment variable — is non-empty, additionally
+/// snapshots to `<root>/bench/trajectory/<stem>_<tag>.json`, the
+/// committed perf-trajectory record. Returns false if any write fails.
+bool WriteBenchJsonFile(const std::string& filename,
+                        const std::string& content,
+                        const std::string& tag = "");
 
 /// A parsed JSON document node.
 class JsonValue {

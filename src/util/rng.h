@@ -123,6 +123,23 @@ class Rng {
   /// Derives an independent child generator (for parallel sub-streams).
   Rng Fork() { return Rng(Next() ^ 0x6a09e667f3bcc909ULL); }
 
+  /// Derives the `i`-th child generator *without* advancing this one.
+  /// Split(i) depends only on the current state and on `i`, so a parallel
+  /// sweep that seeds shard i with `base.Split(i)` draws exactly the same
+  /// per-shard streams regardless of thread count, scheduling, or the
+  /// order in which shards run — the foundation of the exec layer's
+  /// bit-identical-to-serial guarantee (docs/parallelism.md).
+  Rng Split(std::uint64_t i) const {
+    // Mix every state word with a per-index Weyl increment; SplitMix64's
+    // finalizer decorrelates children from each other and from Next().
+    std::uint64_t sm = i * 0x9e3779b97f4a7c15ULL ^ 0x5851f42d4c957f2dULL;
+    std::uint64_t seed = 0;
+    for (const std::uint64_t word : state_) {
+      seed = SplitMix64(&sm) ^ (seed * 0xd6e8feb86659fd93ULL + word);
+    }
+    return Rng(seed);
+  }
+
  private:
   static std::uint64_t Rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

@@ -1,0 +1,235 @@
+// Tests for the concurrent admission front-end (sched/admitter.h):
+// multi-client stress with soundness replay, decision parity against a
+// serial feed of the same operation stream, TxnVerdict semantics, and
+// the Probe/SubmitDetached fast path.
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/online.h"
+#include "model/schedule.h"
+#include "model/text.h"
+#include "sched/admitter.h"
+#include "spec/builders.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+#include "workload/spec_gen.h"
+
+namespace relser {
+namespace {
+
+// Round-robin interleaving of all transactions' operations: a canonical
+// single-thread feed order that respects each transaction's program
+// order (the admitter's feeding contract).
+std::vector<Operation> RoundRobinFeed(const TransactionSet& txns) {
+  std::vector<Operation> feed;
+  bool progress = true;
+  for (std::uint32_t i = 0; progress; ++i) {
+    progress = false;
+    for (TxnId t = 0; t < txns.txn_count(); ++t) {
+      if (i < txns.txn(t).size()) {
+        feed.push_back(txns.txn(t).op(i));
+        progress = true;
+      }
+    }
+  }
+  return feed;
+}
+
+// The admitter's decision policy, applied serially: first rejection
+// kills the transaction, later operations auto-reject.
+std::vector<bool> SerialDecisions(const TransactionSet& txns,
+                                  const AtomicitySpec& spec,
+                                  const std::vector<Operation>& feed) {
+  OnlineRsrChecker checker(txns, spec);
+  std::vector<bool> dead(txns.txn_count(), false);
+  std::vector<bool> decisions;
+  decisions.reserve(feed.size());
+  for (const Operation& op : feed) {
+    bool ok = false;
+    if (!dead[op.txn]) {
+      ok = checker.TryAppend(op);
+      if (!ok) dead[op.txn] = true;
+    }
+    decisions.push_back(ok);
+  }
+  return decisions;
+}
+
+TEST(AdmitterTest, SingleClientMatchesSerialFeed) {
+  Rng rng(0xADA1);
+  WorkloadParams wp;
+  wp.txn_count = 8;
+  wp.min_ops_per_txn = 3;
+  wp.max_ops_per_txn = 6;
+  wp.object_count = 3;  // small: force conflicts and rejections
+  wp.read_ratio = 0.4;
+  const TransactionSet txns = GenerateTransactions(wp, &rng);
+  const AtomicitySpec spec = AbsoluteSpec(txns);
+  const std::vector<Operation> feed = RoundRobinFeed(txns);
+  const std::vector<bool> expected = SerialDecisions(txns, spec, feed);
+
+  AdmitterOptions options;
+  options.record_log = true;
+  ConcurrentAdmitter admitter(txns, spec, options);
+  std::vector<bool> got;
+  got.reserve(feed.size());
+  for (const Operation& op : feed) got.push_back(admitter.SubmitAndWait(op));
+  admitter.Stop();
+
+  ASSERT_EQ(got.size(), expected.size());
+  std::size_t rejected = 0;
+  for (std::size_t i = 0; i < feed.size(); ++i) {
+    EXPECT_EQ(got[i], expected[i]) << "op " << i;
+    rejected += got[i] ? 0u : 1u;
+    EXPECT_EQ(admitter.OpVerdict(feed[i]),
+              got[i] ? ConcurrentAdmitter::Verdict::kAccepted
+                     : ConcurrentAdmitter::Verdict::kRejected);
+  }
+  EXPECT_GT(rejected, 0u) << "workload too easy to exercise rejection";
+  EXPECT_EQ(admitter.accepted() + admitter.rejected(), feed.size());
+}
+
+TEST(AdmitterTest, EightClientStressIsSoundUnderReplay) {
+  Rng rng(0xADA2);
+  WorkloadParams wp;
+  wp.txn_count = 64;
+  wp.min_ops_per_txn = 3;
+  wp.max_ops_per_txn = 8;
+  wp.object_count = 16;
+  wp.read_ratio = 0.5;
+  const TransactionSet txns = GenerateTransactions(wp, &rng);
+  const AtomicitySpec spec = RandomSpec(txns, 0.5, &rng);
+
+  AdmitterOptions options;
+  options.record_log = true;
+  options.queue_capacity = 64;  // small ring: exercise back-pressure
+  options.max_batch = 8;
+  ConcurrentAdmitter admitter(txns, spec, options);
+
+  constexpr std::size_t kClients = 8;
+  std::vector<std::uint8_t> committed(txns.txn_count(), 0);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (TxnId t = static_cast<TxnId>(c); t < txns.txn_count();
+           t = static_cast<TxnId>(t + kClients)) {
+        for (std::uint32_t i = 0; i < txns.txn(t).size(); ++i) {
+          const Operation& op = txns.txn(t).op(i);
+          if (admitter.Probe(op)) {
+            admitter.SubmitDetached(op);
+          } else if (!admitter.SubmitAndWait(op)) {
+            break;  // transaction dead; stop submitting
+          }
+        }
+        committed[t] = admitter.TxnVerdict(t) ? 1 : 0;
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  admitter.Stop();
+
+  // Everything the concurrent core admitted must re-admit through a
+  // fresh serial checker in admission order.
+  OnlineRsrChecker replay(txns, spec);
+  const std::vector<Operation>& log = admitter.admitted_log();
+  EXPECT_EQ(log.size(), admitter.accepted());
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    ASSERT_TRUE(replay.TryAppend(log[i])) << "admitted op " << i
+                                          << " is not serially admissible";
+  }
+
+  // A committed transaction is one whose submitted prefix was fully
+  // accepted; it must appear in the log with consecutive indices 0..k.
+  std::vector<std::uint32_t> admitted_ops(txns.txn_count(), 0);
+  for (const Operation& op : log) {
+    EXPECT_EQ(op.index, admitted_ops[op.txn]) << "gap in admitted prefix";
+    ++admitted_ops[op.txn];
+  }
+  for (TxnId t = 0; t < txns.txn_count(); ++t) {
+    if (committed[t] != 0) {
+      EXPECT_GT(admitted_ops[t], 0u) << "txn " << t;
+    }
+  }
+}
+
+TEST(AdmitterTest, TxnVerdictReportsRejectedTransactions) {
+  // The paper's sandwich: T2 runs entirely inside T1, touching both of
+  // T1's objects; under absolute atomicity the final r1[y] must reject.
+  auto txns = ParseTransactionSet("T1 = w1[x] r1[y]\nT2 = r2[x] w2[y]\n");
+  const AtomicitySpec spec = AbsoluteSpec(*txns);
+
+  ConcurrentAdmitter admitter(*txns, spec);
+  EXPECT_TRUE(admitter.SubmitAndWait(txns->txn(0).op(0)));  // w1[x]
+  EXPECT_TRUE(admitter.SubmitAndWait(txns->txn(1).op(0)));  // r2[x]
+  EXPECT_TRUE(admitter.SubmitAndWait(txns->txn(1).op(1)));  // w2[y]
+  // r1[y] closes the sandwich cycle under absolute atomicity: reject.
+  EXPECT_FALSE(admitter.SubmitAndWait(txns->txn(0).op(1)));
+  EXPECT_FALSE(admitter.TxnVerdict(0));
+  EXPECT_TRUE(admitter.TxnVerdict(1));
+  admitter.Stop();
+  EXPECT_EQ(admitter.rejected(), 1u);
+}
+
+TEST(AdmitterTest, DetachedSubmissionsResolveThroughTxnVerdict) {
+  Rng rng(0xADA3);
+  WorkloadParams wp;
+  wp.txn_count = 4;
+  wp.min_ops_per_txn = 2;
+  wp.max_ops_per_txn = 4;
+  wp.object_count = 64;  // sparse: nearly everything is conflict-free
+  wp.read_ratio = 0.5;
+  const TransactionSet txns = GenerateTransactions(wp, &rng);
+  const AtomicitySpec spec = AbsoluteSpec(txns);
+
+  ConcurrentAdmitter admitter(txns, spec);
+  for (TxnId t = 0; t < txns.txn_count(); ++t) {
+    for (std::uint32_t i = 0; i < txns.txn(t).size(); ++i) {
+      admitter.SubmitDetached(txns.txn(t).op(i));
+    }
+  }
+  admitter.Flush();
+  for (TxnId t = 0; t < txns.txn_count(); ++t) {
+    // Sparse objects + absolute spec on disjoint data: all should commit.
+    EXPECT_TRUE(admitter.TxnVerdict(t)) << "txn " << t;
+  }
+  admitter.Stop();
+  EXPECT_EQ(admitter.accepted(), admitter.checker().executed_count());
+  EXPECT_GT(admitter.fast_path_accepts(), 0u);
+}
+
+TEST(AdmitterTest, FastPathDecisionsMatchSlowPath) {
+  // Sparse workload where most traffic qualifies for TryAppendIsolated:
+  // the admitter's decisions must still match the slow-path-only serial
+  // reference exactly (the fast path is a shortcut, not a relaxation).
+  Rng rng(0xADA4);
+  WorkloadParams wp;
+  wp.txn_count = 12;
+  wp.min_ops_per_txn = 2;
+  wp.max_ops_per_txn = 6;
+  wp.object_count = 48;
+  wp.read_ratio = 0.6;
+  const TransactionSet txns = GenerateTransactions(wp, &rng);
+  const AtomicitySpec spec = RandomSpec(txns, 0.5, &rng);
+  const std::vector<Operation> feed = RoundRobinFeed(txns);
+  const std::vector<bool> expected = SerialDecisions(txns, spec, feed);
+
+  ConcurrentAdmitter admitter(txns, spec);
+  std::vector<bool> got;
+  got.reserve(feed.size());
+  for (const Operation& op : feed) got.push_back(admitter.SubmitAndWait(op));
+  admitter.Stop();
+
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < feed.size(); ++i) {
+    EXPECT_EQ(got[i], expected[i]) << "op " << i;
+  }
+  EXPECT_GT(admitter.fast_path_accepts(), 0u)
+      << "sparse workload should exercise TryAppendIsolated";
+}
+
+}  // namespace
+}  // namespace relser

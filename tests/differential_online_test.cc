@@ -26,6 +26,7 @@
 #include "core/online_baseline.h"
 #include "core/paper_examples.h"
 #include "core/rsr.h"
+#include "exec/thread_pool.h"
 #include "graph/cycle.h"
 #include "graph/digraph.h"
 #include "model/op_indexer.h"
@@ -117,31 +118,51 @@ AtomicitySpec DrawSpec(const TransactionSet& txns, Rng* rng) {
 }
 
 TEST(DifferentialOnline, OptimizedMatchesBaselineAndOracleOnRandomWorkloads) {
-  Rng rng(0xD1FF);
+  constexpr std::size_t kRounds = 1200;
+  struct RoundOutcome {
+    std::size_t oracle = 0;
+    std::size_t optimized = 0;
+    std::size_t baseline = 0;
+    std::size_t schedule_size = 0;
+  };
+  const Rng base(0xD1FF);
+  std::vector<RoundOutcome> outcomes(kRounds);
+  ThreadPool pool(ThreadPool::HardwareConcurrency());
+  // Rounds are Rng::Split-seeded, so the sweep is independent of thread
+  // count. gtest assertions are not thread-safe: workers only fill their
+  // private outcome slot; every assertion runs on the main thread below.
+  ParallelFor(&pool, 0, kRounds, /*grain=*/8,
+              [&](std::size_t lo, std::size_t hi) {
+                for (std::size_t round = lo; round < hi; ++round) {
+                  Rng rng = base.Split(round);
+                  WorkloadParams wp;
+                  wp.txn_count = 2 + rng.UniformIndex(4);
+                  wp.min_ops_per_txn = 1;
+                  wp.max_ops_per_txn = 5;
+                  wp.object_count = 2 + rng.UniformIndex(3);
+                  wp.read_ratio = 0.3 + 0.4 * rng.UniformDouble();
+                  const TransactionSet txns = GenerateTransactions(wp, &rng);
+                  const AtomicitySpec spec = DrawSpec(txns, &rng);
+                  const Schedule schedule = RandomSchedule(txns, &rng);
+                  RoundOutcome& out = outcomes[round];
+                  out.schedule_size = schedule.size();
+                  out.oracle = OracleFirstRejection(txns, spec, schedule);
+                  out.optimized =
+                      OnlineRsrChecker::FirstRejection(txns, spec, schedule);
+                  out.baseline = OnlineRsrCheckerBaseline::FirstRejection(
+                      txns, spec, schedule);
+                }
+              });
   int rejected_cases = 0;
-  for (int round = 0; round < 1200; ++round) {
-    WorkloadParams wp;
-    wp.txn_count = 2 + rng.UniformIndex(4);
-    wp.min_ops_per_txn = 1;
-    wp.max_ops_per_txn = 5;
-    wp.object_count = 2 + rng.UniformIndex(3);
-    wp.read_ratio = 0.3 + 0.4 * rng.UniformDouble();
-    const TransactionSet txns = GenerateTransactions(wp, &rng);
-    const AtomicitySpec spec = DrawSpec(txns, &rng);
-    const Schedule schedule = RandomSchedule(txns, &rng);
-
-    const std::size_t oracle = OracleFirstRejection(txns, spec, schedule);
-    const std::size_t optimized =
-        OnlineRsrChecker::FirstRejection(txns, spec, schedule);
-    const std::size_t baseline =
-        OnlineRsrCheckerBaseline::FirstRejection(txns, spec, schedule);
-    ASSERT_EQ(optimized, oracle)
-        << "round " << round << ": optimized rejects at " << optimized
-        << ", oracle at " << oracle << " of " << schedule.size();
-    ASSERT_EQ(baseline, oracle)
-        << "round " << round << ": baseline rejects at " << baseline
-        << ", oracle at " << oracle << " of " << schedule.size();
-    if (oracle < schedule.size()) ++rejected_cases;
+  for (std::size_t round = 0; round < kRounds; ++round) {
+    const RoundOutcome& out = outcomes[round];
+    ASSERT_EQ(out.optimized, out.oracle)
+        << "round " << round << ": optimized rejects at " << out.optimized
+        << ", oracle at " << out.oracle << " of " << out.schedule_size;
+    ASSERT_EQ(out.baseline, out.oracle)
+        << "round " << round << ": baseline rejects at " << out.baseline
+        << ", oracle at " << out.oracle << " of " << out.schedule_size;
+    if (out.oracle < out.schedule_size) ++rejected_cases;
   }
   // The sweep must exercise both outcomes heavily to mean anything.
   EXPECT_GE(rejected_cases, 100);

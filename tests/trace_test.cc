@@ -13,6 +13,7 @@
 #include "obs/export.h"
 #include "obs/inspect.h"
 #include "obs/trace.h"
+#include "sched/admitter.h"
 #include "sched/engine.h"
 #include "sched/factory.h"
 #include "sched/replay.h"
@@ -228,6 +229,49 @@ TEST(TraceInvariants, SnapshotJsonParsesAndMatchesCounters) {
   EXPECT_EQ(static_cast<std::uint64_t>(
                 parsed->Find("admit_latency_samples")->number_value()),
             tracer.counters().admits);
+}
+
+// One synchronous client makes the concurrent admitter's counters fully
+// deterministic: every SubmitAndWait blocks until its decision, so the
+// core drains exactly one operation per batch.
+TEST(TraceInvariants, AdmitterCountersGoldenForSynchronousClient) {
+  if (!kTracingCompiledIn) GTEST_SKIP() << "tracing compiled out";
+  const PaperExample example = Figure1();
+  const Schedule& schedule = example.schedule("S2");
+  Tracer tracer(TraceLevel::kCounters);
+  AdmitterOptions options;
+  options.tracer = &tracer;
+  {
+    ConcurrentAdmitter admitter(example.txns, example.spec, options);
+    for (std::size_t i = 0; i < schedule.size(); ++i) {
+      admitter.SubmitAndWait(schedule.op(i));
+    }
+    admitter.Stop();
+    EXPECT_EQ(admitter.accepted() + admitter.rejected(), schedule.size());
+  }
+  const TraceCounters& counters = tracer.counters();
+  EXPECT_EQ(counters.batches, schedule.size());
+  EXPECT_EQ(counters.batched_ops, schedule.size());
+  EXPECT_EQ(counters.queue_depth_high_water, 1u);
+  EXPECT_EQ(counters.requests, counters.admits + counters.rejects);
+  EXPECT_EQ(counters.admits + counters.rejects, schedule.size());
+
+  // Every batch had size 1, so the whole distribution sits in the first
+  // histogram bucket (the estimator may interpolate inside the bucket,
+  // but p50 and p99 must coincide and stay below the next bucket).
+  const TraceSnapshot snapshot = tracer.Snapshot();
+  EXPECT_EQ(snapshot.batch_size_p50, snapshot.batch_size_p99);
+  EXPECT_GE(snapshot.batch_size_p50, 1.0);
+  EXPECT_LT(snapshot.batch_size_p50, 2.0);
+  const auto parsed = JsonValue::Parse(SnapshotToJson(snapshot));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  for (const char* key : {"batches", "batched_ops", "queue_depth_high_water",
+                          "batch_size_p50", "batch_size_p99"}) {
+    ASSERT_NE(parsed->Find(key), nullptr) << key;
+  }
+  EXPECT_EQ(
+      static_cast<std::uint64_t>(parsed->Find("batches")->number_value()),
+      counters.batches);
 }
 
 TEST(TraceInvariants, ChromeTraceIsValidJsonWithPerTxnLanes) {
