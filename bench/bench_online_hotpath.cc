@@ -163,7 +163,7 @@ LatencyResult MeasureLatency(const Workload& wl, Checker& checker) {
     const Operation& op = wl.schedule.op(pos);
     if (dead[op.txn] != 0) continue;
     const auto start = std::chrono::steady_clock::now();
-    const bool accepted = checker.TryAppend(op);
+    const bool accepted = static_cast<bool>(checker.TryAppend(op));
     const auto stop = std::chrono::steady_clock::now();
     samples.push_back(static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start)

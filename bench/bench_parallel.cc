@@ -152,6 +152,7 @@ AdmitterRun MeasureAdmitter(const TransactionSet& txns,
   for (std::size_t c = 0; c < clients; ++c) {
     workers.emplace_back([&, c] {
       std::vector<std::uint64_t>& lat = latencies[c];
+      Backoff backoff(0xBE9C0000ULL + c);
       for (TxnId t = static_cast<TxnId>(c); t < txns.txn_count();
            t = static_cast<TxnId>(t + clients)) {
         bool live = true;
@@ -162,7 +163,7 @@ AdmitterRun MeasureAdmitter(const TransactionSet& txns,
             continue;
           }
           const auto op_start = std::chrono::steady_clock::now();
-          live = admitter.SubmitAndWait(op);
+          live = admitter.SubmitWithBackoff(op, backoff).ok();
           lat.push_back(static_cast<std::uint64_t>(
               std::chrono::duration_cast<std::chrono::nanoseconds>(
                   std::chrono::steady_clock::now() - op_start)

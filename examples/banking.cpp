@@ -13,14 +13,7 @@
 #include <iostream>
 #include <memory>
 
-#include "sched/engine.h"
-#include "sched/graph_based.h"
-#include "sched/lock_based.h"
-#include "sched/serial.h"
-#include "sched/verify.h"
-#include "spec/text.h"
-#include "util/table.h"
-#include "workload/scenarios.h"
+#include "relser.h"
 
 int main() {
   using namespace relser;

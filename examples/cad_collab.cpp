@@ -11,11 +11,7 @@
 // Build & run:  ./build/examples/cad_collab
 #include <iostream>
 
-#include "core/checkers.h"
-#include "core/rsr.h"
-#include "model/text.h"
-#include "workload/generator.h"
-#include "workload/scenarios.h"
+#include "relser.h"
 
 int main() {
   using namespace relser;

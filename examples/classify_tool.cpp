@@ -24,14 +24,7 @@
 #include <string>
 #include <vector>
 
-#include "core/classify.h"
-#include "core/explain.h"
-#include "core/repair.h"
-#include "core/rsg.h"
-#include "core/rsr.h"
-#include "model/text.h"
-#include "spec/text.h"
-#include "util/strings.h"
+#include "relser.h"
 
 int main(int argc, char** argv) {
   using namespace relser;

@@ -9,12 +9,7 @@
 // Build & run:  ./build/examples/quickstart
 #include <iostream>
 
-#include "core/classify.h"
-#include "core/rsg.h"
-#include "core/rsr.h"
-#include "model/text.h"
-#include "spec/text.h"
-#include "util/check.h"
+#include "relser.h"
 
 int main() {
   using namespace relser;

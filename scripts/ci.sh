@@ -20,6 +20,12 @@ ctest --preset asan
 # The emitted JSON must parse.
 python3 -c "import json; json.load(open('build-asan/BENCH_online.json'))"
 
+# Fault smoke: the robustness layer under deterministic fault injection.
+# Exits non-zero unless the committed prefix replays relatively
+# serializably at every fault rate in the (shrunken) grid.
+(cd build-asan && ./bench/bench_faults --smoke)
+python3 -c "import json; json.load(open('build-asan/BENCH_faults.json'))"
+
 # Docs gate: every relative markdown link and every repo path mentioned
 # in README.md / docs/*.md must exist on disk.
 python3 - <<'EOF'
@@ -50,11 +56,20 @@ EOF
 # admission front-end are the only components with real cross-thread
 # traffic, so the TSan build compiles just their test binaries and runs
 # them under the race detector (pool churn, MPSC producer storms, the
-# 8-client admitter stress). -fno-sanitize-recover turns any report
-# into a non-zero exit.
+# 8-client admitter stress, and the fault-injection suite: cascading
+# aborts, shedding, deadline timeouts). -fno-sanitize-recover turns any
+# report into a non-zero exit.
 cmake --preset tsan
-cmake --build --preset tsan -j"$(nproc)" --target exec_test admitter_test
-(cd build-tsan && ctest -R '^(exec_test|admitter_test)$' --output-on-failure)
+cmake --build --preset tsan -j"$(nproc)" \
+  --target exec_test admitter_test fault_test
+(cd build-tsan &&
+ ctest -R '^(exec_test|admitter_test|fault_test)$' --output-on-failure)
+
+# Deprecation-shim gate: exactly one TU (tests/deprecated_shims_test.cc,
+# built with -Wno-deprecated-declarations) may touch the legacy bool
+# surface; everywhere else -Werror already enforces the new AdmitOutcome
+# API. Run the shim TU so behavior, not just compilation, is checked.
+(cd build-asan && ctest -R '^deprecated_shims_test$' --output-on-failure)
 
 # Trace smoke: export a paper-figure trace, validate it against the
 # documented schema, and summarize it.

@@ -29,7 +29,9 @@ OnlineRsrChecker::OnlineRsrChecker(const TransactionSet& txns,
   // Steady-state arc volume per op is bounded by the frontier size plus
   // one F/B pair per ancestor transaction; reserve generously once.
   arc_buf_.reserve(64);
+  arc_kind_buf_.reserve(64);
   pred_buf_.reserve(32);
+  feed_log_.reserve(indexer_.total_ops());
   pending_memos_.reserve(txn_count_);
   topo_.Reserve(4 * indexer_.total_ops());
   // Pre-size the adjacency arena; together with the per-object and
@@ -82,7 +84,7 @@ void OnlineRsrChecker::ReleaseSlotIfAny(std::size_t gid) {
   free_slots_.push_back(slot);
 }
 
-bool OnlineRsrChecker::TryAppend(const Operation& op) {
+AdmitResult OnlineRsrChecker::TryAppend(const Operation& op) {
   const std::size_t gid = indexer_.GlobalId(op);
   RELSER_CHECK_MSG(executed_[gid] == 0,
                    "operation fed twice without RemoveTransaction");
@@ -126,18 +128,19 @@ bool OnlineRsrChecker::TryAppend(const Operation& op) {
     }
   }
 
-  // Tracing keeps a parallel kind buffer so a failing batch can name the
-  // exact witnessing arc; costs nothing when no tracer is attached.
+  // The parallel kind buffer is always maintained (one byte push per
+  // arc) so a rejection can name the exact witnessing arc in its
+  // AdmitResult even with no tracer attached.
   const bool tracing = tracer_ != nullptr && tracer_->events_on();
   arc_buf_.clear();
-  if (tracing) arc_kind_buf_.clear();
+  arc_kind_buf_.clear();
   if (op.index > 0) {
     arc_buf_.emplace_back(gid - 1, gid);  // I-arc
-    if (tracing) arc_kind_buf_.push_back(kInternalArc);
+    arc_kind_buf_.push_back(kInternalArc);
   }
   for (const std::size_t pred : pred_buf_) {
     arc_buf_.emplace_back(pred, gid);  // D-arc to the conflict frontier
-    if (tracing) arc_kind_buf_.push_back(kDependencyArc);
+    arc_kind_buf_.push_back(kDependencyArc);
     const Operation& pred_op = txns_.OpByGlobalId(pred);
     const std::uint32_t pred_slot = slot_of_[pred];
     RELSER_DCHECK(pred_slot != kNoSlot);
@@ -169,7 +172,7 @@ bool OnlineRsrChecker::TryAppend(const Operation& op) {
     if (pushed + 1 > memo.pf_p1) {
       if (pushed > u) {
         arc_buf_.emplace_back(indexer_.GlobalId(i, pushed), gid);  // F-arc
-        if (tracing) arc_kind_buf_.push_back(kPushForwardArc);
+        arc_kind_buf_.push_back(kPushForwardArc);
       }
       // pushed <= u needs no arc: (i, pushed) is already an ancestor.
       memo.pf_p1 = pushed + 1;
@@ -178,7 +181,7 @@ bool OnlineRsrChecker::TryAppend(const Operation& op) {
     if (pulled < op.index) {
       arc_buf_.emplace_back(indexer_.GlobalId(i, u),
                             indexer_.GlobalId(j, pulled));  // B-arc
-      if (tracing) arc_kind_buf_.push_back(kPullBackwardArc);
+      arc_kind_buf_.push_back(kPullBackwardArc);
     }
     // pulled == op.index needs no arc: (i, u) already reaches this op.
     memo.u_max_p1 = u_p1;
@@ -191,23 +194,28 @@ bool OnlineRsrChecker::TryAppend(const Operation& op) {
   const std::uint64_t repairs_before = topo_.reorder_count();
   if (!topo_.AddEdges(arc_buf_)) {
     ++rejections_;
+    ArcWitness witness;
+    witness.valid = true;
+    const auto [bad_from, bad_to] = topo_.last_rejected_edge();
+    witness.from = txns_.OpByGlobalId(bad_from);
+    witness.to = txns_.OpByGlobalId(bad_to);
+    for (std::size_t a = 0; a < arc_buf_.size(); ++a) {
+      if (arc_buf_[a].first == bad_from && arc_buf_[a].second == bad_to) {
+        witness.arc_kinds = arc_kind_buf_[a];
+        break;
+      }
+    }
     if (tracing) {
-      const auto [bad_from, bad_to] = topo_.last_rejected_edge();
       TraceCause cause;
       cause.kind = TraceCauseKind::kRsgArc;
-      cause.from = txns_.OpByGlobalId(bad_from);
-      cause.to = txns_.OpByGlobalId(bad_to);
-      for (std::size_t a = 0; a < arc_buf_.size(); ++a) {
-        if (arc_buf_[a].first == bad_from && arc_buf_[a].second == bad_to) {
-          cause.arc_kinds = arc_kind_buf_[a];
-          break;
-        }
-      }
+      cause.from = witness.from;
+      cause.to = witness.to;
+      cause.arc_kinds = witness.arc_kinds;
       cause.note = ExplainWitnessArc(txns_, spec_, cause.arc_kinds,
                                      cause.from, cause.to);
       tracer_->AttachCause(std::move(cause));
     }
-    return false;
+    return AdmitResult::Reject(j, witness);
   }
   arcs_submitted_ += arc_buf_.size();
   arcs_inserted_total_ += topo_.edge_count() - edges_before;
@@ -242,10 +250,10 @@ bool OnlineRsrChecker::TryAppend(const Operation& op) {
   }
   if (cross) safe_[j] = 0;
   CommitOp(op, gid, obj_idx);
-  return true;
+  return AdmitResult::Accept(j);
 }
 
-bool OnlineRsrChecker::TryAppendIsolated(const Operation& op) {
+AdmitResult OnlineRsrChecker::TryAppendIsolated(const Operation& op) {
   const std::size_t gid = indexer_.GlobalId(op);
   RELSER_CHECK_MSG(executed_[gid] == 0,
                    "operation fed twice without RemoveTransaction");
@@ -254,20 +262,22 @@ bool OnlineRsrChecker::TryAppendIsolated(const Operation& op) {
                      "operations must be fed in program order");
   }
   const TxnId j = op.txn;
-  if (safe_[j] == 0) return false;
+  if (safe_[j] == 0) return AdmitResult::Retry(j);
   const std::uint32_t obj_idx = ObjIndex(op.object);
   {
     // Eligibility mirrors ShardedConflictIndex::ObviouslyConflictFree:
     // the object's frontier must be empty or owned by j. (A read could
     // tolerate foreign readers, but keeping eligibility object-exclusive
     // matches the one-word accessor the clients pre-filter on.)
+    // Ineligibility is kRetry — retry through the full TryAppend — never
+    // kReject: this path cannot prove a cycle.
     const ObjState& state = objects_[obj_idx];
     if (state.last_writer != kNoGid &&
         txns_.OpByGlobalId(state.last_writer).txn != j) {
-      return false;
+      return AdmitResult::Retry(j);
     }
     for (const std::size_t reader : state.readers) {
-      if (txns_.OpByGlobalId(reader).txn != j) return false;
+      if (txns_.OpByGlobalId(reader).txn != j) return AdmitResult::Retry(j);
     }
   }
 
@@ -303,7 +313,7 @@ bool OnlineRsrChecker::TryAppendIsolated(const Operation& op) {
     std::fill(scratch_anc_.begin(), scratch_anc_.end(), 0);
   }
   CommitOp(op, gid, obj_idx);
-  return true;
+  return AdmitResult::Accept(j);
 }
 
 void OnlineRsrChecker::CommitOp(const Operation& op, std::size_t gid,
@@ -344,6 +354,7 @@ void OnlineRsrChecker::CommitOp(const Operation& op, std::size_t gid,
 
   executed_[gid] = 1;
   ++executed_count_;
+  feed_log_.push_back(gid);
 }
 
 void OnlineRsrChecker::RetainFrontier(std::size_t gid) {
@@ -443,6 +454,145 @@ void OnlineRsrChecker::RemoveTransaction(TxnId txn) {
     RebuildFrontier(state);
   }
   txn_objects_[txn].clear();
+  std::erase_if(feed_log_, [&](std::size_t gid) {
+    return gid >= begin && gid < end;
+  });
+}
+
+void OnlineRsrChecker::RemoveTransactionExact(TxnId txn) {
+  const std::size_t begin = indexer_.TxnBegin(txn);
+  const std::size_t end = indexer_.TxnEnd(txn);
+
+  // Snapshot the surviving feed, then reset every piece of admission
+  // state to its freshly-constructed value.
+  replay_feed_.clear();
+  replay_feed_.reserve(feed_log_.size());
+  for (const std::size_t gid : feed_log_) {
+    if (gid < begin || gid >= end) replay_feed_.push_back(gid);
+  }
+
+  topo_ = IncrementalTopology(indexer_.total_ops());
+  topo_.Reserve(4 * indexer_.total_ops());
+  topo_.ReserveAdjacency(8);
+  std::fill(executed_.begin(), executed_.end(), std::uint8_t{0});
+  std::fill(safe_.begin(), safe_.end(), std::uint8_t{1});
+  std::fill(flags_.begin(), flags_.end(), std::uint8_t{0});
+  std::fill(slot_of_.begin(), slot_of_.end(), kNoSlot);
+  std::fill(newest_gid_.begin(), newest_gid_.end(), kNoGid);
+  std::fill(epoch_.begin(), epoch_.end(), std::uint64_t{1});
+  pool_.clear();
+  free_slots_.clear();
+  slot_owner_.clear();
+  object_index_.Clear();
+  objects_.clear();
+  obj_stamp_.clear();
+  obj_gen_ = 0;
+  for (auto& touched : txn_objects_) touched.clear();
+  memo_.Clear();
+  executed_count_ = 0;
+  feed_log_.clear();
+
+  // Silent replay of the survivors: no trace events, and rejections()
+  // keeps its pre-abort value (the replay cannot reject — see below).
+  Tracer* const saved_tracer = tracer_;
+  tracer_ = nullptr;
+  const std::size_t saved_rejections = rejections_;
+  for (const std::size_t gid : replay_feed_) {
+    // Every survivor re-admits: the replayed prefix's RSG is a subgraph
+    // of the original graph restricted to survivors (conflict frontiers
+    // and ancestor maxima can only shrink when operations disappear),
+    // and a subgraph of an acyclic graph is acyclic.
+    RELSER_CHECK_MSG(TryAppend(txns_.OpByGlobalId(gid)).ok(),
+                     "surviving feed must replay cleanly after an abort");
+  }
+  rejections_ = saved_rejections;
+  tracer_ = saved_tracer;
+}
+
+std::size_t OnlineRsrChecker::FrontierWriterGid(ObjectId object) const {
+  const std::uint32_t* idx = object_index_.Find(object);
+  if (idx == nullptr) return kNoOp;
+  const std::size_t writer = objects_[*idx].last_writer;
+  return writer == kNoGid ? kNoOp : writer;
+}
+
+std::uint64_t OnlineRsrChecker::StateDigest() const {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a offset basis
+  const auto mix = [&h](std::uint64_t v) {
+    for (int shift = 0; shift < 64; shift += 8) {
+      h ^= (v >> shift) & 0xFF;
+      h *= 1099511628211ULL;
+    }
+  };
+  mix(executed_count_);
+  for (const std::uint8_t bit : executed_) mix(bit);
+  for (const std::uint8_t bit : safe_) mix(bit);
+  for (const std::size_t gid : newest_gid_) mix(gid);
+  // Per-object state, keyed by ObjectId (objects_ index order depends on
+  // first-touch order, which two equal-state checkers may disagree on).
+  {
+    std::vector<std::pair<std::uint64_t, std::uint32_t>> by_object;
+    by_object.reserve(objects_.size());
+    const_cast<FlatMap64<std::uint32_t>&>(object_index_)
+        .ForEach([&](std::uint64_t key, std::uint32_t& idx) {
+          by_object.emplace_back(key, idx);
+        });
+    std::sort(by_object.begin(), by_object.end());
+    for (const auto& [object, idx] : by_object) {
+      const ObjState& state = objects_[idx];
+      mix(object);
+      mix(state.ops.size());
+      for (const std::size_t gid : state.ops) mix(gid);
+      mix(state.last_writer);
+      for (const std::size_t gid : state.readers) mix(gid);
+    }
+  }
+  // Retained ancestor arrays: keyed by owning gid, content-only (which
+  // pool slot a row occupies is allocation history, not state).
+  for (std::size_t gid = 0; gid < slot_of_.size(); ++gid) {
+    const std::uint32_t slot = slot_of_[gid];
+    if (slot == kNoSlot) continue;
+    mix(gid);
+    mix(flags_[gid]);
+    const std::uint32_t* row = &pool_[static_cast<std::size_t>(slot) *
+                                      txn_count_];
+    for (std::size_t t = 0; t < txn_count_; ++t) mix(row[t]);
+  }
+  // F/B memo, sorted by key (FlatMap64 iteration order is capacity-
+  // dependent). Epochs participate: they gate entry validity.
+  {
+    std::vector<std::pair<std::uint64_t, MemoEntry>> entries;
+    entries.reserve(memo_.size());
+    const_cast<FlatMap64<MemoEntry>&>(memo_).ForEach(
+        [&](std::uint64_t key, MemoEntry& entry) {
+          entries.emplace_back(key, entry);
+        });
+    std::sort(entries.begin(), entries.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& [key, entry] : entries) {
+      mix(key);
+      mix(entry.u_max_p1);
+      mix(entry.pf_p1);
+      mix(entry.epoch_i);
+      mix(entry.epoch_j);
+    }
+  }
+  for (const std::uint64_t e : epoch_) mix(e);
+  // Graph adjacency, sorted per node (F/B arcs can land on not-yet-
+  // executed nodes, so every node is included).
+  {
+    std::vector<NodeId> succs;
+    for (NodeId node = 0; node < indexer_.total_ops(); ++node) {
+      const auto out = topo_.graph().OutNeighbors(node);
+      succs.assign(out.begin(), out.end());
+      if (succs.empty()) continue;
+      std::sort(succs.begin(), succs.end());
+      mix(node);
+      mix(succs.size());
+      for (const NodeId succ : succs) mix(succ);
+    }
+  }
+  return h;
 }
 
 std::size_t OnlineRsrChecker::FirstRejection(const TransactionSet& txns,

@@ -22,15 +22,26 @@
 // the furthest F/B arcs already emitted. Dominated arcs are never
 // inserted; docs/hotpath.md proves the transitive closure — and therefore
 // every accept/reject decision — is bit-identical to the full emission.
-// After RemoveTransaction the ancestor arrays are rebuilt as a sound
-// over-approximation (see RemoveTransaction below), mirroring the
-// baseline's documented post-abort behavior.
+// Two abort paths exist. RemoveTransaction is the fast incremental one:
+// the ancestor arrays are rebuilt as a sound over-approximation (see
+// RemoveTransaction below), mirroring the baseline's documented
+// post-abort behavior. RemoveTransactionExact is the exact one the
+// concurrent admitter's abort/cascade machinery uses: it replays the
+// surviving feed through a full reset, so the post-abort state is
+// bit-identical (StateDigest) to a checker that never saw the aborted
+// transaction — differentially tested by tests/fault_test.cc.
+//
+// Decisions are reported as AdmitResult (core/admit.h): kAccept commits
+// the arcs, kReject leaves the state unchanged and carries the
+// witnessing arc, and TryAppendIsolated's kRetry means "ineligible for
+// the fast path, fall back to TryAppend".
 #ifndef RELSER_CORE_ONLINE_H_
 #define RELSER_CORE_ONLINE_H_
 
 #include <cstdint>
 #include <vector>
 
+#include "core/admit.h"
 #include "graph/dynamic_topo.h"
 #include "model/op_indexer.h"
 #include "model/schedule.h"
@@ -50,23 +61,33 @@ class OnlineRsrChecker {
   OnlineRsrChecker(const TransactionSet&, AtomicitySpec&&) = delete;
 
   /// Attempts to append `op`, which must be the next unfed operation of
-  /// its transaction. Returns true (arcs committed) when the extended
-  /// prefix is still relatively serializable; false (state unchanged)
-  /// otherwise.
-  bool TryAppend(const Operation& op);
+  /// its transaction. Returns kAccept (arcs committed) when the extended
+  /// prefix is still relatively serializable; kReject (state unchanged,
+  /// witnessing arc filled in) otherwise.
+  AdmitResult TryAppend(const Operation& op);
 
   /// Fast-path variant for operations that provably cannot conflict:
-  /// returns true and commits `op` (identically to TryAppend) when its
-  /// transaction is *isolated* — no cross-transaction RSG arc has ever
-  /// touched any of its nodes — and its object's conflict frontier is
-  /// empty or owned by the same transaction. Under those conditions the
-  /// only new arc is the program-order I-arc into a fresh sink node,
+  /// returns kAccept and commits `op` (identically to TryAppend) when
+  /// its transaction is *isolated* — no cross-transaction RSG arc has
+  /// ever touched any of its nodes — and its object's conflict frontier
+  /// is empty or owned by the same transaction. Under those conditions
+  /// the only new arc is the program-order I-arc into a fresh sink node,
   /// which cannot close a cycle, so acceptance is guaranteed and the
-  /// F/B memo scan is skipped entirely. Returns false — with the checker
-  /// unchanged — when the preconditions do not hold; the caller then
-  /// falls back to the full TryAppend. Same feeding contract as
-  /// TryAppend (next unfed op, program order).
-  bool TryAppendIsolated(const Operation& op);
+  /// F/B memo scan is skipped entirely. Returns kRetry — with the
+  /// checker unchanged — when the preconditions do not hold; the caller
+  /// then falls back to the full TryAppend. Never rejects. Same feeding
+  /// contract as TryAppend (next unfed op, program order).
+  AdmitResult TryAppendIsolated(const Operation& op);
+
+  /// Pre-AdmitResult shims, one release only.
+  [[deprecated("use TryAppend; AdmitResult converts contextually to bool")]]
+  bool TryAppendOk(const Operation& op) {
+    return TryAppend(op).ok();
+  }
+  [[deprecated("use TryAppendIsolated")]]
+  bool TryAppendIsolatedOk(const Operation& op) {
+    return TryAppendIsolated(op).ok();
+  }
 
   /// True while no cross-transaction arc has ever been incident on a
   /// node of `txn` (the TryAppendIsolated eligibility bit).
@@ -85,6 +106,45 @@ class OnlineRsrChecker {
   /// accept, never the converse), matching the baseline's stale-bit
   /// behavior in spirit; docs/hotpath.md gives the argument.
   void RemoveTransaction(TxnId txn);
+
+  /// Exact abort: forgets every fed operation of `txn` and restores the
+  /// checker to the state of a fresh checker fed the surviving feed (the
+  /// accepted operations, in their original admission order, minus
+  /// `txn`'s). Implemented as a full internal reset plus a silent replay
+  /// of the survivors — every surviving operation re-admits, because the
+  /// survivor-restricted RSG is a subgraph of the original acyclic
+  /// graph. O(history) instead of RemoveTransaction's O(touched), but
+  /// bit-identical (StateDigest) to recompute-from-scratch: no
+  /// over-approximation, no stale safe bits, no widened memos. This is
+  /// the abort path ConcurrentAdmitter uses, so repeated abort/cascade
+  /// storms cannot accumulate conservatism. Counters: rejections() is
+  /// preserved; arcs_submitted()/arcs_inserted_total() keep counting
+  /// through the replay (they meter topology traffic, which the replay
+  /// genuinely performs).
+  void RemoveTransactionExact(TxnId txn);
+
+  /// Order-insensitive FNV-1a digest of the complete admission state:
+  /// executed set, safe bits, newest-op table, per-object frontiers,
+  /// retained ancestor arrays, F/B memo and graph adjacency. Two
+  /// checkers over the same TransactionSet/spec digest equal iff their
+  /// future accept/reject behavior is identical state-wise; the
+  /// fault-injection tests compare post-RemoveTransactionExact digests
+  /// against rebuilt-from-scratch checkers.
+  std::uint64_t StateDigest() const;
+
+  /// True while any operation of `txn` is currently executed (fed and
+  /// not removed).
+  bool TxnHasExecuted(TxnId txn) const { return newest_gid_[txn] != kNoGid; }
+
+  /// Global id of the frontier writer (last executed, still-present
+  /// write) of `object`, or kNoOp when none / object untouched. Lets the
+  /// admitter rebuild its reads-from bookkeeping after an abort.
+  static constexpr std::size_t kNoOp = ~static_cast<std::size_t>(0);
+  std::size_t FrontierWriterGid(ObjectId object) const;
+
+  /// The accepted operations still present, as global ids in admission
+  /// order (the "surviving feed" RemoveTransactionExact replays).
+  const std::vector<std::size_t>& feed_log() const { return feed_log_; }
 
   /// True iff o_{txn,index} has been fed and accepted.
   bool Executed(TxnId txn, std::uint32_t index) const {
@@ -202,6 +262,8 @@ class OnlineRsrChecker {
   std::vector<std::size_t> rebuild_reads_;  // RebuildFrontier scratch
   std::vector<NodeId> bypass_in_;           // RemoveTransaction scratch
   std::vector<NodeId> bypass_out_;
+  std::vector<std::size_t> feed_log_;     // accepted gids, admission order
+  std::vector<std::size_t> replay_feed_;  // RemoveTransactionExact scratch
 
   std::size_t executed_count_ = 0;
   std::size_t rejections_ = 0;

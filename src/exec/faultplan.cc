@@ -1,0 +1,38 @@
+#include "exec/faultplan.h"
+
+namespace relser {
+
+OpFault FaultPlan::ForOp(TxnId txn, std::uint32_t index) const {
+  Rng draw = base_.Split(kOpFamily).Split(txn).Split(index);
+  OpFault fault;
+  // Drop dominates stall: a dropped submission never happens, so any
+  // stall before it would be unobservable anyway.
+  if (draw.Bernoulli(params_.drop_prob)) {
+    fault.drop = true;
+    return fault;
+  }
+  if (params_.max_stall_us > 0 && draw.Bernoulli(params_.stall_prob)) {
+    fault.stall_us = static_cast<std::uint32_t>(
+        1 + draw.UniformU64(params_.max_stall_us));
+  }
+  return fault;
+}
+
+std::optional<std::uint32_t> FaultPlan::AbortAfter(
+    TxnId txn, std::uint32_t txn_size) const {
+  if (txn_size < 2) return std::nullopt;
+  Rng draw = base_.Split(kAbortFamily).Split(txn);
+  if (!draw.Bernoulli(params_.abort_prob)) return std::nullopt;
+  return static_cast<std::uint32_t>(
+      1 + draw.UniformU64(txn_size - 1));  // ∈ [1, txn_size-1]
+}
+
+std::uint32_t FaultPlan::CorePauseUs(std::uint64_t step) const {
+  if (params_.max_core_pause_us == 0) return 0;
+  Rng draw = base_.Split(kCoreFamily).Split(step);
+  if (!draw.Bernoulli(params_.core_pause_prob)) return 0;
+  return static_cast<std::uint32_t>(
+      1 + draw.UniformU64(params_.max_core_pause_us));
+}
+
+}  // namespace relser

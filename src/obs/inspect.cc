@@ -13,7 +13,7 @@ namespace {
 bool IsKnownKind(const std::string& kind) {
   return kind == "admit" || kind == "delay" || kind == "reject" ||
          kind == "abort" || kind == "cascade_abort" || kind == "commit" ||
-         kind == "arc";
+         kind == "arc" || kind == "shed" || kind == "timeout";
 }
 
 bool IsDecisionKind(const std::string& kind) {

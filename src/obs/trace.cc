@@ -17,6 +17,8 @@ const char* TraceEventKindName(TraceEventKind kind) {
     case TraceEventKind::kCascadeAbort: return "cascade_abort";
     case TraceEventKind::kCommit: return "commit";
     case TraceEventKind::kArc: return "arc";
+    case TraceEventKind::kShed: return "shed";
+    case TraceEventKind::kTimeout: return "timeout";
   }
   return "?";
 }
@@ -182,6 +184,35 @@ void Tracer::RecordAbort(TxnId txn, std::uint64_t tick, bool cascade) {
   events_.push_back(std::move(event));
 }
 
+void Tracer::RecordShed(TxnId txn, std::uint64_t tick) {
+  if (!counting()) return;
+  ++counters_.sheds;
+  if (!events_on()) return;
+  TraceEvent event;
+  event.seq = next_seq_++;
+  event.tick = tick;
+  event.kind = TraceEventKind::kShed;
+  event.txn = txn;
+  events_.push_back(std::move(event));
+}
+
+void Tracer::RecordTimeout(TxnId txn, std::uint64_t tick) {
+  if (!counting()) return;
+  ++counters_.timeouts;
+  if (!events_on()) return;
+  TraceEvent event;
+  event.seq = next_seq_++;
+  event.tick = tick;
+  event.kind = TraceEventKind::kTimeout;
+  event.txn = txn;
+  events_.push_back(std::move(event));
+}
+
+void Tracer::AddRetries(std::uint64_t retries) {
+  if (!counting()) return;
+  counters_.retries += retries;
+}
+
 void Tracer::NoteQueueDepth(std::uint64_t depth) {
   if (!counting()) return;
   if (depth > counters_.queue_depth_high_water) {
@@ -236,6 +267,12 @@ std::string SnapshotToJson(const TraceSnapshot& snapshot) {
   json.Uint(snapshot.counters.cascade_aborts);
   json.Key("commits");
   json.Uint(snapshot.counters.commits);
+  json.Key("sheds");
+  json.Uint(snapshot.counters.sheds);
+  json.Key("timeouts");
+  json.Uint(snapshot.counters.timeouts);
+  json.Key("retries");
+  json.Uint(snapshot.counters.retries);
   json.Key("arcs_submitted");
   json.Uint(snapshot.counters.arcs_submitted);
   json.Key("arcs_inserted");

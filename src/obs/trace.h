@@ -60,6 +60,8 @@ enum class TraceEventKind : std::uint8_t {
   kCascadeAbort,  ///< transaction rolled back because a dependency aborted
   kCommit,        ///< transaction committed
   kArc,           ///< an arc entered the scheduler's graph (kFull only)
+  kShed,          ///< transaction load-shed by the overload policy
+  kTimeout,       ///< a deadline-bearing wait expired; transaction doomed
 };
 
 /// Stable lowercase name ("admit", "delay", ...).
@@ -128,6 +130,12 @@ struct TraceCounters {
   std::uint64_t aborts = 0;
   std::uint64_t cascade_aborts = 0;
   std::uint64_t commits = 0;
+  // Robustness layer (sched/admitter.h). None of these feed `requests`:
+  // sheds/timeouts are transaction-level verdicts and retries happen on
+  // the client side of the admission ring, before any request exists.
+  std::uint64_t sheds = 0;     ///< transactions killed by load shedding
+  std::uint64_t timeouts = 0;  ///< SubmitAndWait deadlines expired
+  std::uint64_t retries = 0;   ///< client submissions refused by backpressure
   std::uint64_t arcs_submitted = 0;   ///< handed to the cycle checker
   std::uint64_t arcs_inserted = 0;    ///< actually new in the graph
   std::uint64_t cycle_repairs = 0;    ///< Pearce-Kelly reorder passes
@@ -227,6 +235,18 @@ class Tracer {
 
   void RecordCommit(TxnId txn, std::uint64_t tick);
   void RecordAbort(TxnId txn, std::uint64_t tick, bool cascade);
+
+  /// Robustness events (ConcurrentAdmitter's overload machinery): a
+  /// transaction shed by the overload policy, and a SubmitAndWait
+  /// deadline expiry (the subsequent abort is recorded separately by
+  /// RecordAbort when it takes effect).
+  void RecordShed(TxnId txn, std::uint64_t tick);
+  void RecordTimeout(TxnId txn, std::uint64_t tick);
+
+  /// Folds the client-side backpressure-retry count in. Called once,
+  /// after the admission core has quiesced (Stop), to respect the
+  /// single-writer contract.
+  void AddRetries(std::uint64_t retries);
 
   const TraceCounters& counters() const { return counters_; }
   const std::vector<TraceEvent>& events() const { return events_; }

@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "exec/faultplan.h"
 #include "obs/trace.h"
 #include "util/check.h"
 
@@ -17,10 +18,13 @@ ConcurrentAdmitter::ConcurrentAdmitter(const TransactionSet& txns,
       queue_(options.queue_capacity),
       decision_(
           std::vector<std::atomic<std::uint8_t>>(checker_.indexer().total_ops())),
+      txn_state_(std::vector<std::atomic<std::uint8_t>>(txns.txn_count())),
       pending_(std::vector<std::atomic<std::uint32_t>>(txns.txn_count())),
-      txn_rejected_(std::vector<std::atomic<std::uint8_t>>(txns.txn_count())),
-      dead_(txns.txn_count(), 0) {
+      last_writer_(txns.object_count(), kNoTxn),
+      readers_of_(txns.txn_count()),
+      seen_(txns.txn_count(), 0) {
   RELSER_CHECK_MSG(options_.max_batch > 0, "max_batch must be positive");
+  seen_order_.reserve(txns.txn_count());
   if (options_.record_log) {
     admitted_log_.reserve(checker_.indexer().total_ops());
   }
@@ -30,40 +34,109 @@ ConcurrentAdmitter::ConcurrentAdmitter(const TransactionSet& txns,
 
 ConcurrentAdmitter::~ConcurrentAdmitter() { Stop(); }
 
-bool ConcurrentAdmitter::SubmitAndWait(const Operation& op) {
+AdmitResult ConcurrentAdmitter::SubmitAndWait(
+    const Operation& op, std::chrono::microseconds timeout) {
   const std::size_t gid = checker_.indexer().GlobalId(op);
-  SubmitDetached(op);
+  pending_[op.txn].fetch_add(1, std::memory_order_relaxed);
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (!queue_.TryEnqueue(Request{op, RequestKind::kOp})) {
+    // Backpressure: the admission core is the bottleneck. Undo the
+    // accounting (nothing was enqueued) and tell the client to back off.
+    pending_[op.txn].fetch_sub(1, std::memory_order_relaxed);
+    submitted_.fetch_sub(1, std::memory_order_relaxed);
+    retry_count_.fetch_add(1, std::memory_order_relaxed);
+    return AdmitResult::Retry(op.txn);
+  }
+  const auto decided = [&] {
+    return decision_[gid].load(std::memory_order_acquire) != 0;
+  };
   std::unique_lock<std::mutex> lock(decide_mu_);
-  decided_cv_.wait(lock, [&] {
-    return decision_[gid].load(std::memory_order_acquire) !=
-           static_cast<std::uint8_t>(Verdict::kPending);
-  });
-  return decision_[gid].load(std::memory_order_acquire) ==
-         static_cast<std::uint8_t>(Verdict::kAccepted);
+  if (timeout <= std::chrono::microseconds::zero()) {
+    decided_cv_.wait(lock, decided);
+  } else {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    if (!decided_cv_.wait_until(lock, deadline, decided)) {
+      lock.unlock();
+      // The operation is still in flight; doom the transaction. The
+      // core records the timeout event and runs the abort (with its
+      // cascades) when the control message reaches it — FIFO after the
+      // operation itself, so the decision word still gets published.
+      EnqueueControl(op.txn, RequestKind::kTimeoutAbort);
+      return AdmitResult::Timeout(op.txn);
+    }
+  }
+  const std::uint8_t word = decision_[gid].load(std::memory_order_acquire);
+  return AdmitResult{static_cast<AdmitOutcome>(word - 1), {}, op.txn};
+}
+
+AdmitResult ConcurrentAdmitter::SubmitWithBackoff(
+    const Operation& op, Backoff& backoff, std::chrono::microseconds timeout) {
+  for (;;) {
+    const AdmitResult result = SubmitAndWait(op, timeout);
+    if (result.outcome != AdmitOutcome::kRetry) {
+      backoff.Reset();
+      return result;
+    }
+    std::this_thread::sleep_for(backoff.Next());
+  }
 }
 
 void ConcurrentAdmitter::SubmitDetached(const Operation& op) {
   pending_[op.txn].fetch_add(1, std::memory_order_relaxed);
   submitted_.fetch_add(1, std::memory_order_relaxed);
-  queue_.Enqueue(op);
+  queue_.Enqueue(Request{op, RequestKind::kOp});
+}
+
+AdmitResult ConcurrentAdmitter::AbortTxn(TxnId txn) {
+  const std::uint8_t state = TxnState(txn);
+  if (state == kStateCommitted) return AdmitResult::Reject(txn);
+  if (state >= kStateDead) {
+    return AdmitResult{static_cast<AdmitOutcome>(state - kStateDead), {},
+                       txn};
+  }
+  EnqueueControl(txn, RequestKind::kAbort);
+  std::unique_lock<std::mutex> lock(decide_mu_);
+  decided_cv_.wait(lock, [&] { return TxnState(txn) != kStateLive; });
+  const std::uint8_t final_state = TxnState(txn);
+  if (final_state == kStateCommitted) {
+    return AdmitResult::Reject(txn);  // the commit won the race
+  }
+  return AdmitResult{static_cast<AdmitOutcome>(final_state - kStateDead), {},
+                     txn};
+}
+
+void ConcurrentAdmitter::EnqueueControl(TxnId txn, RequestKind kind) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  Request request;
+  request.op.txn = txn;
+  request.kind = kind;
+  queue_.Enqueue(request);
 }
 
 bool ConcurrentAdmitter::Probe(const Operation& op) const {
   return index_.ObviouslyConflictFree(op.txn, op.object);
 }
 
-ConcurrentAdmitter::Verdict ConcurrentAdmitter::OpVerdict(
+std::optional<AdmitOutcome> ConcurrentAdmitter::OpOutcome(
     const Operation& op) const {
-  return static_cast<Verdict>(decision_[checker_.indexer().GlobalId(op)].load(
-      std::memory_order_acquire));
+  const std::uint8_t word =
+      decision_[checker_.indexer().GlobalId(op)].load(
+          std::memory_order_acquire);
+  if (word == 0) return std::nullopt;
+  return static_cast<AdmitOutcome>(word - 1);
 }
 
-bool ConcurrentAdmitter::TxnVerdict(TxnId txn) {
+AdmitResult ConcurrentAdmitter::TxnVerdict(TxnId txn) {
   std::unique_lock<std::mutex> lock(decide_mu_);
   decided_cv_.wait(lock, [&] {
     return pending_[txn].load(std::memory_order_acquire) == 0;
   });
-  return txn_rejected_[txn].load(std::memory_order_acquire) == 0;
+  const std::uint8_t state = TxnState(txn);
+  if (state >= kStateDead) {
+    return AdmitResult{static_cast<AdmitOutcome>(state - kStateDead), {},
+                       txn};
+  }
+  return AdmitResult::Accept(txn);
 }
 
 void ConcurrentAdmitter::Flush() {
@@ -80,17 +153,32 @@ void ConcurrentAdmitter::Stop() {
   Flush();
   stop_.store(true, std::memory_order_release);
   if (core_.joinable()) core_.join();
+  // The core has quiesced; folding the client-side retry tally in now
+  // respects the tracer's single-writer contract.
+  if (options_.tracer != nullptr) {
+    options_.tracer->AddRetries(retry_count_.load(std::memory_order_acquire));
+  }
+}
+
+std::vector<Operation> ConcurrentAdmitter::CommittedLog() const {
+  std::vector<Operation> log;
+  log.reserve(checker_.feed_log().size());
+  for (const std::size_t gid : checker_.feed_log()) {
+    const Operation& op = txns_.OpByGlobalId(gid);
+    if (TxnState(op.txn) == kStateCommitted) log.push_back(op);
+  }
+  return log;
 }
 
 void ConcurrentAdmitter::CoreLoop() {
   Tracer* const tracer = options_.tracer;
-  std::vector<Operation> batch;
+  std::vector<Request> batch;
   batch.reserve(options_.max_batch);
   for (;;) {
     batch.clear();
-    Operation op;
-    while (batch.size() < options_.max_batch && queue_.TryDequeue(&op)) {
-      batch.push_back(op);
+    Request request;
+    while (batch.size() < options_.max_batch && queue_.TryDequeue(&request)) {
+      batch.push_back(request);
     }
     if (batch.empty()) {
       if (stop_.load(std::memory_order_acquire)) return;
@@ -99,9 +187,36 @@ void ConcurrentAdmitter::CoreLoop() {
       queue_.WaitNonEmpty(std::chrono::microseconds(500));
       continue;
     }
+    // Overload control: shed the newest live uncommitted transaction
+    // (at most one per drain) while above the high-water mark.
+    if (options_.shed_high_water > 0 &&
+        live_uncommitted_ > options_.shed_high_water) {
+      for (std::size_t i = seen_order_.size(); i > 0; --i) {
+        const TxnId victim = seen_order_[i - 1];
+        if (TxnState(victim) == kStateLive) {
+          Kill(victim, AdmitOutcome::kShed);
+          break;
+        }
+      }
+    }
     if (tracer != nullptr) tracer->NoteQueueDepth(batch.size());
-    for (const Operation& queued : batch) Decide(queued);
-    if (tracer != nullptr) tracer->NoteBatch(batch.size());
+    std::size_t ops_in_batch = 0;
+    for (const Request& queued : batch) {
+      if (queued.kind == RequestKind::kOp) {
+        Decide(queued.op);
+        ++ops_in_batch;
+      } else {
+        ProcessControl(queued);
+      }
+      ++core_steps_;
+      if (options_.faults != nullptr) {
+        const std::uint32_t pause_us = options_.faults->CorePauseUs(core_steps_);
+        if (pause_us > 0) {
+          std::this_thread::sleep_for(std::chrono::microseconds(pause_us));
+        }
+      }
+    }
+    if (tracer != nullptr && ops_in_batch > 0) tracer->NoteBatch(ops_in_batch);
     decided_.fetch_add(batch.size(), std::memory_order_release);
     // Empty critical section so waiters that saw stale state under the
     // lock are guaranteed to observe this batch after the notify.
@@ -111,51 +226,157 @@ void ConcurrentAdmitter::CoreLoop() {
 }
 
 void ConcurrentAdmitter::Decide(const Operation& op) {
+  Tracer* const tracer = options_.tracer;
   const std::size_t gid = checker_.indexer().GlobalId(op);
   const TxnId txn = op.txn;
-  if (dead_[txn] != 0) {
-    // First rejection killed the transaction; later operations are
-    // auto-rejected without touching the checker (same policy as the
-    // scheduler benches' feed loop).
-    Publish(gid, txn, Verdict::kRejected);
-  } else {
-    bool ok = checker_.TryAppendIsolated(op);
-    if (ok) {
-      fast_path_.fetch_add(1, std::memory_order_relaxed);
-    } else {
-      ok = checker_.TryAppend(op);
+  const std::uint8_t state = TxnState(txn);
+  if (state != kStateLive) {
+    // The transaction died (abort/cascade/shed/timeout) with this
+    // operation still in flight; answer with its death outcome. A
+    // committed transaction receiving more operations would be a
+    // feeding-contract violation; reject defensively.
+    const AdmitOutcome outcome =
+        state == kStateCommitted ? AdmitOutcome::kReject
+                                 : static_cast<AdmitOutcome>(state - kStateDead);
+    Publish(gid, txn, outcome);
+    if (tracer != nullptr && tracer->counting()) {
+      tracer->RecordReject(op, core_steps_, 0);
     }
-    index_.NoteAccess(txn, op.object);
-    if (!checker_.TxnIsolated(txn)) index_.MarkTxnDirty(txn);
-    if (ok) {
-      if (options_.record_log) admitted_log_.push_back(op);
-      Publish(gid, txn, Verdict::kAccepted);
-    } else {
-      dead_[txn] = 1;
-      index_.MarkTxnDirty(txn);
-      Publish(gid, txn, Verdict::kRejected);
-    }
+    return;
   }
-  if (Tracer* const tracer = options_.tracer;
-      tracer != nullptr && tracer->counting()) {
-    const std::uint64_t tick = decided_.load(std::memory_order_relaxed);
-    if (decision_[gid].load(std::memory_order_relaxed) ==
-        static_cast<std::uint8_t>(Verdict::kAccepted)) {
-      tracer->RecordAdmit(op, tick, 0);
+  if (seen_[txn] == 0) {
+    seen_[txn] = 1;
+    seen_order_.push_back(txn);
+    ++live_uncommitted_;
+  }
+  AdmitResult result = checker_.TryAppendIsolated(op);
+  if (result.ok()) {
+    fast_path_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    result = checker_.TryAppend(op);
+  }
+  index_.NoteAccess(txn, op.object);
+  if (!checker_.TxnIsolated(txn)) index_.MarkTxnDirty(txn);
+  if (result.ok()) {
+    if (options_.record_log) admitted_log_.push_back(op);
+    // Reads-from bookkeeping for the recoverability cascade: a read of
+    // an object whose frontier writer is a different live (uncommitted)
+    // transaction is a dirty read — if that writer later aborts, this
+    // reader must go with it.
+    if (op.is_write()) {
+      last_writer_[op.object] = txn;
     } else {
-      tracer->RecordReject(op, tick, 0);
+      const TxnId writer = last_writer_[op.object];
+      if (writer != kNoTxn && writer != txn &&
+          TxnState(writer) == kStateLive) {
+        readers_of_[writer].push_back(txn);
+      }
     }
+    const bool last_op = op.index + 1 == txns_.txn(txn).size();
+    if (last_op) {
+      // Program-order feeding means every earlier operation was already
+      // accepted, so this accept completes the transaction: commit.
+      txn_state_[txn].store(kStateCommitted, std::memory_order_release);
+      --live_uncommitted_;
+      if (tracer != nullptr && tracer->counting()) {
+        tracer->RecordCommit(txn, core_steps_);
+      }
+    }
+    Publish(gid, txn, AdmitOutcome::kAccept);
+    if (tracer != nullptr && tracer->counting()) {
+      tracer->RecordAdmit(op, core_steps_, 0);
+    }
+  } else {
+    // Certification rejection: this operation would close an RSG cycle.
+    // The transaction cannot complete — withdraw its accepted prefix
+    // and cascade. RecordReject first so it consumes the TraceCause the
+    // checker attached (the witnessing arc).
+    Publish(gid, txn, AdmitOutcome::kReject);
+    if (tracer != nullptr && tracer->counting()) {
+      tracer->RecordReject(op, core_steps_, 0);
+    }
+    Kill(txn, AdmitOutcome::kAborted);
   }
 }
 
-void ConcurrentAdmitter::Publish(std::size_t gid, TxnId txn, Verdict verdict) {
-  if (verdict == Verdict::kAccepted) {
+void ConcurrentAdmitter::ProcessControl(const Request& request) {
+  const TxnId txn = request.op.txn;
+  if (TxnState(txn) != kStateLive) return;  // already resolved; no-op
+  const AdmitOutcome outcome = request.kind == RequestKind::kTimeoutAbort
+                                   ? AdmitOutcome::kTimeout
+                                   : AdmitOutcome::kAborted;
+  Kill(txn, outcome);
+}
+
+void ConcurrentAdmitter::Kill(TxnId root, AdmitOutcome outcome) {
+  Tracer* const tracer = options_.tracer;
+  const bool tracing = tracer != nullptr && tracer->counting();
+  RELSER_DCHECK(TxnState(root) == kStateLive);
+
+  struct Victim {
+    TxnId txn;
+    AdmitOutcome outcome;
+    bool cascade;
+  };
+  std::vector<Victim> stack;
+  stack.push_back(Victim{root, outcome, false});
+  while (!stack.empty()) {
+    const Victim victim = stack.back();
+    stack.pop_back();
+    if (TxnState(victim.txn) != kStateLive) continue;  // already resolved
+    txn_state_[victim.txn].store(
+        static_cast<std::uint8_t>(kStateDead +
+                                  static_cast<std::uint8_t>(victim.outcome)),
+        std::memory_order_release);
+    if (seen_[victim.txn] != 0) --live_uncommitted_;
+    if (tracing) {
+      if (victim.outcome == AdmitOutcome::kShed) {
+        tracer->RecordShed(victim.txn, core_steps_);
+      } else if (victim.outcome == AdmitOutcome::kTimeout) {
+        tracer->RecordTimeout(victim.txn, core_steps_);
+      }
+      tracer->RecordAbort(victim.txn, core_steps_, victim.cascade);
+    }
+    if (checker_.TxnHasExecuted(victim.txn)) {
+      checker_.RemoveTransactionExact(victim.txn);
+    }
+    index_.MarkTxnDirty(victim.txn);
+    // Every live transaction that read one of the victim's writes read
+    // data that now never existed: cascade. Committed readers are out
+    // of reach — count the unrecoverable read instead.
+    for (const TxnId reader : readers_of_[victim.txn]) {
+      const std::uint8_t reader_state = TxnState(reader);
+      if (reader_state == kStateLive) {
+        stack.push_back(Victim{reader, AdmitOutcome::kAborted, true});
+      } else if (reader_state == kStateCommitted) {
+        unrecoverable_reads_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    readers_of_[victim.txn].clear();
+  }
+
+  // The removals changed object frontiers; re-derive the live writer
+  // table from the checker (the authority on what survived).
+  for (ObjectId object = 0;
+       object < static_cast<ObjectId>(last_writer_.size()); ++object) {
+    const TxnId writer = last_writer_[object];
+    if (writer == kNoTxn || TxnState(writer) < kStateDead) continue;
+    const std::size_t writer_gid = checker_.FrontierWriterGid(object);
+    last_writer_[object] = writer_gid == OnlineRsrChecker::kNoOp
+                               ? kNoTxn
+                               : txns_.OpByGlobalId(writer_gid).txn;
+  }
+}
+
+void ConcurrentAdmitter::Publish(std::size_t gid, TxnId txn,
+                                 AdmitOutcome outcome) {
+  if (outcome == AdmitOutcome::kAccept) {
     accepted_.fetch_add(1, std::memory_order_relaxed);
   } else {
     rejected_.fetch_add(1, std::memory_order_relaxed);
-    txn_rejected_[txn].store(1, std::memory_order_release);
   }
-  decision_[gid].store(static_cast<std::uint8_t>(verdict),
+  decision_[gid].store(static_cast<std::uint8_t>(
+                           1 + static_cast<std::uint8_t>(outcome)),
                        std::memory_order_release);
   pending_[txn].fetch_sub(1, std::memory_order_release);
 }

@@ -1,4 +1,5 @@
-// ConcurrentAdmitter: a multi-client front-end for OnlineRsrChecker.
+// ConcurrentAdmitter: a fault-tolerant multi-client front-end for
+// OnlineRsrChecker.
 //
 // The streaming certifier itself is inherently sequential — admission
 // mutates one relative serialization graph — so instead of a lock
@@ -24,27 +25,65 @@
 //    carried a cross-transaction arc and whose object frontier is
 //    private — the guaranteed-accept case the index predicts.
 //
-// Decision policy mirrors the repo's scheduler benches: the first
-// rejected operation marks its transaction dead, and every later
-// operation of that transaction is auto-rejected without touching the
-// checker (a real scheduler would abort and retry it; this front-end
-// certifies a single incarnation).
+// Robustness layer (this is where the admitter differs from a plain
+// certification funnel — docs/robustness.md has the full story):
+//
+//  * Aborts are first class. A certification rejection kills the whole
+//    transaction: its already-accepted prefix is withdrawn from the
+//    checker via RemoveTransactionExact (post-abort state bit-identical
+//    to a checker that never saw it), and every *live* transaction that
+//    read one of its writes is cascade-aborted, transitively — the
+//    standard recoverability cascade (model/recovery.h), driven by a
+//    reads-from map the core maintains. Clients can also abort
+//    voluntarily (AbortTxn), e.g. when a fault plan drops a submission
+//    mid-transaction. Committed readers of aborted writers cannot be
+//    cascaded; they are counted as unrecoverable_reads() instead — the
+//    price of certifying without commit-time write buffering.
+//  * Commits are tracked: a transaction commits the moment its last
+//    operation is accepted (program-order feeding makes that the point
+//    where every operation has been accepted). Committed transactions
+//    are immune to abort, cascade and shedding.
+//  * Backpressure is a verdict, not a stall: SubmitAndWait uses a
+//    non-blocking enqueue and returns kRetry when the ring is full.
+//    SubmitWithBackoff wraps that in jittered exponential backoff
+//    (exec/backoff.h). SubmitDetached keeps the spinning enqueue.
+//  * Deadlines: SubmitAndWait takes an optional timeout; on expiry it
+//    enqueues a timeout-abort control message (the core records the
+//    timeout and kills the transaction) and returns kTimeout.
+//  * Load shedding: with shed_high_water > 0, whenever the number of
+//    live uncommitted transactions exceeds the high-water mark at the
+//    start of a drain, the core sheds the *newest* first-seen live
+//    transaction (newest-first keeps the oldest — most-invested — work
+//    alive), at most one per drain.
+//  * Deterministic fault injection: AdmitterOptions::faults lets a
+//    FaultPlan (exec/faultplan.h) pause the admission core after chosen
+//    decision steps, exercising the backpressure machinery on demand.
+//
+// Every verdict speaks AdmitOutcome (core/admit.h); the pre-outcome
+// bool/Verdict surface survives one release as [[deprecated]] shims.
 //
 // Feeding contract: all operations of one transaction must be submitted
 // by one thread in program order (the MPSC ring is FIFO per producer,
 // so their arrival order at the core is their program order). Distinct
-// transactions may be submitted from distinct threads concurrently.
+// transactions may be submitted from distinct threads concurrently. A
+// client that receives a terminal verdict (kAborted/kShed/kTimeout) for
+// its transaction should stop submitting it; stragglers are harmless —
+// the core answers them with the transaction's death outcome.
 #ifndef RELSER_SCHED_ADMITTER_H_
 #define RELSER_SCHED_ADMITTER_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
+#include "core/admit.h"
 #include "core/online.h"
+#include "exec/backoff.h"
 #include "exec/conflict_index.h"
 #include "exec/mpsc_queue.h"
 #include "model/schedule.h"
@@ -52,6 +91,7 @@
 namespace relser {
 
 class Tracer;
+class FaultPlan;
 
 /// Knobs for ConcurrentAdmitter.
 struct AdmitterOptions {
@@ -59,19 +99,26 @@ struct AdmitterOptions {
   std::size_t max_batch = 64;         ///< max operations per drain batch
   std::size_t index_shards = 16;      ///< conflict-index shards
   /// Observability sink. Only the admission core touches it (Tracer is
-  /// single-writer): decisions are recorded as admit/reject events, and
-  /// the drain loop feeds queue-depth and batch-size counters.
+  /// single-writer): decisions are recorded as admit/reject events,
+  /// lifecycle transitions as commit/abort/cascade/shed/timeout events,
+  /// and the drain loop feeds queue-depth and batch-size counters.
+  /// Client-side backpressure retries are folded in once, at Stop.
   Tracer* tracer = nullptr;
   /// Keep the admitted operations, in admission order, for soundness
   /// replay (admitted_log()); costs one vector push per accept.
   bool record_log = false;
+  /// Overload control: when > 0, a drain that starts with more than
+  /// this many live uncommitted transactions sheds the newest one.
+  std::size_t shed_high_water = 0;
+  /// Deterministic core-pause schedule (exec/faultplan.h); keyed by the
+  /// core's decision count. Must outlive the admitter. nullptr = none.
+  const FaultPlan* faults = nullptr;
 };
 
-/// Multi-threaded admission front-end over one OnlineRsrChecker.
+/// Multi-threaded, fault-tolerant admission front-end over one
+/// OnlineRsrChecker.
 class ConcurrentAdmitter {
  public:
-  enum class Verdict : std::uint8_t { kPending = 0, kAccepted, kRejected };
-
   /// `txns` and `spec` must outlive the admitter. The admission core
   /// thread starts immediately.
   ConcurrentAdmitter(const TransactionSet& txns, const AtomicitySpec& spec,
@@ -84,12 +131,34 @@ class ConcurrentAdmitter {
   ConcurrentAdmitter& operator=(const ConcurrentAdmitter&) = delete;
 
   /// Enqueues `op` and blocks until the admission core decides it.
-  bool SubmitAndWait(const Operation& op);
+  /// Outcomes: kAccept / kReject (this op failed certification; the
+  /// transaction is being aborted) / kAborted, kShed, kTimeout (the
+  /// transaction died before this op was decided) / kRetry (the ring is
+  /// full — nothing was enqueued; back off and resubmit) / kTimeout
+  /// (the deadline expired first; a timeout-abort was scheduled and the
+  /// transaction is doomed). timeout zero means wait forever.
+  AdmitResult SubmitAndWait(
+      const Operation& op,
+      std::chrono::microseconds timeout = std::chrono::microseconds::zero());
 
-  /// Fire-and-forget submission: enqueues and returns immediately. The
-  /// decision is published asynchronously — read it later via
-  /// OpVerdict, or wait for the whole transaction with TxnVerdict.
+  /// SubmitAndWait in a retry loop: sleeps `backoff`'s jittered
+  /// exponential delay after each kRetry and resubmits; returns the
+  /// first non-kRetry verdict (resetting `backoff`).
+  AdmitResult SubmitWithBackoff(
+      const Operation& op, Backoff& backoff,
+      std::chrono::microseconds timeout = std::chrono::microseconds::zero());
+
+  /// Fire-and-forget submission: enqueues (spinning while the ring is
+  /// full) and returns immediately. The decision is published
+  /// asynchronously — read it later via OpOutcome, or wait for the
+  /// whole transaction with TxnVerdict.
   void SubmitDetached(const Operation& op);
+
+  /// Client-initiated abort (mid-stream fault, dropped submission,
+  /// user cancel). Blocks until the transaction is resolved: returns
+  /// kAborted (or the earlier death outcome) when it died, kReject when
+  /// it had already committed — commits are irrevocable.
+  AdmitResult AbortTxn(TxnId txn);
 
   /// Advisory client-side pre-filter: true when, as of the last
   /// published index state, `op` is obviously conflict-free (its
@@ -99,14 +168,21 @@ class ConcurrentAdmitter {
   /// rejection TxnVerdict still reports.
   bool Probe(const Operation& op) const;
 
-  /// The published decision for `op` (kPending until the core got to it).
-  Verdict OpVerdict(const Operation& op) const;
+  /// The published decision for `op`; nullopt until the core got to it.
+  std::optional<AdmitOutcome> OpOutcome(const Operation& op) const;
 
   /// Commit barrier: blocks until every submitted operation of `txn`
-  /// has been decided; returns true iff none was rejected.
-  bool TxnVerdict(TxnId txn);
+  /// has been decided. kAccept when the transaction is unscathed
+  /// (committed, or live with no rejected operation); otherwise its
+  /// death outcome (kAborted / kShed / kTimeout).
+  AdmitResult TxnVerdict(TxnId txn);
 
-  /// Blocks until every operation submitted so far has been decided.
+  /// True once `txn` committed (last operation accepted).
+  bool TxnCommitted(TxnId txn) const {
+    return txn_state_[txn].load(std::memory_order_acquire) == kStateCommitted;
+  }
+
+  /// Blocks until every request submitted so far has been decided.
   void Flush();
 
   /// Flushes and joins the admission core. Idempotent; called by the
@@ -123,35 +199,110 @@ class ConcurrentAdmitter {
   std::size_t fast_path_accepts() const {
     return fast_path_.load(std::memory_order_acquire);
   }
+  /// Client submissions refused by ring backpressure (kRetry verdicts).
+  std::uint64_t retries() const {
+    return retry_count_.load(std::memory_order_acquire);
+  }
+  /// Committed transactions that had read from a writer that later
+  /// aborted: the cascade could not reach them (commits are final), so
+  /// the read stands unrecoverable. The soundness bench treats these as
+  /// a recoverability metric, not a serializability violation.
+  std::uint64_t unrecoverable_reads() const {
+    return unrecoverable_reads_.load(std::memory_order_acquire);
+  }
 
-  /// Admission-ordered accepted operations (record_log only). Stable —
-  /// and safe to read — once Flush/Stop has returned.
+  /// Admission-ordered accepted operations (record_log only), including
+  /// operations of transactions that later aborted. Stable — and safe
+  /// to read — once Flush/Stop has returned.
   const std::vector<Operation>& admitted_log() const { return admitted_log_; }
+
+  /// The committed prefix: every operation of every *committed*
+  /// transaction, in admission order (the checker's surviving feed,
+  /// filtered to committed transactions). This is the schedule whose
+  /// relative serializability the fault bench hard-gates on. Safe to
+  /// call once Stop has returned.
+  std::vector<Operation> CommittedLog() const;
 
   /// The wrapped checker. Safe to inspect once Stop has returned.
   const OnlineRsrChecker& checker() const { return checker_; }
 
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  /// Pre-AdmitOutcome verdict vocabulary, one release only.
+  enum class [[deprecated("use AdmitOutcome (core/admit.h)")]] Verdict
+      : std::uint8_t { kPending = 0, kAccepted, kRejected };
+
+  [[deprecated("use OpOutcome")]] Verdict OpVerdict(
+      const Operation& op) const {
+    const std::optional<AdmitOutcome> outcome = OpOutcome(op);
+    if (!outcome.has_value()) return Verdict::kPending;
+    return *outcome == AdmitOutcome::kAccept ? Verdict::kAccepted
+                                             : Verdict::kRejected;
+  }
+  [[deprecated("use SubmitAndWait; AdmitResult converts contextually")]]
+  bool SubmitAndWaitOk(const Operation& op) {
+    return SubmitAndWait(op).ok();
+  }
+  [[deprecated("use TxnVerdict")]] bool TxnVerdictOk(TxnId txn) {
+    return TxnVerdict(txn).ok();
+  }
+#pragma GCC diagnostic pop
+
  private:
+  // Everything funneled to the core is a Request: an operation, or a
+  // transaction-level control message (client abort / timeout abort).
+  enum class RequestKind : std::uint8_t { kOp = 0, kAbort, kTimeoutAbort };
+  struct Request {
+    Operation op{};  // controls use only op.txn (the target)
+    RequestKind kind = RequestKind::kOp;
+  };
+
+  // txn_state_ encoding. The core is the only writer; clients read.
+  static constexpr std::uint8_t kStateLive = 0;
+  static constexpr std::uint8_t kStateCommitted = 1;
+  static constexpr std::uint8_t kStateDead = 2;  // kStateDead + outcome
+
+  static constexpr TxnId kNoTxn = ~static_cast<TxnId>(0);
+
   void CoreLoop();
   void Decide(const Operation& op);
-  void Publish(std::size_t gid, TxnId txn, Verdict verdict);
+  void ProcessControl(const Request& request);
+  /// Kills `root` (must be live): publishes its death outcome, withdraws
+  /// its operations from the checker (RemoveTransactionExact), and
+  /// cascade-aborts every live transitive reader. Then refreshes the
+  /// reads-from writer table from the checker's surviving frontiers.
+  void Kill(TxnId root, AdmitOutcome outcome);
+  void Publish(std::size_t gid, TxnId txn, AdmitOutcome outcome);
+  void EnqueueControl(TxnId txn, RequestKind kind);
+  std::uint8_t TxnState(TxnId txn) const {
+    return txn_state_[txn].load(std::memory_order_acquire);
+  }
 
   const TransactionSet& txns_;
   OnlineRsrChecker checker_;
   ShardedConflictIndex index_;
   AdmitterOptions options_;
 
-  MpscQueue<Operation> queue_;
-  std::vector<std::atomic<std::uint8_t>> decision_;   // gid -> Verdict
-  std::vector<std::atomic<std::uint32_t>> pending_;   // txn -> undecided ops
-  std::vector<std::atomic<std::uint8_t>> txn_rejected_;  // txn -> any reject
-  std::vector<std::uint8_t> dead_;  // core-private: auto-reject after reject
+  MpscQueue<Request> queue_;
+  std::vector<std::atomic<std::uint8_t>> decision_;  // gid -> 1 + outcome
+  std::vector<std::atomic<std::uint8_t>> txn_state_;
+  std::vector<std::atomic<std::uint32_t>> pending_;  // txn -> undecided ops
 
-  std::atomic<std::size_t> submitted_{0};
+  // Core-private recoverability bookkeeping (reads-from at accept time).
+  std::vector<TxnId> last_writer_;             // object -> live-frontier writer
+  std::vector<std::vector<TxnId>> readers_of_;  // writer -> dirty readers
+  std::vector<std::uint8_t> seen_;              // txn -> first-seen flag
+  std::vector<TxnId> seen_order_;               // txns in first-seen order
+  std::size_t live_uncommitted_ = 0;
+  std::uint64_t core_steps_ = 0;  // decisions taken (fault-plan key, tick)
+
+  std::atomic<std::size_t> submitted_{0};  // ops + control messages
   std::atomic<std::size_t> decided_{0};
   std::atomic<std::size_t> accepted_{0};
   std::atomic<std::size_t> rejected_{0};
   std::atomic<std::size_t> fast_path_{0};
+  std::atomic<std::uint64_t> retry_count_{0};
+  std::atomic<std::uint64_t> unrecoverable_reads_{0};
 
   std::vector<Operation> admitted_log_;  // core-private until Stop/Flush
 

@@ -18,7 +18,7 @@ bool AltruisticScheduler::AccessesAtOrAfter(TxnId txn, ObjectId object,
   return false;
 }
 
-Decision AltruisticScheduler::OnRequest(const Operation& op) {
+AdmitResult AltruisticScheduler::OnRequest(const Operation& op) {
   const bool exclusive = op.is_write();
 
   // Wake restriction: an indebted transaction may only lock objects its
@@ -70,9 +70,9 @@ Decision AltruisticScheduler::OnRequest(const Operation& op) {
     waits_.SetWaits(op.txn, blockers);
     if (waits_.CycleThrough(op.txn)) {
       waits_.ClearWaits(op.txn);
-      return Decision::kAbort;
+      return AdmitResult::Aborted(op.txn);
     }
-    return Decision::kBlock;
+    return AdmitResult::Retry(op.txn);
   }
   waits_.ClearWaits(op.txn);
 
@@ -104,7 +104,7 @@ Decision AltruisticScheduler::OnRequest(const Operation& op) {
         order_.RemoveEdge(from, to);
       }
       ++certification_aborts_;
-      return Decision::kAbort;
+      return AdmitResult::Aborted(op.txn);
     }
   }
   history_[op.object].push_back(Access{op.txn, exclusive});
@@ -145,7 +145,7 @@ Decision AltruisticScheduler::OnRequest(const Operation& op) {
       ++donations_;
     }
   }
-  return Decision::kGrant;
+  return AdmitResult::Accept(op.txn);
 }
 
 void AltruisticScheduler::Cleanup(TxnId txn) {

@@ -48,7 +48,7 @@ class AltruisticScheduler : public Scheduler {
   /// `txns` must outlive the scheduler (used for access lookahead).
   explicit AltruisticScheduler(const TransactionSet& txns);
 
-  Decision OnRequest(const Operation& op) override;
+  AdmitResult OnRequest(const Operation& op) override;
   void OnCommit(TxnId txn) override;
   void OnAbort(TxnId txn) override;
   std::string name() const override { return "altruistic"; }

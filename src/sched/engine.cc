@@ -154,7 +154,7 @@ SimResult RunSimulation(const TransactionSet& txns, Scheduler* scheduler,
       const Operation& op = txn.op(state[t].next_op);
       std::chrono::steady_clock::time_point decide_start;
       if (tracer_counting) decide_start = std::chrono::steady_clock::now();
-      const Decision decision = scheduler->OnRequest(op);
+      const AdmitResult decision = scheduler->OnRequest(op);
       std::uint64_t latency_ns = 0;
       if (tracer_counting) {
         latency_ns = static_cast<std::uint64_t>(
@@ -162,8 +162,8 @@ SimResult RunSimulation(const TransactionSet& txns, Scheduler* scheduler,
                 std::chrono::steady_clock::now() - decide_start)
                 .count());
       }
-      switch (decision) {
-        case Decision::kGrant: {
+      switch (decision.outcome) {
+        case AdmitOutcome::kAccept: {
           ++metrics.grants;
           if (tracer_counting) tracer->RecordAdmit(op, tick, latency_ns);
           state[t].status = TxnStatus::kRunning;
@@ -185,12 +185,12 @@ SimResult RunSimulation(const TransactionSet& txns, Scheduler* scheduler,
           }
           break;
         }
-        case Decision::kBlock:
+        case AdmitOutcome::kRetry:
           ++metrics.blocks;
           if (tracer_counting) tracer->RecordDelay(op, tick, latency_ns);
           state[t].status = TxnStatus::kRunning;
           break;
-        case Decision::kAbort:
+        default:  // kAborted and any other terminal verdict
           if (tracer_counting) tracer->RecordReject(op, tick, latency_ns);
           abort_with_cascades(t, tick, /*scheduler_initiated=*/true);
           break;

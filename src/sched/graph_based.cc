@@ -24,43 +24,47 @@ std::uint32_t SGTScheduler::ObjIndex(ObjectId object) {
   return *slot;
 }
 
-Decision SGTScheduler::OnRequest(const Operation& op) {
+AdmitResult SGTScheduler::OnRequest(const Operation& op) {
   const bool tracing = tracer_ != nullptr && tracer_->events_on();
   arc_buf_.clear();
-  if (tracing) arc_from_buf_.clear();
+  arc_from_buf_.clear();
   const std::uint32_t obj_idx = ObjIndex(op.object);
   for (const Access& access : objects_[obj_idx]) {
     if (access.txn != op.txn && (access.write || op.is_write())) {
       arc_buf_.emplace_back(access.txn, op.txn);
-      if (tracing) {
-        // SGT arcs are transaction-level; remember the conflicting
-        // access that induced each arc so a rejection can cite it.
-        arc_from_buf_.push_back(Operation{
-            access.txn, access.index,
-            access.write ? OpType::kWrite : OpType::kRead, op.object});
-      }
+      // SGT arcs are transaction-level; remember the conflicting access
+      // that induced each arc so a rejection can cite it (both in the
+      // AdmitResult witness and, when tracing, the TraceCause).
+      arc_from_buf_.push_back(Operation{
+          access.txn, access.index,
+          access.write ? OpType::kWrite : OpType::kRead, op.object});
     }
   }
   const std::size_t edges_before = topo_.edge_count();
   const std::uint64_t repairs_before = topo_.reorder_count();
   if (!topo_.AddEdges(arc_buf_)) {
     ++cycle_rejections_;
+    ArcWitness witness;
+    witness.valid = true;
+    witness.arc_kinds = 0;  // rendered "C": txn-level conflict arc
+    witness.from = op;
+    witness.to = op;
+    const auto [bad_from, bad_to] = topo_.last_rejected_edge();
+    for (std::size_t a = 0; a < arc_buf_.size(); ++a) {
+      if (arc_buf_[a].first == bad_from && arc_buf_[a].second == bad_to) {
+        witness.from = arc_from_buf_[a];
+        break;
+      }
+    }
     if (tracing) {
-      const auto [bad_from, bad_to] = topo_.last_rejected_edge();
       TraceCause cause;
       cause.kind = TraceCauseKind::kConflictArc;
-      cause.arc_kinds = 0;  // rendered "C": txn-level conflict arc
-      cause.from = op;
-      cause.to = op;
-      for (std::size_t a = 0; a < arc_buf_.size(); ++a) {
-        if (arc_buf_[a].first == bad_from && arc_buf_[a].second == bad_to) {
-          cause.from = arc_from_buf_[a];
-          break;
-        }
-      }
+      cause.arc_kinds = 0;
+      cause.from = witness.from;
+      cause.to = witness.to;
       tracer_->AttachCause(std::move(cause));
     }
-    return Decision::kAbort;
+    return AdmitResult::Aborted(op.txn, witness);
   }
   if (tracer_ != nullptr && tracer_->counting()) {
     tracer_->AddArcStats(arc_buf_.size(), topo_.edge_count() - edges_before,
@@ -73,7 +77,7 @@ Decision SGTScheduler::OnRequest(const Operation& op) {
   }
   objects_[obj_idx].push_back(Access{op.txn, op.index, op.is_write()});
   touched_[op.txn].push_back(obj_idx);
-  return Decision::kGrant;
+  return AdmitResult::Accept(op.txn);
 }
 
 void SGTScheduler::ScrubHistory(TxnId txn) {

@@ -39,7 +39,7 @@ class SGTScheduler : public Scheduler {
  public:
   explicit SGTScheduler(const TransactionSet& txns);
 
-  Decision OnRequest(const Operation& op) override;
+  AdmitResult OnRequest(const Operation& op) override;
   void OnCommit(TxnId txn) override;
   void OnAbort(TxnId txn) override;
   std::string name() const override { return "sgt"; }
@@ -87,8 +87,14 @@ class RSGTScheduler : public Scheduler {
   /// Guard against binding a temporary specification.
   RSGTScheduler(const TransactionSet&, AtomicitySpec&&) = delete;
 
-  Decision OnRequest(const Operation& op) override {
-    return checker_.TryAppend(op) ? Decision::kGrant : Decision::kAbort;
+  AdmitResult OnRequest(const Operation& op) override {
+    AdmitResult result = checker_.TryAppend(op);
+    if (!result.ok()) {
+      // A certification failure dooms the requester in the simulator
+      // protocol: surface it as an abort, witness preserved.
+      result.outcome = AdmitOutcome::kAborted;
+    }
+    return result;
   }
 
   // Nodes of committed transactions stay in the graph: RSG arcs can land

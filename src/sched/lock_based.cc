@@ -4,13 +4,13 @@
 
 namespace relser {
 
-Decision Strict2PLScheduler::OnRequest(const Operation& op) {
+AdmitResult Strict2PLScheduler::OnRequest(const Operation& op) {
   const bool exclusive = op.is_write();
   if (locks_.CanAcquire(op.txn, op.object, exclusive)) {
     locks_.Acquire(op.txn, op.object, exclusive);
     waits_.ClearWaits(op.txn);
     AfterGrant(op);
-    return Decision::kGrant;
+    return AdmitResult::Accept(op.txn);
   }
   const std::vector<TxnId> blockers =
       locks_.Blockers(op.txn, op.object, exclusive);
@@ -26,7 +26,7 @@ Decision Strict2PLScheduler::OnRequest(const Operation& op) {
       cause.holder = blockers.front();
       tracer_->AttachCause(std::move(cause));
     }
-    return Decision::kAbort;
+    return AdmitResult::Aborted(op.txn);
   }
   if (tracer_ != nullptr && tracer_->events_on() && !blockers.empty()) {
     TraceCause cause;
@@ -36,7 +36,7 @@ Decision Strict2PLScheduler::OnRequest(const Operation& op) {
     cause.exclusive = locks_.Holds(cause.holder, op.object, true);
     tracer_->AttachCause(std::move(cause));
   }
-  return Decision::kBlock;
+  return AdmitResult::Retry(op.txn);
 }
 
 void Strict2PLScheduler::AfterGrant(const Operation& op) { (void)op; }

@@ -29,7 +29,7 @@ namespace relser {
 /// Strict two-phase locking with deadlock detection.
 class Strict2PLScheduler : public Scheduler {
  public:
-  Decision OnRequest(const Operation& op) override;
+  AdmitResult OnRequest(const Operation& op) override;
   void OnCommit(TxnId txn) override;
   void OnAbort(TxnId txn) override;
   std::string name() const override { return "2pl"; }

@@ -22,7 +22,7 @@ bool RelativelyAtomicScheduler::OpenUnitAgainst(TxnId i, TxnId j) const {
   return !spec_.HasBreakpoint(i, j, c - 1);
 }
 
-Decision RelativelyAtomicScheduler::OnRequest(const Operation& op) {
+AdmitResult RelativelyAtomicScheduler::OnRequest(const Operation& op) {
   RELSER_CHECK_MSG(op.index == cursor_[op.txn],
                    "engine must request operations in program order");
   std::vector<TxnId> blockers;
@@ -57,11 +57,11 @@ Decision RelativelyAtomicScheduler::OnRequest(const Operation& op) {
       }
       tracer_->AttachCause(std::move(cause));
     }
-    return deadlock ? Decision::kAbort : Decision::kBlock;
+    return deadlock ? AdmitResult::Aborted(op.txn) : AdmitResult::Retry(op.txn);
   }
   waits_.ClearWaits(op.txn);
   ++cursor_[op.txn];
-  return Decision::kGrant;
+  return AdmitResult::Accept(op.txn);
 }
 
 void RelativelyAtomicScheduler::OnCommit(TxnId txn) {

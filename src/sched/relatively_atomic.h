@@ -31,7 +31,7 @@ class RelativelyAtomicScheduler : public Scheduler {
   /// Guard against binding a temporary specification.
   RelativelyAtomicScheduler(const TransactionSet&, AtomicitySpec&&) = delete;
 
-  Decision OnRequest(const Operation& op) override;
+  AdmitResult OnRequest(const Operation& op) override;
   void OnCommit(TxnId txn) override;
   void OnAbort(TxnId txn) override;
   std::string name() const override { return "ra"; }

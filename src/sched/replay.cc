@@ -40,7 +40,7 @@ ReplayResult ReplaySchedule(const TransactionSet& txns, Scheduler* scheduler,
 
       std::chrono::steady_clock::time_point decide_start;
       if (tracer_counting) decide_start = std::chrono::steady_clock::now();
-      const Decision decision = scheduler->OnRequest(op);
+      const AdmitResult decision = scheduler->OnRequest(op);
       std::uint64_t latency_ns = 0;
       if (tracer_counting) {
         latency_ns = static_cast<std::uint64_t>(
@@ -48,8 +48,8 @@ ReplayResult ReplaySchedule(const TransactionSet& txns, Scheduler* scheduler,
                 std::chrono::steady_clock::now() - decide_start)
                 .count());
       }
-      switch (decision) {
-        case Decision::kGrant:
+      switch (decision.outcome) {
+        case AdmitOutcome::kAccept:
           if (tracer_counting) tracer->RecordAdmit(op, round, latency_ns);
           done[pos] = 1;
           --remaining;
@@ -62,11 +62,11 @@ ReplayResult ReplaySchedule(const TransactionSet& txns, Scheduler* scheduler,
             if (tracer_counting) tracer->RecordCommit(op.txn, round);
           }
           break;
-        case Decision::kBlock:
+        case AdmitOutcome::kRetry:
           if (tracer_counting) tracer->RecordDelay(op, round, latency_ns);
           ++result.delays;
           break;
-        case Decision::kAbort:
+        default:  // kAborted and any other terminal verdict
           if (tracer_counting) tracer->RecordReject(op, round, latency_ns);
           scheduler->OnAbort(op.txn);
           if (tracer_counting) {

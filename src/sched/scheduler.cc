@@ -2,6 +2,8 @@
 
 namespace relser {
 
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 const char* DecisionName(Decision decision) {
   switch (decision) {
     case Decision::kGrant:
@@ -13,5 +15,6 @@ const char* DecisionName(Decision decision) {
   }
   return "unknown";
 }
+#pragma GCC diagnostic pop
 
 }  // namespace relser

@@ -7,34 +7,59 @@
 // and a lock-based protocol exploiting unit boundaries, quantifying the
 // concurrency claims of the abstract and Section 5.
 //
-// Contract with SimulationEngine:
-//   * OnRequest(op) is called with the next program-order operation of a
-//     live transaction. The scheduler returns:
-//       kGrant — the operation executes now; the scheduler has recorded
-//                any internal state (locks, graph arcs, histories).
-//       kBlock — not now; the engine retries in a later tick. The call
-//                must leave no partial state besides wait bookkeeping.
-//       kAbort — the requesting transaction must abort; the scheduler has
-//                rolled back any trial state for this request (OnAbort
-//                will additionally clean up previously granted state).
-//   * OnCommit(txn) after the last operation of `txn` was granted.
-//   * OnAbort(txn) when `txn` aborts (own abort or cascade); the
-//     scheduler must forget all of the transaction's executed operations.
+// Contract with SimulationEngine — OnRequest returns an AdmitResult
+// (core/admit.h) whose outcome the engine dispatches on:
+//   kAccept  — the operation executes now; the scheduler has recorded
+//              any internal state (locks, graph arcs, histories).
+//   kRetry   — not now; the engine retries in a later tick. The call
+//              must leave no partial state besides wait bookkeeping.
+//   anything else (canonically kAborted, with the witnessing arc when
+//              the scheduler knows one) — the requesting transaction
+//              must abort; the scheduler has rolled back any trial
+//              state for this request (OnAbort will additionally clean
+//              up previously granted state).
+// OnCommit(txn) fires after the last operation of `txn` was granted;
+// OnAbort(txn) when `txn` aborts (own abort or cascade) and must make
+// the scheduler forget all of the transaction's executed operations.
 #ifndef RELSER_SCHED_SCHEDULER_H_
 #define RELSER_SCHED_SCHEDULER_H_
 
 #include <string>
 
+#include "core/admit.h"
 #include "model/operation.h"
 
 namespace relser {
 
 class Tracer;
 
-/// Outcome of an operation request.
-enum class Decision { kGrant, kBlock, kAbort };
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+/// Pre-AdmitOutcome decision shape, one release only. kGrant/kBlock/
+/// kAbort map to kAccept/kRetry/kAborted.
+enum class [[deprecated("use AdmitOutcome (core/admit.h)")]] Decision {
+  kGrant,
+  kBlock,
+  kAbort
+};
 
-const char* DecisionName(Decision decision);
+[[deprecated("use AdmitOutcomeName")]] const char* DecisionName(
+    Decision decision);
+
+/// Bridges legacy Decision-shaped code onto the unified vocabulary.
+[[deprecated("construct AdmitResult directly")]] inline AdmitOutcome
+ToAdmitOutcome(Decision decision) {
+  switch (decision) {
+    case Decision::kGrant:
+      return AdmitOutcome::kAccept;
+    case Decision::kBlock:
+      return AdmitOutcome::kRetry;
+    case Decision::kAbort:
+      break;
+  }
+  return AdmitOutcome::kAborted;
+}
+#pragma GCC diagnostic pop
 
 /// Abstract online concurrency-control protocol.
 class Scheduler {
@@ -42,7 +67,7 @@ class Scheduler {
   virtual ~Scheduler() = default;
 
   /// Decides the fate of the next operation of a live transaction.
-  virtual Decision OnRequest(const Operation& op) = 0;
+  virtual AdmitResult OnRequest(const Operation& op) = 0;
 
   /// The transaction finished its last operation and commits.
   virtual void OnCommit(TxnId txn) = 0;
@@ -55,7 +80,7 @@ class Scheduler {
 
   /// Attaches an observability collector (obs/trace.h); nullptr (the
   /// default) keeps every instrumentation site at one pointer compare.
-  /// Schedulers that can name the witness of a kBlock/kAbort decision
+  /// Schedulers that can name the witness of a kRetry/kAborted decision
   /// attach a TraceCause during OnRequest; the engine records the
   /// decision event itself. Overridden by schedulers that forward the
   /// tracer to an internal component (RSGT -> OnlineRsrChecker).

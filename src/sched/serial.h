@@ -14,9 +14,10 @@ namespace relser {
 
 class SerialScheduler : public Scheduler {
  public:
-  Decision OnRequest(const Operation& op) override {
+  AdmitResult OnRequest(const Operation& op) override {
     if (!active_.has_value()) active_ = op.txn;
-    return *active_ == op.txn ? Decision::kGrant : Decision::kBlock;
+    return *active_ == op.txn ? AdmitResult::Accept(op.txn)
+                              : AdmitResult::Retry(op.txn);
   }
 
   void OnCommit(TxnId txn) override {

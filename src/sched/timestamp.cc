@@ -5,7 +5,7 @@ namespace relser {
 TimestampScheduler::TimestampScheduler(const TransactionSet& txns)
     : ts_(txns.txn_count(), 0) {}
 
-Decision TimestampScheduler::OnRequest(const Operation& op) {
+AdmitResult TimestampScheduler::OnRequest(const Operation& op) {
   if (ts_[op.txn] == 0) {
     ts_[op.txn] = next_ts_++;  // (re)started: fresh timestamp
   }
@@ -14,17 +14,17 @@ Decision TimestampScheduler::OnRequest(const Operation& op) {
   if (op.is_read()) {
     if (ts < object.write) {
       ++late_rejections_;
-      return Decision::kAbort;
+      return AdmitResult::Aborted(op.txn);
     }
     object.read = std::max(object.read, ts);
-    return Decision::kGrant;
+    return AdmitResult::Accept(op.txn);
   }
   if (ts < object.read || ts < object.write) {
     ++late_rejections_;
-    return Decision::kAbort;
+    return AdmitResult::Aborted(op.txn);
   }
   object.write = ts;
-  return Decision::kGrant;
+  return AdmitResult::Accept(op.txn);
 }
 
 void TimestampScheduler::OnCommit(TxnId txn) {

@@ -25,7 +25,7 @@ class TimestampScheduler : public Scheduler {
  public:
   explicit TimestampScheduler(const TransactionSet& txns);
 
-  Decision OnRequest(const Operation& op) override;
+  AdmitResult OnRequest(const Operation& op) override;
   void OnCommit(TxnId txn) override;
   void OnAbort(TxnId txn) override;
   std::string name() const override { return "to"; }

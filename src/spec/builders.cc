@@ -1,6 +1,7 @@
 #include "spec/builders.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/check.h"
 
@@ -151,6 +152,54 @@ void SetUnitsByLength(AtomicitySpec* spec, TxnId i, TxnId j,
     cursor += unit_lengths[u];
     spec->SetBreakpoint(i, j, cursor - 1);
   }
+}
+
+
+SpecBuilder SpecBuilder::FromSpec(AtomicitySpec spec) {
+  SpecBuilder builder;
+  builder.spec_ = std::move(spec);
+  return builder;
+}
+
+SpecBuilder& SpecBuilder::Breakpoint(TxnId i, TxnId j, std::uint32_t gap) {
+  spec_.SetBreakpoint(i, j, gap);
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::ClearBreakpoint(TxnId i, TxnId j,
+                                          std::uint32_t gap) {
+  spec_.ClearBreakpoint(i, j, gap);
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::RelaxPair(TxnId i, TxnId j) {
+  spec_.RelaxFully(i, j);
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::RelaxAll() {
+  for (TxnId i = 0; i < spec_.txn_count(); ++i) {
+    for (TxnId j = 0; j < spec_.txn_count(); ++j) {
+      if (i != j) spec_.RelaxFully(i, j);
+    }
+  }
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::UnitsByLength(
+    TxnId i, TxnId j, const std::vector<std::uint32_t>& unit_lengths) {
+  SetUnitsByLength(&spec_, i, j, unit_lengths);
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::Meet(const AtomicitySpec& other) {
+  spec_ = MeetSpecs(spec_, other);
+  return *this;
+}
+
+SpecBuilder& SpecBuilder::Join(const AtomicitySpec& other) {
+  spec_ = JoinSpecs(spec_, other);
+  return *this;
 }
 
 }  // namespace relser

@@ -57,6 +57,57 @@ AtomicitySpec BreakpointSpec(
 void SetUnitsByLength(AtomicitySpec* spec, TxnId i, TxnId j,
                       const std::vector<std::uint32_t>& unit_lengths);
 
+/// Fluent atomicity-spec construction. Starts from the absolute spec
+/// (no breakpoints) and layers relaxations through chainable calls;
+/// Build() is terminal. Every mutator returns *this by reference, so a
+/// spec reads as one declaration:
+///
+///   const AtomicitySpec spec = SpecBuilder(txns)
+///                                  .RelaxPair(0, 1)
+///                                  .Breakpoint(1, 0, 2)
+///                                  .UnitsByLength(2, 0, {2, 2})
+///                                  .Build();
+///
+/// The named family constructors (CompatibilitySetSpec, MultilevelSpec,
+/// ...) stay as free functions; FromSpec/Meet/Join let a builder chain
+/// start from or fold in their results.
+class SpecBuilder {
+ public:
+  /// Starts from the absolute spec over `txns` (every transaction one
+  /// atomic unit relative to every other).
+  explicit SpecBuilder(const TransactionSet& txns) : spec_(txns) {}
+
+  /// Starts from an existing spec (e.g. a family constructor's output).
+  static SpecBuilder FromSpec(AtomicitySpec spec);
+
+  /// Declares a unit boundary in Ti at `gap`, as seen by Tj.
+  SpecBuilder& Breakpoint(TxnId i, TxnId j, std::uint32_t gap);
+  /// Removes a unit boundary.
+  SpecBuilder& ClearBreakpoint(TxnId i, TxnId j, std::uint32_t gap);
+  /// Declares every gap of Ti a boundary for Tj.
+  SpecBuilder& RelaxPair(TxnId i, TxnId j);
+  /// Relaxes every ordered pair (the fully relaxed spec).
+  SpecBuilder& RelaxAll();
+  /// Partitions Ti into units of the given lengths, as seen by Tj
+  /// (replaces the pair's previous boundaries; lengths must sum to |Ti|).
+  SpecBuilder& UnitsByLength(TxnId i, TxnId j,
+                             const std::vector<std::uint32_t>& unit_lengths);
+  /// Folds `other` in as a meet (keep a breakpoint only where both have
+  /// one) or a join (where either has one).
+  SpecBuilder& Meet(const AtomicitySpec& other);
+  SpecBuilder& Join(const AtomicitySpec& other);
+
+  /// Terminal: yields the built spec. The rvalue overload lets
+  /// `SpecBuilder(...).....Build()` move instead of copy.
+  AtomicitySpec Build() const& { return spec_; }
+  AtomicitySpec Build() && { return std::move(spec_); }
+
+ private:
+  SpecBuilder() = default;
+
+  AtomicitySpec spec_;
+};
+
 /// Meet (greatest lower bound) of two specs over the same transaction
 /// set: a breakpoint survives only where both specs have one. The meet
 /// permits exactly the interleavings both specs permit — composing the

@@ -1,5 +1,7 @@
 #include "workload/spec_gen.h"
 
+#include <utility>
+
 #include "spec/builders.h"
 #include "util/check.h"
 
@@ -7,34 +9,34 @@ namespace relser {
 
 AtomicitySpec RandomSpec(const TransactionSet& txns, double density,
                          Rng* rng) {
-  AtomicitySpec spec(txns);
-  for (TxnId i = 0; i < spec.txn_count(); ++i) {
-    if (spec.txn_size(i) < 2) continue;
-    const auto gap_count = static_cast<std::uint32_t>(spec.txn_size(i) - 1);
-    for (TxnId j = 0; j < spec.txn_count(); ++j) {
+  SpecBuilder builder(txns);
+  for (TxnId i = 0; i < txns.txn_count(); ++i) {
+    if (txns.txn(i).size() < 2) continue;
+    const auto gap_count = static_cast<std::uint32_t>(txns.txn(i).size() - 1);
+    for (TxnId j = 0; j < txns.txn_count(); ++j) {
       if (i == j) continue;
       for (std::uint32_t g = 0; g < gap_count; ++g) {
-        if (rng->Bernoulli(density)) spec.SetBreakpoint(i, j, g);
+        if (rng->Bernoulli(density)) builder.Breakpoint(i, j, g);
       }
     }
   }
-  return spec;
+  return std::move(builder).Build();
 }
 
 AtomicitySpec RandomUniformObserverSpec(const TransactionSet& txns,
                                         double density, Rng* rng) {
-  AtomicitySpec spec(txns);
-  for (TxnId i = 0; i < spec.txn_count(); ++i) {
-    if (spec.txn_size(i) < 2) continue;
-    const auto gap_count = static_cast<std::uint32_t>(spec.txn_size(i) - 1);
+  SpecBuilder builder(txns);
+  for (TxnId i = 0; i < txns.txn_count(); ++i) {
+    if (txns.txn(i).size() < 2) continue;
+    const auto gap_count = static_cast<std::uint32_t>(txns.txn(i).size() - 1);
     for (std::uint32_t g = 0; g < gap_count; ++g) {
       if (!rng->Bernoulli(density)) continue;
-      for (TxnId j = 0; j < spec.txn_count(); ++j) {
-        if (i != j) spec.SetBreakpoint(i, j, g);
+      for (TxnId j = 0; j < txns.txn_count(); ++j) {
+        if (i != j) builder.Breakpoint(i, j, g);
       }
     }
   }
-  return spec;
+  return std::move(builder).Build();
 }
 
 AtomicitySpec RandomCompatibilitySetSpec(const TransactionSet& txns,

@@ -1,7 +1,8 @@
 // Tests for the concurrent admission front-end (sched/admitter.h):
 // multi-client stress with soundness replay, decision parity against a
-// serial feed of the same operation stream, TxnVerdict semantics, and
-// the Probe/SubmitDetached fast path.
+// serial feed of the same operation stream (including the abort-and-
+// cascade-on-reject policy), TxnVerdict semantics, and the
+// Probe/SubmitDetached fast path.
 #include <cstdint>
 #include <thread>
 #include <vector>
@@ -38,22 +39,65 @@ std::vector<Operation> RoundRobinFeed(const TransactionSet& txns) {
   return feed;
 }
 
-// The admitter's decision policy, applied serially: first rejection
-// kills the transaction, later operations auto-reject.
+// The admitter's decision policy, applied serially: a rejection aborts
+// the transaction (its accepted prefix is withdrawn exactly) and
+// cascade-aborts every live transaction that read one of its writes;
+// operations of dead transactions auto-reject; a transaction commits —
+// and becomes immune — when its last operation is accepted.
 std::vector<bool> SerialDecisions(const TransactionSet& txns,
                                   const AtomicitySpec& spec,
                                   const std::vector<Operation>& feed) {
+  constexpr TxnId kNone = static_cast<TxnId>(-1);
+  enum : std::uint8_t { kLive, kCommitted, kDead };
   OnlineRsrChecker checker(txns, spec);
-  std::vector<bool> dead(txns.txn_count(), false);
+  std::vector<std::uint8_t> state(txns.txn_count(), kLive);
+  std::vector<TxnId> last_writer(txns.object_count(), kNone);
+  std::vector<std::vector<TxnId>> readers_of(txns.txn_count());
+
+  const auto kill = [&](TxnId root) {
+    std::vector<TxnId> stack{root};
+    while (!stack.empty()) {
+      const TxnId t = stack.back();
+      stack.pop_back();
+      if (state[t] != kLive) continue;
+      state[t] = kDead;
+      if (checker.TxnHasExecuted(t)) checker.RemoveTransactionExact(t);
+      for (const TxnId reader : readers_of[t]) {
+        if (state[reader] == kLive) stack.push_back(reader);
+      }
+      readers_of[t].clear();
+    }
+    for (ObjectId o = 0; o < static_cast<ObjectId>(last_writer.size()); ++o) {
+      if (last_writer[o] == kNone || state[last_writer[o]] != kDead) continue;
+      const std::size_t gid = checker.FrontierWriterGid(o);
+      last_writer[o] = gid == OnlineRsrChecker::kNoOp
+                           ? kNone
+                           : txns.OpByGlobalId(gid).txn;
+    }
+  };
+
   std::vector<bool> decisions;
   decisions.reserve(feed.size());
   for (const Operation& op : feed) {
-    bool ok = false;
-    if (!dead[op.txn]) {
-      ok = checker.TryAppend(op);
-      if (!ok) dead[op.txn] = true;
+    if (state[op.txn] != kLive) {
+      decisions.push_back(false);
+      continue;
     }
-    decisions.push_back(ok);
+    if (checker.TryAppend(op).ok()) {
+      if (op.is_write()) {
+        last_writer[op.object] = op.txn;
+      } else {
+        const TxnId writer = last_writer[op.object];
+        if (writer != kNone && writer != op.txn && state[writer] == kLive) {
+          readers_of[writer].push_back(op.txn);
+        }
+      }
+      if (op.index + 1 == txns.txn(op.txn).size()) state[op.txn] = kCommitted;
+      decisions.push_back(true);
+    } else {
+      decisions.push_back(false);
+      kill(op.txn);
+    }
   }
   return decisions;
 }
@@ -76,7 +120,9 @@ TEST(AdmitterTest, SingleClientMatchesSerialFeed) {
   ConcurrentAdmitter admitter(txns, spec, options);
   std::vector<bool> got;
   got.reserve(feed.size());
-  for (const Operation& op : feed) got.push_back(admitter.SubmitAndWait(op));
+  for (const Operation& op : feed) {
+    got.push_back(admitter.SubmitAndWait(op).ok());
+  }
   admitter.Stop();
 
   ASSERT_EQ(got.size(), expected.size());
@@ -84,9 +130,8 @@ TEST(AdmitterTest, SingleClientMatchesSerialFeed) {
   for (std::size_t i = 0; i < feed.size(); ++i) {
     EXPECT_EQ(got[i], expected[i]) << "op " << i;
     rejected += got[i] ? 0u : 1u;
-    EXPECT_EQ(admitter.OpVerdict(feed[i]),
-              got[i] ? ConcurrentAdmitter::Verdict::kAccepted
-                     : ConcurrentAdmitter::Verdict::kRejected);
+    ASSERT_TRUE(admitter.OpOutcome(feed[i]).has_value());
+    EXPECT_EQ(*admitter.OpOutcome(feed[i]) == AdmitOutcome::kAccept, got[i]);
   }
   EXPECT_GT(rejected, 0u) << "workload too easy to exercise rejection";
   EXPECT_EQ(admitter.accepted() + admitter.rejected(), feed.size());
@@ -115,13 +160,14 @@ TEST(AdmitterTest, EightClientStressIsSoundUnderReplay) {
   clients.reserve(kClients);
   for (std::size_t c = 0; c < kClients; ++c) {
     clients.emplace_back([&, c] {
+      Backoff backoff(0xB0FF0000ULL + c);
       for (TxnId t = static_cast<TxnId>(c); t < txns.txn_count();
            t = static_cast<TxnId>(t + kClients)) {
         for (std::uint32_t i = 0; i < txns.txn(t).size(); ++i) {
           const Operation& op = txns.txn(t).op(i);
           if (admitter.Probe(op)) {
             admitter.SubmitDetached(op);
-          } else if (!admitter.SubmitAndWait(op)) {
+          } else if (!admitter.SubmitWithBackoff(op, backoff)) {
             break;  // transaction dead; stop submitting
           }
         }
@@ -132,26 +178,34 @@ TEST(AdmitterTest, EightClientStressIsSoundUnderReplay) {
   for (std::thread& client : clients) client.join();
   admitter.Stop();
 
-  // Everything the concurrent core admitted must re-admit through a
-  // fresh serial checker in admission order.
+  // Everything that survived in the checker (committed and live work;
+  // aborted transactions were withdrawn) must re-admit through a fresh
+  // serial checker in admission order, and so must the committed
+  // prefix on its own — the soundness gate the fault bench hard-fails.
   OnlineRsrChecker replay(txns, spec);
-  const std::vector<Operation>& log = admitter.admitted_log();
-  EXPECT_EQ(log.size(), admitter.accepted());
-  for (std::size_t i = 0; i < log.size(); ++i) {
-    ASSERT_TRUE(replay.TryAppend(log[i])) << "admitted op " << i
-                                          << " is not serially admissible";
+  for (const std::size_t gid : admitter.checker().feed_log()) {
+    ASSERT_TRUE(replay.TryAppend(txns.OpByGlobalId(gid)))
+        << "surviving op gid " << gid << " is not serially admissible";
+  }
+  OnlineRsrChecker committed_replay(txns, spec);
+  const std::vector<Operation> committed_log = admitter.CommittedLog();
+  for (std::size_t i = 0; i < committed_log.size(); ++i) {
+    ASSERT_TRUE(committed_replay.TryAppend(committed_log[i]))
+        << "committed op " << i << " is not serially admissible";
   }
 
-  // A committed transaction is one whose submitted prefix was fully
-  // accepted; it must appear in the log with consecutive indices 0..k.
+  // Admission respects program order, so the full admitted log (which
+  // also keeps operations of since-aborted transactions) has each
+  // transaction's indices consecutive from 0.
   std::vector<std::uint32_t> admitted_ops(txns.txn_count(), 0);
-  for (const Operation& op : log) {
+  for (const Operation& op : admitter.admitted_log()) {
     EXPECT_EQ(op.index, admitted_ops[op.txn]) << "gap in admitted prefix";
     ++admitted_ops[op.txn];
   }
   for (TxnId t = 0; t < txns.txn_count(); ++t) {
     if (committed[t] != 0) {
-      EXPECT_GT(admitted_ops[t], 0u) << "txn " << t;
+      EXPECT_TRUE(admitter.TxnCommitted(t)) << "txn " << t;
+      EXPECT_EQ(admitted_ops[t], txns.txn(t).size()) << "txn " << t;
     }
   }
 }
@@ -167,11 +221,18 @@ TEST(AdmitterTest, TxnVerdictReportsRejectedTransactions) {
   EXPECT_TRUE(admitter.SubmitAndWait(txns->txn(1).op(0)));  // r2[x]
   EXPECT_TRUE(admitter.SubmitAndWait(txns->txn(1).op(1)));  // w2[y]
   // r1[y] closes the sandwich cycle under absolute atomicity: reject.
-  EXPECT_FALSE(admitter.SubmitAndWait(txns->txn(0).op(1)));
-  EXPECT_FALSE(admitter.TxnVerdict(0));
+  const AdmitResult rejected = admitter.SubmitAndWait(txns->txn(0).op(1));
+  EXPECT_EQ(rejected, AdmitOutcome::kReject);
+  EXPECT_EQ(admitter.TxnVerdict(0), AdmitOutcome::kAborted);
   EXPECT_TRUE(admitter.TxnVerdict(1));
   admitter.Stop();
   EXPECT_EQ(admitter.rejected(), 1u);
+  // T1's rejection aborted it and withdrew w1[x] exactly; T2 survives
+  // whole. T2's r2[x] had read T1's uncommitted write, but T2 committed
+  // before the abort — an unrecoverable read, counted not cascaded.
+  EXPECT_EQ(admitter.checker().executed_count(), 2u);
+  EXPECT_TRUE(admitter.TxnCommitted(1));
+  EXPECT_EQ(admitter.unrecoverable_reads(), 1u);
 }
 
 TEST(AdmitterTest, DetachedSubmissionsResolveThroughTxnVerdict) {
@@ -220,7 +281,9 @@ TEST(AdmitterTest, FastPathDecisionsMatchSlowPath) {
   ConcurrentAdmitter admitter(txns, spec);
   std::vector<bool> got;
   got.reserve(feed.size());
-  for (const Operation& op : feed) got.push_back(admitter.SubmitAndWait(op));
+  for (const Operation& op : feed) {
+    got.push_back(admitter.SubmitAndWait(op).ok());
+  }
   admitter.Stop();
 
   ASSERT_EQ(got.size(), expected.size());

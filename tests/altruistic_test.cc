@@ -20,9 +20,9 @@ TEST(Altruistic, DonatesAfterLastAccess) {
   // so it is donated immediately and T2 may take it before T1 commits.
   auto txns = ParseTransactionSet("T1 = w1[a] w1[b]\nT2 = w2[a]\n");
   AltruisticScheduler scheduler(*txns);
-  EXPECT_EQ(scheduler.OnRequest(txns->txn(0).op(0)), Decision::kGrant);
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(0).op(0)), AdmitOutcome::kAccept);
   EXPECT_GE(scheduler.donations(), 1u);
-  EXPECT_EQ(scheduler.OnRequest(txns->txn(1).op(0)), Decision::kGrant);
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(1).op(0)), AdmitOutcome::kAccept);
   EXPECT_EQ(scheduler.wake_grants(), 1u);
 }
 
@@ -30,13 +30,13 @@ TEST(Altruistic, PlainLockConflictBlocks) {
   // T1 touches `a` again later: no donation, T2 must wait.
   auto txns = ParseTransactionSet("T1 = w1[a] w1[b] r1[a]\nT2 = w2[a]\n");
   AltruisticScheduler scheduler(*txns);
-  EXPECT_EQ(scheduler.OnRequest(txns->txn(0).op(0)), Decision::kGrant);
-  EXPECT_EQ(scheduler.OnRequest(txns->txn(1).op(0)), Decision::kBlock);
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(0).op(0)), AdmitOutcome::kAccept);
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(1).op(0)), AdmitOutcome::kRetry);
   // After T1 commits the lock clears.
-  EXPECT_EQ(scheduler.OnRequest(txns->txn(0).op(1)), Decision::kGrant);
-  EXPECT_EQ(scheduler.OnRequest(txns->txn(0).op(2)), Decision::kGrant);
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(0).op(1)), AdmitOutcome::kAccept);
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(0).op(2)), AdmitOutcome::kAccept);
   scheduler.OnCommit(0);
-  EXPECT_EQ(scheduler.OnRequest(txns->txn(1).op(0)), Decision::kGrant);
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(1).op(0)), AdmitOutcome::kAccept);
 }
 
 TEST(Altruistic, WakeRestrictionBlocksOutsideObjects) {
@@ -45,15 +45,15 @@ TEST(Altruistic, WakeRestrictionBlocksOutsideObjects) {
   auto txns = ParseTransactionSet(
       "T1 = w1[a] w1[b] w1[c]\nT2 = r2[a] w2[c]\n");
   AltruisticScheduler scheduler(*txns);
-  EXPECT_EQ(scheduler.OnRequest(txns->txn(0).op(0)), Decision::kGrant);
-  EXPECT_EQ(scheduler.OnRequest(txns->txn(1).op(0)), Decision::kGrant);
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(0).op(0)), AdmitOutcome::kAccept);
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(1).op(0)), AdmitOutcome::kAccept);
   EXPECT_EQ(scheduler.wake_grants(), 1u);
-  EXPECT_EQ(scheduler.OnRequest(txns->txn(1).op(1)), Decision::kBlock);
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(1).op(1)), AdmitOutcome::kRetry);
   // Once T1 passes its last access of c (and commits), T2 proceeds.
-  EXPECT_EQ(scheduler.OnRequest(txns->txn(0).op(1)), Decision::kGrant);
-  EXPECT_EQ(scheduler.OnRequest(txns->txn(0).op(2)), Decision::kGrant);
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(0).op(1)), AdmitOutcome::kAccept);
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(0).op(2)), AdmitOutcome::kAccept);
   scheduler.OnCommit(0);
-  EXPECT_EQ(scheduler.OnRequest(txns->txn(1).op(1)), Decision::kGrant);
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(1).op(1)), AdmitOutcome::kAccept);
 }
 
 TEST(Altruistic, CertifierRejectsTheDonationChainCounterexample) {
@@ -70,18 +70,18 @@ TEST(Altruistic, CertifierRejectsTheDonationChainCounterexample) {
       "T2 = r2[x0] w2[x2]\n"
       "T3 = w3[x0]\n");
   AltruisticScheduler scheduler(*txns);
-  EXPECT_EQ(scheduler.OnRequest(txns->txn(0).op(0)), Decision::kGrant);
-  EXPECT_EQ(scheduler.OnRequest(txns->txn(1).op(0)), Decision::kGrant);
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(0).op(0)), AdmitOutcome::kAccept);
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(1).op(0)), AdmitOutcome::kAccept);
   // T2 finished with x0 -> donated; T3 writes it through the donation.
-  EXPECT_EQ(scheduler.OnRequest(txns->txn(2).op(0)), Decision::kGrant);
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(2).op(0)), AdmitOutcome::kAccept);
   scheduler.OnCommit(2);
   // T2 takes T1's donated x2 (T2 now after T1... but T3 after T2 and
   // T3's write of x0 precedes T1's upcoming w1[x0]).
-  EXPECT_EQ(scheduler.OnRequest(txns->txn(1).op(1)), Decision::kGrant);
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(1).op(1)), AdmitOutcome::kAccept);
   scheduler.OnCommit(1);
   // T1's w1[x0] must now serialize T1 after T3 and after T2 — but T2
   // took T1's donation (T1 before T2): cycle. Certifier aborts T1.
-  EXPECT_EQ(scheduler.OnRequest(txns->txn(0).op(1)), Decision::kAbort);
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(0).op(1)), AdmitOutcome::kAborted);
   EXPECT_EQ(scheduler.certification_aborts(), 1u);
 }
 

@@ -1,0 +1,64 @@
+// Compile-and-behavior check for the one-release deprecation shims left
+// behind by the AdmitOutcome migration (core/admit.h): the legacy
+// scheduler Decision vocabulary and the bool-returning entry points.
+// This TU is compiled with -Wno-deprecated-declarations (see
+// tests/CMakeLists.txt) precisely so it can keep calling them; every
+// other TU hits -Werror if it regresses onto the old surface.
+#include <gtest/gtest.h>
+
+#include "core/online.h"
+#include "model/text.h"
+#include "sched/admitter.h"
+#include "sched/scheduler.h"
+#include "spec/builders.h"
+
+namespace relser {
+namespace {
+
+TEST(DeprecatedShims, DecisionEnumStillMapsOntoAdmitOutcome) {
+  EXPECT_EQ(ToAdmitOutcome(Decision::kGrant), AdmitOutcome::kAccept);
+  EXPECT_EQ(ToAdmitOutcome(Decision::kBlock), AdmitOutcome::kRetry);
+  EXPECT_EQ(ToAdmitOutcome(Decision::kAbort), AdmitOutcome::kAborted);
+  EXPECT_STREQ(DecisionName(Decision::kGrant), "grant");
+  EXPECT_STREQ(DecisionName(Decision::kBlock), "block");
+  EXPECT_STREQ(DecisionName(Decision::kAbort), "abort");
+}
+
+TEST(DeprecatedShims, CheckerBoolEntryPointsAgreeWithAdmitResult) {
+  auto txns = ParseTransactionSet("T1 = w1[x] r1[y]\nT2 = r2[x] w2[y]\n");
+  ASSERT_TRUE(txns.ok());
+  const AtomicitySpec spec = AbsoluteSpec(*txns);
+  OnlineRsrChecker checker(*txns, spec);
+  EXPECT_TRUE(checker.TryAppendOk(txns->txn(0).op(0)));
+  EXPECT_TRUE(checker.TryAppendOk(txns->txn(1).op(0)));
+  EXPECT_TRUE(checker.TryAppendOk(txns->txn(1).op(1)));
+  // The sandwich rejection comes back as plain false.
+  EXPECT_FALSE(checker.TryAppendOk(txns->txn(0).op(1)));
+
+  OnlineRsrChecker isolated(*txns, spec);
+  // Fast-path shim: first touch of a fresh object by a fresh txn.
+  EXPECT_TRUE(isolated.TryAppendIsolatedOk(txns->txn(0).op(0)));
+}
+
+TEST(DeprecatedShims, AdmitterBoolSurfaceStillWorks) {
+  auto txns = ParseTransactionSet("T1 = w1[x] r1[y]\nT2 = r2[x] w2[y]\n");
+  ASSERT_TRUE(txns.ok());
+  const AtomicitySpec spec = AbsoluteSpec(*txns);
+  ConcurrentAdmitter admitter(*txns, spec);
+  EXPECT_TRUE(admitter.SubmitAndWaitOk(txns->txn(0).op(0)));
+  EXPECT_TRUE(admitter.SubmitAndWaitOk(txns->txn(1).op(0)));
+  EXPECT_TRUE(admitter.SubmitAndWaitOk(txns->txn(1).op(1)));
+  EXPECT_FALSE(admitter.SubmitAndWaitOk(txns->txn(0).op(1)));
+  // Decision words are historical: w1[x] was accepted when decided,
+  // even though the abort later withdrew it from the checker.
+  EXPECT_EQ(admitter.OpVerdict(txns->txn(0).op(0)),
+            ConcurrentAdmitter::Verdict::kAccepted);
+  EXPECT_EQ(admitter.OpVerdict(txns->txn(0).op(1)),
+            ConcurrentAdmitter::Verdict::kRejected);
+  EXPECT_FALSE(admitter.TxnVerdictOk(0));
+  EXPECT_TRUE(admitter.TxnVerdictOk(1));
+  admitter.Stop();
+}
+
+}  // namespace
+}  // namespace relser

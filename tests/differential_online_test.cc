@@ -203,7 +203,7 @@ TEST(DifferentialOnline, FrontierPruningNeverInsertsMoreArcsThanBaseline) {
     OnlineRsrChecker optimized(txns, spec);
     OnlineRsrCheckerBaseline baseline(txns, spec);
     for (std::size_t pos = 0; pos < schedule.size(); ++pos) {
-      const bool a = optimized.TryAppend(schedule.op(pos));
+      const bool a = optimized.TryAppend(schedule.op(pos)).ok();
       const bool b = baseline.TryAppend(schedule.op(pos));
       ASSERT_EQ(a, b) << "round " << round << " pos " << pos;
       if (!a) break;

@@ -17,11 +17,13 @@ namespace {
 // Scheduler whose OnRequest defers to a user-supplied function.
 class ScriptedScheduler : public Scheduler {
  public:
-  using Handler = std::function<Decision(const Operation&)>;
+  using Handler = std::function<AdmitOutcome(const Operation&)>;
   explicit ScriptedScheduler(Handler handler)
       : handler_(std::move(handler)) {}
 
-  Decision OnRequest(const Operation& op) override { return handler_(op); }
+  AdmitResult OnRequest(const Operation& op) override {
+    return AdmitResult{handler_(op), {}, op.txn};
+  }
   void OnCommit(TxnId txn) override { committed.push_back(txn); }
   void OnAbort(TxnId txn) override { aborted.push_back(txn); }
   std::string name() const override { return "scripted"; }
@@ -42,7 +44,7 @@ TransactionSet SmallSet() {
 TEST(Engine, GrantEverythingCompletesAndLogsAllOps) {
   const TransactionSet txns = SmallSet();
   ScriptedScheduler scheduler([](const Operation&) {
-    return Decision::kGrant;
+    return AdmitOutcome::kAccept;
   });
   SimParams params;
   const SimResult result = RunSimulation(txns, &scheduler, params);
@@ -61,7 +63,7 @@ TEST(Engine, RequestsArriveInProgramOrder) {
   ScriptedScheduler scheduler([&](const Operation& op) {
     EXPECT_EQ(op.index, seen_index[op.txn]);
     ++seen_index[op.txn];
-    return Decision::kGrant;
+    return AdmitOutcome::kAccept;
   });
   SimParams params;
   RunSimulation(txns, &scheduler, params);
@@ -75,9 +77,9 @@ TEST(Engine, BlockedTransactionRetriesNextTick) {
   ScriptedScheduler scheduler([&](const Operation& op) {
     if (op.txn == 1) {
       ++t2_requests;
-      return t2_requests < 4 ? Decision::kBlock : Decision::kGrant;
+      return t2_requests < 4 ? AdmitOutcome::kRetry : AdmitOutcome::kAccept;
     }
-    return Decision::kGrant;
+    return AdmitOutcome::kAccept;
   });
   SimParams params;
   const SimResult result = RunSimulation(txns, &scheduler, params);
@@ -89,7 +91,7 @@ TEST(Engine, BlockedTransactionRetriesNextTick) {
 TEST(Engine, MaxTicksBoundsIncompleteRuns) {
   const TransactionSet txns = SmallSet();
   ScriptedScheduler scheduler([](const Operation& op) {
-    return op.txn == 1 ? Decision::kBlock : Decision::kGrant;
+    return op.txn == 1 ? AdmitOutcome::kRetry : AdmitOutcome::kAccept;
   });
   SimParams params;
   params.max_ticks = 25;
@@ -104,7 +106,7 @@ TEST(Engine, MaxTicksBoundsIncompleteRuns) {
 TEST(Engine, ThinkTimeSpacesOperations) {
   auto txns = ParseTransactionSet("T1 = r1[x] w1[x] r1[y]\n");
   ScriptedScheduler scheduler([](const Operation&) {
-    return Decision::kGrant;
+    return AdmitOutcome::kAccept;
   });
   SimParams params;
   params.think_time = {4};
@@ -119,7 +121,7 @@ TEST(Engine, StartTickDelaysArrival) {
   const TransactionSet txns = SmallSet();
   std::size_t first_t2_tick = static_cast<std::size_t>(-1);
   ScriptedScheduler scheduler([&](const Operation&) {
-    return Decision::kGrant;
+    return AdmitOutcome::kAccept;
   });
   SimParams params;
   params.start_tick = {0, 10};
@@ -145,9 +147,9 @@ TEST(Engine, AbortRestartsFromFirstOperation) {
     if (op.txn == 0 && op.index == 0) ++t1_first_op_requests;
     if (op.txn == 0 && op.index == 1 && !aborted_once) {
       aborted_once = true;
-      return Decision::kAbort;
+      return AdmitOutcome::kAborted;
     }
-    return Decision::kGrant;
+    return AdmitOutcome::kAccept;
   });
   SimParams params;
   const SimResult result = RunSimulation(txns, &scheduler, params);
@@ -177,11 +179,11 @@ TEST(Engine, CascadeAbortsDependentTransaction) {
       }
       if (t1_depends) {
         t2_aborted = true;
-        return Decision::kAbort;
+        return AdmitOutcome::kAborted;
       }
     }
     granted.push_back(op);
-    return Decision::kGrant;
+    return AdmitOutcome::kAccept;
   });
   SimParams params;
   params.seed = 42;
@@ -222,7 +224,7 @@ TEST(Engine, MeanActiveTxnsWithinBounds) {
   wp.txn_count = 5;
   const TransactionSet txns = GenerateTransactions(wp, &rng);
   ScriptedScheduler scheduler([](const Operation&) {
-    return Decision::kGrant;
+    return AdmitOutcome::kAccept;
   });
   SimParams params;
   const SimResult result = RunSimulation(txns, &scheduler, params);

@@ -165,9 +165,9 @@ TEST(SchedulerBasics, UnitLockReleasesEarlyOnlyWithBreakpoints) {
 TEST(SchedulerBasics, SgtRetiresCommittedSourcesAndCascades) {
   auto txns = ParseTransactionSet("T1 = w1[x]\nT2 = r2[x]\nT3 = r3[x]\n");
   SGTScheduler scheduler(*txns);
-  EXPECT_EQ(scheduler.OnRequest(txns->txn(0).op(0)), Decision::kGrant);
-  EXPECT_EQ(scheduler.OnRequest(txns->txn(1).op(0)), Decision::kGrant);
-  EXPECT_EQ(scheduler.OnRequest(txns->txn(2).op(0)), Decision::kGrant);
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(0).op(0)), AdmitOutcome::kAccept);
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(1).op(0)), AdmitOutcome::kAccept);
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(2).op(0)), AdmitOutcome::kAccept);
   // T2 commits first but has an in-edge from uncommitted T1: not retirable.
   scheduler.OnCommit(1);
   EXPECT_EQ(scheduler.retired_count(), 0u);
@@ -183,31 +183,31 @@ TEST(SchedulerBasics, SgtStillCatchesCyclesAmongLiveTxnsAfterGc) {
   auto txns = ParseTransactionSet(
       "T1 = w1[x]\nT2 = w2[x] w2[y]\nT3 = w3[y] w3[x]\n");
   SGTScheduler scheduler(*txns);
-  EXPECT_EQ(scheduler.OnRequest(txns->txn(0).op(0)), Decision::kGrant);
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(0).op(0)), AdmitOutcome::kAccept);
   scheduler.OnCommit(0);
   EXPECT_EQ(scheduler.retired_count(), 1u);
   // The retired writer's history entry on x is gone, so T2's write gets no
   // arc — and none is needed: T1 can no longer join any cycle.
-  EXPECT_EQ(scheduler.OnRequest(txns->txn(1).op(0)), Decision::kGrant);
-  EXPECT_EQ(scheduler.OnRequest(txns->txn(2).op(0)), Decision::kGrant);
-  EXPECT_EQ(scheduler.OnRequest(txns->txn(1).op(1)), Decision::kGrant);
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(1).op(0)), AdmitOutcome::kAccept);
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(2).op(0)), AdmitOutcome::kAccept);
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(1).op(1)), AdmitOutcome::kAccept);
   // w3[x] closes T2 -> T3 -> T2: must still be rejected after GC.
-  EXPECT_EQ(scheduler.OnRequest(txns->txn(2).op(1)), Decision::kAbort);
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(2).op(1)), AdmitOutcome::kAborted);
   EXPECT_EQ(scheduler.cycle_rejections(), 1u);
 }
 
 TEST(SchedulerBasics, SgtAbortScrubsHistoryAndExposesSources) {
   auto txns = ParseTransactionSet("T1 = w1[x]\nT2 = r2[x]\nT3 = w3[x]\n");
   SGTScheduler scheduler(*txns);
-  EXPECT_EQ(scheduler.OnRequest(txns->txn(0).op(0)), Decision::kGrant);
-  EXPECT_EQ(scheduler.OnRequest(txns->txn(1).op(0)), Decision::kGrant);
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(0).op(0)), AdmitOutcome::kAccept);
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(1).op(0)), AdmitOutcome::kAccept);
   // Arcs only point into requesters, so committed T1 retires immediately.
   scheduler.OnCommit(0);
   EXPECT_EQ(scheduler.retired_count(), 1u);
   // Abort T2: its read of x must vanish from the history, so T3's write
   // gains no arc from it.
   scheduler.OnAbort(1);
-  EXPECT_EQ(scheduler.OnRequest(txns->txn(2).op(0)), Decision::kGrant);
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(2).op(0)), AdmitOutcome::kAccept);
   EXPECT_EQ(scheduler.cycle_rejections(), 0u);
 }
 

@@ -153,6 +153,65 @@ TEST(Builders, SetUnitsByLength) {
   EXPECT_EQ(spec.UnitCount(0, 1), 1u);
 }
 
+TEST(Builders, FluentChainMatchesHandBuiltSpec) {
+  const TransactionSet txns = FourOpTxnPair();
+  // Hand-built reference.
+  AtomicitySpec expected(txns);
+  expected.RelaxFully(0, 1);
+  expected.SetBreakpoint(1, 0, 1);
+  // Same spec as one fluent declaration.
+  const AtomicitySpec spec = SpecBuilder(txns)
+                                 .RelaxPair(0, 1)
+                                 .Breakpoint(1, 0, 1)
+                                 .Build();
+  for (std::uint32_t g = 0; g + 1 < 4; ++g) {  // T1 has 3 gaps
+    EXPECT_EQ(spec.HasBreakpoint(0, 1, g), expected.HasBreakpoint(0, 1, g));
+  }
+  for (std::uint32_t g = 0; g + 1 < 3; ++g) {  // T2 has 2 gaps
+    EXPECT_EQ(spec.HasBreakpoint(1, 0, g), expected.HasBreakpoint(1, 0, g));
+  }
+  EXPECT_EQ(spec.UnitCount(0, 1), 4u);
+  EXPECT_EQ(spec.UnitCount(1, 0), 2u);
+}
+
+TEST(Builders, FluentRelaxAllAndClearEqualNamedFamilies) {
+  const TransactionSet txns = FourOpTxnPair();
+  const AtomicitySpec relaxed = SpecBuilder(txns).RelaxAll().Build();
+  const AtomicitySpec reference = FullyRelaxedSpec(txns);
+  EXPECT_TRUE(relaxed.AtLeastAsPermissiveAs(reference));
+  EXPECT_TRUE(reference.AtLeastAsPermissiveAs(relaxed));
+  // ClearBreakpoint walks a relaxation back.
+  const AtomicitySpec narrowed =
+      SpecBuilder(txns).RelaxPair(0, 1).ClearBreakpoint(0, 1, 2).Build();
+  EXPECT_TRUE(narrowed.HasBreakpoint(0, 1, 0));
+  EXPECT_FALSE(narrowed.HasBreakpoint(0, 1, 2));
+}
+
+TEST(Builders, FluentUnitsMeetJoinAndFromSpec) {
+  const TransactionSet txns = FourOpTxnPair();
+  const AtomicitySpec units =
+      SpecBuilder(txns).UnitsByLength(0, 1, {2, 2}).Build();
+  EXPECT_EQ(units.UnitCount(0, 1), 2u);
+  EXPECT_EQ(units.UnitBounds(0, 1, 0), (UnitRange{0, 1}));
+
+  // Meet with the absolute spec erases every relaxation; join with the
+  // fully relaxed spec grants all of them.
+  const AtomicitySpec met =
+      SpecBuilder(txns).RelaxAll().Meet(AbsoluteSpec(txns)).Build();
+  EXPECT_EQ(met.UnitCount(0, 1), 1u);
+  const AtomicitySpec joined = SpecBuilder(txns)
+                                   .Join(FullyRelaxedSpec(txns))
+                                   .Build();
+  EXPECT_EQ(joined.UnitCount(0, 1), 4u);
+
+  // FromSpec continues a chain from a family constructor's output.
+  const AtomicitySpec extended = SpecBuilder::FromSpec(AbsoluteSpec(txns))
+                                     .Breakpoint(0, 1, 1)
+                                     .Build();
+  EXPECT_TRUE(extended.HasBreakpoint(0, 1, 1));
+  EXPECT_FALSE(extended.HasBreakpoint(0, 1, 0));
+}
+
 TEST(Builders, CompatibilitySets) {
   auto txns = ParseTransactionSet(
       "T1 = r1[x] w1[x]\nT2 = r2[x] w2[x]\nT3 = r3[x] w3[x]\n");

@@ -20,8 +20,8 @@ namespace {
 TEST(Timestamp, InOrderAccessesGranted) {
   auto txns = ParseTransactionSet("T1 = w1[x]\nT2 = r2[x]\n");
   TimestampScheduler scheduler(*txns);
-  EXPECT_EQ(scheduler.OnRequest(txns->txn(0).op(0)), Decision::kGrant);
-  EXPECT_EQ(scheduler.OnRequest(txns->txn(1).op(0)), Decision::kGrant);
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(0).op(0)), AdmitOutcome::kAccept);
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(1).op(0)), AdmitOutcome::kAccept);
   EXPECT_EQ(scheduler.late_rejections(), 0u);
 }
 
@@ -30,22 +30,22 @@ TEST(Timestamp, LateWriteAfterYoungerReadAborts) {
   TimestampScheduler scheduler(*txns);
   // T1 starts first (ts 1), then T2 (ts 2) reads x; T1's write of x is
   // now too late.
-  EXPECT_EQ(scheduler.OnRequest(txns->txn(0).op(0)), Decision::kGrant);
-  EXPECT_EQ(scheduler.OnRequest(txns->txn(1).op(0)), Decision::kGrant);
-  EXPECT_EQ(scheduler.OnRequest(txns->txn(0).op(1)), Decision::kAbort);
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(0).op(0)), AdmitOutcome::kAccept);
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(1).op(0)), AdmitOutcome::kAccept);
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(0).op(1)), AdmitOutcome::kAborted);
   EXPECT_EQ(scheduler.late_rejections(), 1u);
   // After the abort T1 restarts with a fresh, larger timestamp.
   scheduler.OnAbort(0);
-  EXPECT_EQ(scheduler.OnRequest(txns->txn(0).op(0)), Decision::kGrant);
-  EXPECT_EQ(scheduler.OnRequest(txns->txn(0).op(1)), Decision::kGrant);
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(0).op(0)), AdmitOutcome::kAccept);
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(0).op(1)), AdmitOutcome::kAccept);
 }
 
 TEST(Timestamp, LateReadAfterYoungerWriteAborts) {
   auto txns = ParseTransactionSet("T1 = r1[y] r1[x]\nT2 = w2[x]\n");
   TimestampScheduler scheduler(*txns);
-  EXPECT_EQ(scheduler.OnRequest(txns->txn(0).op(0)), Decision::kGrant);
-  EXPECT_EQ(scheduler.OnRequest(txns->txn(1).op(0)), Decision::kGrant);
-  EXPECT_EQ(scheduler.OnRequest(txns->txn(0).op(1)), Decision::kAbort);
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(0).op(0)), AdmitOutcome::kAccept);
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(1).op(0)), AdmitOutcome::kAccept);
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(0).op(1)), AdmitOutcome::kAborted);
 }
 
 TEST(Timestamp, AlwaysConflictSerializableOnRandomWorkloads) {
@@ -76,12 +76,12 @@ TEST(RelativelyAtomic, BlocksEntryIntoOpenUnit) {
   auto txns = ParseTransactionSet("T1 = r1[x] w1[x]\nT2 = w2[y]\n");
   const AtomicitySpec spec(*txns);  // absolute: T1 is one unit
   RelativelyAtomicScheduler scheduler(*txns, spec);
-  EXPECT_EQ(scheduler.OnRequest(txns->txn(0).op(0)), Decision::kGrant);
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(0).op(0)), AdmitOutcome::kAccept);
   // T1's unit is open: T2 must wait even though there is no conflict.
-  EXPECT_EQ(scheduler.OnRequest(txns->txn(1).op(0)), Decision::kBlock);
-  EXPECT_EQ(scheduler.OnRequest(txns->txn(0).op(1)), Decision::kGrant);
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(1).op(0)), AdmitOutcome::kRetry);
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(0).op(1)), AdmitOutcome::kAccept);
   // Unit complete: T2 may proceed.
-  EXPECT_EQ(scheduler.OnRequest(txns->txn(1).op(0)), Decision::kGrant);
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(1).op(0)), AdmitOutcome::kAccept);
 }
 
 TEST(RelativelyAtomic, BreakpointOpensTheDoor) {
@@ -89,9 +89,9 @@ TEST(RelativelyAtomic, BreakpointOpensTheDoor) {
   AtomicitySpec spec(*txns);
   spec.SetBreakpoint(0, 1, 0);
   RelativelyAtomicScheduler scheduler(*txns, spec);
-  EXPECT_EQ(scheduler.OnRequest(txns->txn(0).op(0)), Decision::kGrant);
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(0).op(0)), AdmitOutcome::kAccept);
   // T1 stands at a breakpoint for T2: no open unit.
-  EXPECT_EQ(scheduler.OnRequest(txns->txn(1).op(0)), Decision::kGrant);
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(1).op(0)), AdmitOutcome::kAccept);
 }
 
 TEST(RelativelyAtomic, AbsoluteSpecSerializesStarts) {
@@ -100,11 +100,11 @@ TEST(RelativelyAtomic, AbsoluteSpecSerializesStarts) {
   auto txns = ParseTransactionSet("T1 = r1[x] w1[x]\nT2 = r2[y] w2[y]\n");
   const AtomicitySpec spec(*txns);
   RelativelyAtomicScheduler scheduler(*txns, spec);
-  EXPECT_EQ(scheduler.OnRequest(txns->txn(0).op(0)), Decision::kGrant);
-  EXPECT_EQ(scheduler.OnRequest(txns->txn(1).op(0)), Decision::kBlock);
-  EXPECT_EQ(scheduler.OnRequest(txns->txn(0).op(1)), Decision::kGrant);
-  EXPECT_EQ(scheduler.OnRequest(txns->txn(1).op(0)), Decision::kGrant);
-  EXPECT_EQ(scheduler.OnRequest(txns->txn(1).op(1)), Decision::kGrant);
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(0).op(0)), AdmitOutcome::kAccept);
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(1).op(0)), AdmitOutcome::kRetry);
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(0).op(1)), AdmitOutcome::kAccept);
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(1).op(0)), AdmitOutcome::kAccept);
+  EXPECT_EQ(scheduler.OnRequest(txns->txn(1).op(1)), AdmitOutcome::kAccept);
 }
 
 TEST(RelativelyAtomic, NeverDeadlocksNorAborts) {

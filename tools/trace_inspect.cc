@@ -20,12 +20,7 @@
 #include <sstream>
 #include <string>
 
-#include "core/paper_examples.h"
-#include "obs/export.h"
-#include "obs/inspect.h"
-#include "obs/trace.h"
-#include "sched/factory.h"
-#include "sched/replay.h"
+#include "relser.h"
 
 namespace {
 
