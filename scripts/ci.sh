@@ -26,6 +26,14 @@ python3 -c "import json; json.load(open('build-asan/BENCH_online.json'))"
 (cd build-asan && ./bench/bench_faults --smoke)
 python3 -c "import json; json.load(open('build-asan/BENCH_faults.json'))"
 
+# Sharded smoke: the partitioned admission subsystem over a shrunken
+# shard-count x cross-shard-ratio grid. Exits non-zero unless every
+# cell's committed history replays relatively serializably on a full
+# single checker AND single-shard mode is decision-identical to
+# ConcurrentAdmitter.
+(cd build-asan && ./bench/bench_sharded --smoke)
+python3 -c "import json; json.load(open('build-asan/BENCH_sharded.json'))"
+
 # Docs gate: every relative markdown link and every repo path mentioned
 # in README.md / docs/*.md must exist on disk.
 python3 - <<'EOF'
@@ -52,24 +60,22 @@ for line in bad:
 sys.exit(1 if bad else 0)
 EOF
 
-# ThreadSanitizer job: the execution substrate and the concurrent
-# admission front-end are the only components with real cross-thread
-# traffic, so the TSan build compiles just their test binaries and runs
-# them under the race detector (pool churn, MPSC producer storms, the
-# 8-client admitter stress, and the fault-injection suite: cascading
-# aborts, shedding, deadline timeouts). -fno-sanitize-recover turns any
-# report into a non-zero exit.
+# ThreadSanitizer job: the execution substrate, the concurrent
+# admission front-end, and the sharded admission subsystem are the
+# components with real cross-thread traffic, so the TSan build compiles
+# just their test binaries and runs them under the race detector (pool
+# churn, MPSC producer storms, the 8-client admitter stress, the
+# fault-injection suite, multi-core sharded admission with cross-shard
+# kill cascades, and a reduced-round sharded differential sweep).
+# -fno-sanitize-recover turns any report into a non-zero exit.
 cmake --preset tsan
 cmake --build --preset tsan -j"$(nproc)" \
-  --target exec_test admitter_test fault_test
+  --target exec_test admitter_test fault_test shard_test \
+           sharded_differential_test
 (cd build-tsan &&
- ctest -R '^(exec_test|admitter_test|fault_test)$' --output-on-failure)
-
-# Deprecation-shim gate: exactly one TU (tests/deprecated_shims_test.cc,
-# built with -Wno-deprecated-declarations) may touch the legacy bool
-# surface; everywhere else -Werror already enforces the new AdmitOutcome
-# API. Run the shim TU so behavior, not just compilation, is checked.
-(cd build-asan && ctest -R '^deprecated_shims_test$' --output-on-failure)
+ RELSER_SHARD_DIFF_ROUNDS=120 \
+ ctest -R '^(exec_test|admitter_test|fault_test|shard_test|sharded_differential_test)$' \
+   --output-on-failure)
 
 # Trace smoke: export a paper-figure trace, validate it against the
 # documented schema, and summarize it.

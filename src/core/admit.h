@@ -27,9 +27,7 @@
 //
 // AdmitResult converts to bool *contextually* (explicit operator bool),
 // so `if (checker.TryAppend(op))` keeps reading naturally while
-// accidental arithmetic on a verdict refuses to compile. The old
-// bool-returning entry points survive one release as [[deprecated]]
-// shims next to their replacements.
+// accidental arithmetic on a verdict refuses to compile.
 #ifndef RELSER_CORE_ADMIT_H_
 #define RELSER_CORE_ADMIT_H_
 

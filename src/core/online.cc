@@ -516,6 +516,14 @@ std::size_t OnlineRsrChecker::FrontierWriterGid(ObjectId object) const {
   return writer == kNoGid ? kNoOp : writer;
 }
 
+void OnlineRsrChecker::FrontierReaders(ObjectId object,
+                                       std::vector<std::size_t>* out) const {
+  const std::uint32_t* idx = object_index_.Find(object);
+  if (idx == nullptr) return;
+  const ObjState& state = objects_[*idx];
+  out->insert(out->end(), state.readers.begin(), state.readers.end());
+}
+
 std::uint64_t OnlineRsrChecker::StateDigest() const {
   std::uint64_t h = 1469598103934665603ULL;  // FNV-1a offset basis
   const auto mix = [&h](std::uint64_t v) {

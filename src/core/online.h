@@ -79,16 +79,6 @@ class OnlineRsrChecker {
   /// contract as TryAppend (next unfed op, program order).
   AdmitResult TryAppendIsolated(const Operation& op);
 
-  /// Pre-AdmitResult shims, one release only.
-  [[deprecated("use TryAppend; AdmitResult converts contextually to bool")]]
-  bool TryAppendOk(const Operation& op) {
-    return TryAppend(op).ok();
-  }
-  [[deprecated("use TryAppendIsolated")]]
-  bool TryAppendIsolatedOk(const Operation& op) {
-    return TryAppendIsolated(op).ok();
-  }
-
   /// True while no cross-transaction arc has ever been incident on a
   /// node of `txn` (the TryAppendIsolated eligibility bit).
   bool TxnIsolated(TxnId txn) const { return safe_[txn] != 0; }
@@ -141,6 +131,13 @@ class OnlineRsrChecker {
   /// admitter rebuild its reads-from bookkeeping after an abort.
   static constexpr std::size_t kNoOp = ~static_cast<std::size_t>(0);
   std::size_t FrontierWriterGid(ObjectId object) const;
+
+  /// Appends the global ids of `object`'s frontier readers (executed
+  /// reads since the frontier writer, feed order) to `out`. Together
+  /// with FrontierWriterGid this is the complete conflict frontier —
+  /// the sharded admitter rebuilds its per-object conflict-arc
+  /// bookkeeping from it after an abort.
+  void FrontierReaders(ObjectId object, std::vector<std::size_t>* out) const;
 
   /// The accepted operations still present, as global ids in admission
   /// order (the "surviving feed" RemoveTransactionExact replays).

@@ -7,6 +7,7 @@
 #ifndef RELSER_MODEL_OP_INDEXER_H_
 #define RELSER_MODEL_OP_INDEXER_H_
 
+#include <algorithm>
 #include <vector>
 
 #include "model/transaction.h"
@@ -33,6 +34,13 @@ class OpIndexer {
   }
   std::size_t GlobalId(const Operation& op) const {
     return GlobalId(op.txn, op.index);
+  }
+
+  /// Transaction owning global id `gid` (binary search over offsets).
+  TxnId TxnOf(std::size_t gid) const {
+    RELSER_DCHECK(gid < offsets_.back());
+    const auto it = std::upper_bound(offsets_.begin(), offsets_.end(), gid);
+    return static_cast<TxnId>(it - offsets_.begin() - 1);
   }
 
   /// First global id of transaction `txn`.

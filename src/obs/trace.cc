@@ -19,6 +19,9 @@ const char* TraceEventKindName(TraceEventKind kind) {
     case TraceEventKind::kArc: return "arc";
     case TraceEventKind::kShed: return "shed";
     case TraceEventKind::kTimeout: return "timeout";
+    case TraceEventKind::kShardRoute: return "shard_route";
+    case TraceEventKind::kCrossShardArc: return "cross_shard_arc";
+    case TraceEventKind::kCoordinatorReject: return "coordinator_reject";
   }
   return "?";
 }
@@ -54,6 +57,13 @@ void LatencyHistogram::Record(std::uint64_t ns) {
                             buckets_.size() - 1);
   ++buckets_[bucket];
   ++samples_;
+}
+
+void LatencyHistogram::MergeFrom(const LatencyHistogram& other) {
+  for (std::size_t b = 0; b < buckets_.size(); ++b) {
+    buckets_[b] += other.buckets_[b];
+  }
+  samples_ += other.samples_;
 }
 
 double LatencyHistogram::Quantile(double q) const {
@@ -208,9 +218,92 @@ void Tracer::RecordTimeout(TxnId txn, std::uint64_t tick) {
   events_.push_back(std::move(event));
 }
 
+void Tracer::RecordShardRoute(TxnId txn, std::uint32_t shards,
+                              std::uint64_t tick) {
+  if (!events_on()) return;
+  TraceEvent event;
+  event.seq = next_seq_++;
+  event.tick = tick;
+  event.kind = TraceEventKind::kShardRoute;
+  event.txn = txn;
+  event.cause.note = "spans " + std::to_string(shards) + " shards";
+  events_.push_back(std::move(event));
+}
+
+void Tracer::RecordCrossShardArc(TxnId from, TxnId to, std::uint64_t tick) {
+  if (!counting()) return;
+  ++counters_.cross_shard_arcs;
+  if (!events_on()) return;
+  TraceEvent event;
+  event.seq = next_seq_++;
+  event.tick = tick;
+  event.kind = TraceEventKind::kCrossShardArc;
+  event.txn = from;
+  event.cause.kind = TraceCauseKind::kConflictArc;
+  event.cause.holder = to;
+  events_.push_back(std::move(event));
+}
+
+void Tracer::RecordCoordinatorReject(TxnId issuer, TxnId from, TxnId to,
+                                     std::uint64_t tick) {
+  if (!counting()) return;
+  ++counters_.coordinator_rejects;
+  if (!events_on()) return;
+  TraceEvent event;
+  event.seq = next_seq_++;
+  event.tick = tick;
+  event.kind = TraceEventKind::kCoordinatorReject;
+  event.txn = issuer;
+  event.cause.kind = TraceCauseKind::kConflictArc;
+  event.cause.object = 0;
+  event.cause.holder = from;
+  event.cause.note = "witness arc T" + std::to_string(from) + " -> T" +
+                     std::to_string(to);
+  events_.push_back(std::move(event));
+}
+
+void Tracer::CountEscalation() {
+  if (!counting()) return;
+  ++counters_.escalations;
+}
+
 void Tracer::AddRetries(std::uint64_t retries) {
   if (!counting()) return;
   counters_.retries += retries;
+}
+
+void Tracer::MergeFrom(const Tracer& other) {
+  if (!counting()) return;
+  const TraceCounters& c = other.counters_;
+  counters_.requests += c.requests;
+  counters_.admits += c.admits;
+  counters_.delays += c.delays;
+  counters_.rejects += c.rejects;
+  counters_.aborts += c.aborts;
+  counters_.cascade_aborts += c.cascade_aborts;
+  counters_.commits += c.commits;
+  counters_.sheds += c.sheds;
+  counters_.timeouts += c.timeouts;
+  counters_.retries += c.retries;
+  counters_.arcs_submitted += c.arcs_submitted;
+  counters_.arcs_inserted += c.arcs_inserted;
+  counters_.cycle_repairs += c.cycle_repairs;
+  counters_.early_lock_releases += c.early_lock_releases;
+  counters_.batches += c.batches;
+  counters_.batched_ops += c.batched_ops;
+  counters_.queue_depth_high_water = std::max(
+      counters_.queue_depth_high_water, c.queue_depth_high_water);
+  counters_.cross_shard_arcs += c.cross_shard_arcs;
+  counters_.coordinator_rejects += c.coordinator_rejects;
+  counters_.escalations += c.escalations;
+  admit_latency_.MergeFrom(other.admit_latency_);
+  batch_size_.MergeFrom(other.batch_size_);
+  if (events_on()) {
+    for (TraceEvent event : other.events_) {
+      event.seq = next_seq_++;
+      events_.push_back(std::move(event));
+    }
+  }
 }
 
 void Tracer::NoteQueueDepth(std::uint64_t depth) {
@@ -287,6 +380,12 @@ std::string SnapshotToJson(const TraceSnapshot& snapshot) {
   json.Uint(snapshot.counters.batched_ops);
   json.Key("queue_depth_high_water");
   json.Uint(snapshot.counters.queue_depth_high_water);
+  json.Key("cross_shard_arcs");
+  json.Uint(snapshot.counters.cross_shard_arcs);
+  json.Key("coordinator_rejects");
+  json.Uint(snapshot.counters.coordinator_rejects);
+  json.Key("escalations");
+  json.Uint(snapshot.counters.escalations);
   json.Key("batch_size_p50");
   json.Double(snapshot.batch_size_p50);
   json.Key("batch_size_p99");

@@ -62,6 +62,12 @@ enum class TraceEventKind : std::uint8_t {
   kArc,           ///< an arc entered the scheduler's graph (kFull only)
   kShed,          ///< transaction load-shed by the overload policy
   kTimeout,       ///< a deadline-bearing wait expired; transaction doomed
+  // Sharded admission (shard/): coordinator-side events. Both are
+  // transaction-level (has_op == false); the counterpart transaction
+  // rides in cause.holder.
+  kShardRoute,         ///< multi-shard transaction registered for routing
+  kCrossShardArc,      ///< conflict arc mirrored into the coordinator
+  kCoordinatorReject,  ///< arc batch closed a transaction-level cycle
 };
 
 /// Stable lowercase name ("admit", "delay", ...).
@@ -144,6 +150,10 @@ struct TraceCounters {
   std::uint64_t batches = 0;          ///< admission-core drain batches
   std::uint64_t batched_ops = 0;      ///< operations drained in batches
   std::uint64_t queue_depth_high_water = 0;  ///< max ops seen in one drain
+  // Sharded admission (shard/): coordinator traffic.
+  std::uint64_t cross_shard_arcs = 0;     ///< arcs mirrored (first inserts)
+  std::uint64_t coordinator_rejects = 0;  ///< txn-level cycle rejections
+  std::uint64_t escalations = 0;  ///< txns whose components were flushed
 };
 
 /// Power-of-two-bucketed latency histogram: bucket b holds samples with
@@ -152,6 +162,8 @@ struct TraceCounters {
 class LatencyHistogram {
  public:
   void Record(std::uint64_t ns);
+  /// Folds another histogram's buckets in (sharded-tracer merge).
+  void MergeFrom(const LatencyHistogram& other);
   std::uint64_t samples() const { return samples_; }
   /// Approximate quantile (geometric bucket midpoint); 0 when empty.
   double Quantile(double q) const;
@@ -243,10 +255,28 @@ class Tracer {
   void RecordShed(TxnId txn, std::uint64_t tick);
   void RecordTimeout(TxnId txn, std::uint64_t tick);
 
+  /// Sharded admission (shard/). Transaction-level events: an arc
+  /// mirrored into the cross-shard coordinator, a coordinator cycle
+  /// rejection (issuer plus the witnessing arc), and a taint escalation
+  /// (a local conflict component flushed to the coordinator). Called by
+  /// the coordinator / shard cores under the coordinator mutex or from
+  /// a single shard core, so the single-writer contract holds.
+  void RecordShardRoute(TxnId txn, std::uint32_t shards, std::uint64_t tick);
+  void RecordCrossShardArc(TxnId from, TxnId to, std::uint64_t tick);
+  void RecordCoordinatorReject(TxnId issuer, TxnId from, TxnId to,
+                               std::uint64_t tick);
+  void CountEscalation();
+
   /// Folds the client-side backpressure-retry count in. Called once,
   /// after the admission core has quiesced (Stop), to respect the
   /// single-writer contract.
   void AddRetries(std::uint64_t retries);
+
+  /// Folds another tracer's counters, histograms, and events into this
+  /// one (events are re-sequenced after the existing tail). The sharded
+  /// admitter gives each shard core a private tracer and merges them
+  /// into the user-facing one after Stop, when no writer is live.
+  void MergeFrom(const Tracer& other);
 
   const TraceCounters& counters() const { return counters_; }
   const std::vector<TraceEvent>& events() const { return events_; }

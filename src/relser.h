@@ -59,6 +59,13 @@
 #include "sched/timestamp.h"
 #include "sched/verify.h"
 
+// Sharded admission: partitioned RSR checking with a cross-shard
+// coordinator.
+#include "shard/coordinator.h"
+#include "shard/projection.h"
+#include "shard/router.h"
+#include "shard/sharded_admitter.h"
+
 // Execution substrate: queues, pools, deterministic fault injection.
 #include "exec/backoff.h"
 #include "exec/conflict_index.h"
@@ -76,6 +83,7 @@
 #include "workload/census.h"
 #include "workload/generator.h"
 #include "workload/scenarios.h"
+#include "workload/shard_gen.h"
 #include "workload/spec_gen.h"
 
 // Utilities used in public signatures (status, RNG, tables).

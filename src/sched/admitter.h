@@ -59,8 +59,7 @@
 //    FaultPlan (exec/faultplan.h) pause the admission core after chosen
 //    decision steps, exercising the backpressure machinery on demand.
 //
-// Every verdict speaks AdmitOutcome (core/admit.h); the pre-outcome
-// bool/Verdict surface survives one release as [[deprecated]] shims.
+// Every verdict speaks AdmitOutcome (core/admit.h).
 //
 // Feeding contract: all operations of one transaction must be submitted
 // by one thread in program order (the MPSC ring is FIFO per producer,
@@ -225,28 +224,6 @@ class ConcurrentAdmitter {
 
   /// The wrapped checker. Safe to inspect once Stop has returned.
   const OnlineRsrChecker& checker() const { return checker_; }
-
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  /// Pre-AdmitOutcome verdict vocabulary, one release only.
-  enum class [[deprecated("use AdmitOutcome (core/admit.h)")]] Verdict
-      : std::uint8_t { kPending = 0, kAccepted, kRejected };
-
-  [[deprecated("use OpOutcome")]] Verdict OpVerdict(
-      const Operation& op) const {
-    const std::optional<AdmitOutcome> outcome = OpOutcome(op);
-    if (!outcome.has_value()) return Verdict::kPending;
-    return *outcome == AdmitOutcome::kAccept ? Verdict::kAccepted
-                                             : Verdict::kRejected;
-  }
-  [[deprecated("use SubmitAndWait; AdmitResult converts contextually")]]
-  bool SubmitAndWaitOk(const Operation& op) {
-    return SubmitAndWait(op).ok();
-  }
-  [[deprecated("use TxnVerdict")]] bool TxnVerdictOk(TxnId txn) {
-    return TxnVerdict(txn).ok();
-  }
-#pragma GCC diagnostic pop
 
  private:
   // Everything funneled to the core is a Request: an operation, or a

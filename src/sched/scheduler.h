@@ -33,34 +33,6 @@ namespace relser {
 
 class Tracer;
 
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-/// Pre-AdmitOutcome decision shape, one release only. kGrant/kBlock/
-/// kAbort map to kAccept/kRetry/kAborted.
-enum class [[deprecated("use AdmitOutcome (core/admit.h)")]] Decision {
-  kGrant,
-  kBlock,
-  kAbort
-};
-
-[[deprecated("use AdmitOutcomeName")]] const char* DecisionName(
-    Decision decision);
-
-/// Bridges legacy Decision-shaped code onto the unified vocabulary.
-[[deprecated("construct AdmitResult directly")]] inline AdmitOutcome
-ToAdmitOutcome(Decision decision) {
-  switch (decision) {
-    case Decision::kGrant:
-      return AdmitOutcome::kAccept;
-    case Decision::kBlock:
-      return AdmitOutcome::kRetry;
-    case Decision::kAbort:
-      break;
-  }
-  return AdmitOutcome::kAborted;
-}
-#pragma GCC diagnostic pop
-
 /// Abstract online concurrency-control protocol.
 class Scheduler {
  public:

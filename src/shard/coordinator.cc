@@ -1,0 +1,85 @@
+#include "shard/coordinator.h"
+
+#include "obs/trace.h"
+#include "util/check.h"
+
+namespace relser {
+
+CrossShardCoordinator::CrossShardCoordinator(std::size_t txn_count,
+                                             Tracer* tracer)
+    : txn_count_(txn_count),
+      topo_(txn_count),
+      dead_(txn_count, 0),
+      tracer_(tracer) {
+  pair_index_.Reserve(txn_count * 2);
+}
+
+CrossShardCoordinator::ArcResult CrossShardCoordinator::AddArcs(
+    TxnId issuer, const std::vector<std::pair<TxnId, TxnId>>& arcs,
+    std::pair<TxnId, TxnId>* witness) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (dead_[issuer] != 0) return ArcResult::kDead;
+  batch_buf_.clear();
+  for (const auto& [from, to] : arcs) {
+    RELSER_DCHECK(from < txn_count_ && to < txn_count_ && from != to);
+    if (pair_index_.Find(PairKey(from, to)) != nullptr) continue;
+    batch_buf_.emplace_back(static_cast<NodeId>(from),
+                            static_cast<NodeId>(to));
+  }
+  if (batch_buf_.empty()) return ArcResult::kOk;
+  if (!topo_.AddEdges(batch_buf_)) {
+    ++rejects_;
+    const auto [from, to] = topo_.last_rejected_edge();
+    if (witness != nullptr) {
+      *witness = {static_cast<TxnId>(from), static_cast<TxnId>(to)};
+    }
+    if (tracer_ != nullptr) {
+      tracer_->RecordCoordinatorReject(issuer, static_cast<TxnId>(from),
+                                       static_cast<TxnId>(to),
+                                       tracer_->tick());
+    }
+    return ArcResult::kCycle;
+  }
+  for (const auto& [from_node, to_node] : batch_buf_) {
+    const auto from = static_cast<TxnId>(from_node);
+    const auto to = static_cast<TxnId>(to_node);
+    *pair_index_.Upsert(PairKey(from, to)).first = 1;
+    ++arcs_mirrored_;
+    if (tracer_ != nullptr) {
+      tracer_->RecordCrossShardArc(from, to, tracer_->tick());
+    }
+  }
+  return ArcResult::kOk;
+}
+
+void CrossShardCoordinator::MarkDead(TxnId txn) {
+  // Tombstone only: the transaction's mirrored arcs stay behind as
+  // conservative ordering constraints (see the header — scrubbing them
+  // would sever conflict paths that route through the dead transaction,
+  // paths the op-level shard checkers still enforce among survivors).
+  std::lock_guard<std::mutex> lock(mu_);
+  RELSER_DCHECK(txn < txn_count_);
+  dead_[txn] = 1;
+}
+
+bool CrossShardCoordinator::Dead(TxnId txn) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dead_[txn] != 0;
+}
+
+std::size_t CrossShardCoordinator::arc_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<std::size_t>(arcs_mirrored_);
+}
+
+std::uint64_t CrossShardCoordinator::arcs_mirrored() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return arcs_mirrored_;
+}
+
+std::uint64_t CrossShardCoordinator::rejects() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rejects_;
+}
+
+}  // namespace relser

@@ -1,0 +1,127 @@
+// CrossShardCoordinator: the transaction-level acyclicity authority of
+// the sharded admission subsystem.
+//
+// Shard-local checkers certify their projected sub-schedules exactly
+// (shard/projection.h), which catches every relative-serializability
+// violation confined to one shard's resident transactions. What they
+// cannot see is glue: a global RSG cycle that weaves through several
+// shards, connected by the program-order (I/F/B) structure of
+// multi-shard transactions. The coordinator closes that gap with a
+// transaction-level graph, backed by the same IncrementalTopology
+// (Pearce-Kelly) the op-level checkers use:
+//
+//   * Nodes are transactions.
+//   * Shards mirror direct-conflict arcs Ti -> Tj into it — but only for
+//     conflicts that can participate in cross-shard glue: arcs incident
+//     to a multi-shard transaction, plus (by taint flooding, see
+//     sched-side logic in shard/sharded_admitter.cc) arcs of any local
+//     conflict component that such a transaction has touched.
+//   * An arc batch that would close a cycle is rejected; the issuing
+//     transaction is aborted.
+//   * Arcs are DURABLE: aborting a transaction tombstones it (it can no
+//     longer issue batches) but its arcs persist as conservative
+//     ordering constraints. Scrubbing them would sever transaction-level
+//     conflict paths that route through the aborted transaction — e.g.
+//     the writer chain Ta -> Tb -> Tc on one object loses Ta => Tc when
+//     Tb aborts, even though the op-level shard checker (which restores
+//     state exactly) still orders the surviving operations directly.
+//     Durable arcs keep reachability among survivors a superset of the
+//     real conflict order, at the price of occasionally rejecting
+//     through a phantom path (conservative, never unsound).
+//
+// Soundness (docs/sharding.md gives the full argument): every
+// cross-transaction arc of the global RSG — D-arcs from the depends-on
+// closure and their F/B companions — connects its endpoint transactions
+// in the same direction as a chain of direct conflicts, so any global
+// cycle contracts to a closed walk over direct-conflict transaction
+// arcs. Walk segments between coordinator-visible transactions are
+// covered by taint flooding; hence (all shards locally acyclic) AND
+// (coordinator graph acyclic) implies the global RSG is acyclic. The
+// decomposition is conservative: coordinator rejections may kill
+// interleavings the full checker would admit (measured by
+// bench_sharded's cross-shard sweep), but never the converse, and a
+// workload with no multi-shard transaction never reaches it at all —
+// which is why single-shard mode is decision-identical to
+// ConcurrentAdmitter.
+//
+// Thread safety: shard cores call concurrently; one mutex serializes
+// every entry point. The optional Tracer is only touched under that
+// mutex, preserving its single-writer contract.
+#ifndef RELSER_SHARD_COORDINATOR_H_
+#define RELSER_SHARD_COORDINATOR_H_
+
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "graph/dynamic_topo.h"
+#include "model/operation.h"
+#include "util/flat_map.h"
+
+namespace relser {
+
+class Tracer;
+
+/// Transaction-level cross-shard acyclicity checker.
+class CrossShardCoordinator {
+ public:
+  /// Verdict of one mirrored arc batch.
+  enum class ArcResult : std::uint8_t {
+    kOk,     ///< all arcs in (duplicates fine); graph still acyclic
+    kCycle,  ///< batch rejected atomically; `witness` names one arc
+    kDead,   ///< the issuing transaction was already killed elsewhere
+  };
+
+  /// `tracer` (optional) records cross-shard-arc / coordinator-reject
+  /// events; it must not be shared with any other writer.
+  explicit CrossShardCoordinator(std::size_t txn_count,
+                                 Tracer* tracer = nullptr);
+
+  /// Atomically mirrors `arcs` (directed conflict pairs) on behalf of
+  /// live transaction `issuer`; dead transactions may appear as
+  /// endpoints (their arcs pin conservative constraints, see above). On
+  /// kCycle nothing is retained and `witness` (when non-null) receives
+  /// the arc that closed the cycle.
+  ArcResult AddArcs(TxnId issuer,
+                    const std::vector<std::pair<TxnId, TxnId>>& arcs,
+                    std::pair<TxnId, TxnId>* witness = nullptr);
+
+  /// Tombstones `txn`: late AddArcs batches it issues see kDead. Its
+  /// mirrored arcs are retained (durable-arc discipline). Idempotent.
+  void MarkDead(TxnId txn);
+
+  /// True once MarkDead(txn) ran. (Snapshot; the caller owns any
+  /// larger protocol race.)
+  bool Dead(TxnId txn) const;
+
+  /// Distinct transaction-level arcs mirrored (arcs are never removed,
+  /// so this equals the cumulative count).
+  std::size_t arc_count() const;
+
+  /// Cumulative arcs accepted (first insertions, not duplicates).
+  std::uint64_t arcs_mirrored() const;
+  /// Batches rejected for closing a transaction-level cycle.
+  std::uint64_t rejects() const;
+
+ private:
+  static std::uint64_t PairKey(TxnId from, TxnId to) {
+    return (static_cast<std::uint64_t>(from) << 32) |
+           static_cast<std::uint64_t>(to);
+  }
+
+  mutable std::mutex mu_;
+  std::size_t txn_count_;
+  IncrementalTopology topo_;
+  std::vector<std::uint8_t> dead_;
+  // Mirrored arc set: key -> 1 (FlatMap64 doubles as the dedup index).
+  FlatMap64<std::uint8_t> pair_index_;
+  std::vector<std::pair<NodeId, NodeId>> batch_buf_;  // AddArcs scratch
+  std::uint64_t arcs_mirrored_ = 0;
+  std::uint64_t rejects_ = 0;
+  Tracer* tracer_;
+};
+
+}  // namespace relser
+
+#endif  // RELSER_SHARD_COORDINATOR_H_

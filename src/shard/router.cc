@@ -1,0 +1,68 @@
+#include "shard/router.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace relser {
+
+const char* ShardStrategyName(ShardStrategy strategy) {
+  switch (strategy) {
+    case ShardStrategy::kHash:
+      return "hash";
+    case ShardStrategy::kRange:
+      return "range";
+  }
+  return "unknown";
+}
+
+ShardRouter::ShardRouter(std::size_t object_count, std::size_t shard_count,
+                         ShardStrategy strategy)
+    : shard_count_(shard_count), strategy_(strategy) {
+  RELSER_CHECK_MSG(shard_count >= 1, "shard_count must be positive");
+  shard_of_.resize(object_count);
+  for (std::size_t object = 0; object < object_count; ++object) {
+    if (strategy == ShardStrategy::kRange) {
+      shard_of_[object] =
+          static_cast<std::uint32_t>(object * shard_count / object_count);
+    } else {
+      // SplitMix64 as a stateless mixer: full-avalanche, so consecutive
+      // object ids (the hot prefix under Zipf skew) land on unrelated
+      // shards.
+      std::uint64_t state = 0x5A4D0000ULL + object;
+      shard_of_[object] =
+          static_cast<std::uint32_t>(SplitMix64(&state) % shard_count);
+    }
+  }
+}
+
+std::vector<std::size_t> ShardRouter::ObjectsPerShard() const {
+  std::vector<std::size_t> counts(shard_count_, 0);
+  for (const std::uint32_t shard : shard_of_) ++counts[shard];
+  return counts;
+}
+
+TxnSpans::TxnSpans(const TransactionSet& txns, const ShardRouter& router)
+    : shard_count_(router.shard_count()),
+      shards_of_(txns.txn_count()),
+      ops_on_(txns.txn_count()) {
+  for (const Transaction& txn : txns.txns()) {
+    std::vector<std::size_t>& per_shard = ops_on_[txn.id()];
+    per_shard.assign(shard_count_, 0);
+    for (const Operation& op : txn.ops()) {
+      ++per_shard[router.ShardOf(op.object)];
+    }
+    for (std::uint32_t shard = 0; shard < shard_count_; ++shard) {
+      if (per_shard[shard] > 0) shards_of_[txn.id()].push_back(shard);
+    }
+    if (shards_of_[txn.id()].size() > 1) ++multi_shard_count_;
+  }
+}
+
+std::size_t TxnSpans::OpsOn(TxnId txn, std::uint32_t shard) const {
+  RELSER_DCHECK(txn < ops_on_.size() && shard < shard_count_);
+  return ops_on_[txn][shard];
+}
+
+}  // namespace relser

@@ -1,0 +1,592 @@
+#include "shard/sharded_admitter.h"
+
+#include <algorithm>
+
+#include "exec/faultplan.h"
+#include "util/check.h"
+
+namespace relser {
+
+ShardedAdmitter::Core::Core(const ShardSlice& slice_in,
+                            std::size_t object_count, std::size_t txn_count,
+                            std::size_t queue_capacity,
+                            TraceLevel trace_level)
+    : queue(queue_capacity),
+      slice(slice_in),
+      checker(slice_in.txns, slice_in.spec),
+      tracer(trace_level),
+      obj_writer(object_count, ~static_cast<TxnId>(0)),
+      obj_readers(object_count),
+      readers_of(txn_count),
+      arc_neighbors(txn_count),
+      tainted(txn_count, 0),
+      local_dead(txn_count, 0),
+      seen(txn_count, 0) {}
+
+ShardedAdmitter::ShardedAdmitter(const TransactionSet& txns,
+                                 const AtomicitySpec& spec, ShardRouter router,
+                                 ShardedAdmitterOptions options)
+    : txns_(txns),
+      indexer_(txns),
+      plan_(txns, spec, std::move(router)),
+      options_(options),
+      coordinator_(txns.txn_count(), &coordinator_tracer_),
+      coordinator_tracer_(options.tracer != nullptr ? options.tracer->level()
+                                                    : TraceLevel::kOff),
+      decision_(std::vector<std::atomic<std::uint8_t>>(indexer_.total_ops())),
+      txn_state_(std::vector<std::atomic<std::uint8_t>>(txns.txn_count())),
+      pending_(std::vector<std::atomic<std::uint32_t>>(txns.txn_count())) {
+  RELSER_CHECK_MSG(options_.max_batch > 0, "max_batch must be positive");
+  const TraceLevel level = options_.tracer != nullptr ? options_.tracer->level()
+                                                      : TraceLevel::kOff;
+  const std::size_t shard_count = plan_.shard_count();
+  cores_.reserve(shard_count);
+  for (std::uint32_t shard = 0; shard < shard_count; ++shard) {
+    cores_.push_back(std::make_unique<Core>(
+        plan_.slice(shard), txns.object_count(), txns.txn_count(),
+        options_.queue_capacity, level));
+    cores_.back()->shard_id = shard;
+    if (options_.tracer != nullptr) {
+      cores_.back()->checker.set_tracer(&cores_.back()->tracer);
+    }
+  }
+  // Multi-shard transactions are born tainted on every shard they touch:
+  // their program-order glue spans shards, so every local conflict arc
+  // incident to them must reach the coordinator (the taint flood extends
+  // this to their local conflict components).
+  const auto txn_count = static_cast<TxnId>(txns.txn_count());
+  for (TxnId txn = 0; txn < txn_count; ++txn) {
+    if (!plan_.spans().MultiShard(txn)) continue;
+    for (const std::uint32_t shard : plan_.spans().ShardsOf(txn)) {
+      cores_[shard]->tainted[txn] = 1;
+    }
+  }
+  for (std::uint32_t shard = 0; shard < shard_count; ++shard) {
+    cores_[shard]->thread = std::thread([this, shard] { CoreLoop(shard); });
+  }
+}
+
+ShardedAdmitter::~ShardedAdmitter() { Stop(); }
+
+AdmitResult ShardedAdmitter::SubmitAndWait(const Operation& op,
+                                           std::chrono::microseconds timeout) {
+  const std::size_t gid = indexer_.GlobalId(op);
+  const std::uint32_t shard = plan_.router().ShardOf(op.object);
+  pending_[op.txn].fetch_add(1, std::memory_order_relaxed);
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (!cores_[shard]->queue.TryEnqueue(Request{op, RequestKind::kOp})) {
+    pending_[op.txn].fetch_sub(1, std::memory_order_relaxed);
+    submitted_.fetch_sub(1, std::memory_order_relaxed);
+    retry_count_.fetch_add(1, std::memory_order_relaxed);
+    return AdmitResult::Retry(op.txn);
+  }
+  const auto decided = [&] {
+    return decision_[gid].load(std::memory_order_acquire) != 0;
+  };
+  std::unique_lock<std::mutex> lock(decide_mu_);
+  if (timeout <= std::chrono::microseconds::zero()) {
+    decided_cv_.wait(lock, decided);
+  } else {
+    const auto deadline = std::chrono::steady_clock::now() + timeout;
+    if (!decided_cv_.wait_until(lock, deadline, decided)) {
+      lock.unlock();
+      // Doom the transaction; the shard core publishes the in-flight
+      // decision word when it reaches the operation, so nobody hangs.
+      PostControl(shard, op.txn, RequestKind::kTimeoutAbort);
+      return AdmitResult::Timeout(op.txn);
+    }
+  }
+  const std::uint8_t word = decision_[gid].load(std::memory_order_acquire);
+  return AdmitResult{static_cast<AdmitOutcome>(word - 1), {}, op.txn};
+}
+
+AdmitResult ShardedAdmitter::SubmitWithBackoff(
+    const Operation& op, Backoff& backoff, std::chrono::microseconds timeout) {
+  for (;;) {
+    const AdmitResult result = SubmitAndWait(op, timeout);
+    if (result.outcome != AdmitOutcome::kRetry) {
+      backoff.Reset();
+      return result;
+    }
+    std::this_thread::sleep_for(backoff.Next());
+  }
+}
+
+AdmitResult ShardedAdmitter::AbortTxn(TxnId txn) {
+  const std::uint8_t state = TxnState(txn);
+  if (state == kStateCommitted) return AdmitResult::Reject(txn);
+  if (state >= kStateDead) {
+    return AdmitResult{static_cast<AdmitOutcome>(state - kStateDead), {}, txn};
+  }
+  PostControl(plan_.spans().ShardsOf(txn).front(), txn, RequestKind::kAbort);
+  std::unique_lock<std::mutex> lock(decide_mu_);
+  decided_cv_.wait(lock, [&] { return TxnState(txn) != kStateLive; });
+  const std::uint8_t final_state = TxnState(txn);
+  if (final_state == kStateCommitted) {
+    return AdmitResult::Reject(txn);  // the commit won the race
+  }
+  return AdmitResult{static_cast<AdmitOutcome>(final_state - kStateDead), {},
+                     txn};
+}
+
+void ShardedAdmitter::PostControl(std::uint32_t shard, TxnId txn,
+                                  RequestKind kind) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  Request request;
+  request.op.txn = txn;
+  request.kind = kind;
+  Core& core = *cores_[shard];
+  std::lock_guard<std::mutex> lock(core.control_mu);
+  core.controls.push_back(request);
+}
+
+std::optional<AdmitOutcome> ShardedAdmitter::OpOutcome(
+    const Operation& op) const {
+  const std::uint8_t word =
+      decision_[indexer_.GlobalId(op)].load(std::memory_order_acquire);
+  if (word == 0) return std::nullopt;
+  return static_cast<AdmitOutcome>(word - 1);
+}
+
+AdmitResult ShardedAdmitter::TxnVerdict(TxnId txn) {
+  std::unique_lock<std::mutex> lock(decide_mu_);
+  decided_cv_.wait(lock, [&] {
+    return pending_[txn].load(std::memory_order_acquire) == 0;
+  });
+  const std::uint8_t state = TxnState(txn);
+  if (state >= kStateDead) {
+    return AdmitResult{static_cast<AdmitOutcome>(state - kStateDead), {}, txn};
+  }
+  return AdmitResult::Accept(txn);
+}
+
+void ShardedAdmitter::Flush() {
+  std::unique_lock<std::mutex> lock(decide_mu_);
+  decided_cv_.wait(lock, [&] {
+    return decided_.load(std::memory_order_acquire) ==
+           submitted_.load(std::memory_order_acquire);
+  });
+}
+
+void ShardedAdmitter::Stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  Flush();
+  stop_.store(true, std::memory_order_release);
+  for (auto& core : cores_) {
+    if (core->thread.joinable()) core->thread.join();
+  }
+  if (options_.tracer != nullptr) {
+    for (const auto& core : cores_) {
+      options_.tracer->MergeFrom(core->tracer);
+    }
+    options_.tracer->MergeFrom(coordinator_tracer_);
+    options_.tracer->AddRetries(retry_count_.load(std::memory_order_acquire));
+  }
+}
+
+std::vector<Operation> ShardedAdmitter::CommittedLog() const {
+  std::vector<std::pair<std::uint64_t, Operation>> merged;
+  for (const auto& core : cores_) {
+    for (const auto& entry : core->accept_log) {
+      if (TxnState(entry.second.txn) == kStateCommitted) merged.push_back(entry);
+    }
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<Operation> log;
+  log.reserve(merged.size());
+  for (const auto& entry : merged) log.push_back(entry.second);
+  return log;
+}
+
+std::vector<Operation> ShardedAdmitter::AdmittedLog() const {
+  std::vector<std::pair<std::uint64_t, Operation>> merged;
+  for (const auto& core : cores_) {
+    merged.insert(merged.end(), core->accept_log.begin(),
+                  core->accept_log.end());
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<Operation> log;
+  log.reserve(merged.size());
+  for (const auto& entry : merged) log.push_back(entry.second);
+  return log;
+}
+
+ShardedAdmitter::ShardStats ShardedAdmitter::shard_stats(
+    std::uint32_t shard) const {
+  const Core& core = *cores_[shard];
+  ShardStats stats;
+  stats.ops_routed = core.ops_routed;
+  stats.fast_path = core.fast_path;
+  stats.escalations = core.escalations;
+  stats.accepted = core.accept_log.size();
+  stats.rejected = core.ops_routed - stats.accepted;
+  return stats;
+}
+
+void ShardedAdmitter::CoreLoop(std::uint32_t shard) {
+  Core& core = *cores_[shard];
+  Tracer* const tracer = &core.tracer;
+  std::vector<Request> batch;
+  std::vector<Request> controls;
+  batch.reserve(options_.max_batch);
+  for (;;) {
+    // Controls (kills, aborts, timeouts) ride an unbounded side channel
+    // so cores never spin on each other's bounded rings (a pair of full
+    // rings would otherwise deadlock two cascading cores).
+    controls.clear();
+    {
+      std::lock_guard<std::mutex> lock(core.control_mu);
+      controls.swap(core.controls);
+    }
+    for (const Request& request : controls) {
+      ProcessControl(core, request);
+      ++core.core_steps;
+    }
+    batch.clear();
+    Request request;
+    while (batch.size() < options_.max_batch &&
+           core.queue.TryDequeue(&request)) {
+      batch.push_back(request);
+    }
+    if (controls.empty() && batch.empty()) {
+      if (stop_.load(std::memory_order_acquire)) return;
+      core.queue.WaitNonEmpty(std::chrono::microseconds(500));
+      continue;
+    }
+    if (tracer->counting() && !batch.empty()) {
+      tracer->NoteQueueDepth(batch.size());
+    }
+    std::size_t ops_in_batch = 0;
+    for (const Request& queued : batch) {
+      Decide(core, queued.op);
+      ++ops_in_batch;
+      ++core.core_steps;
+      if (options_.faults != nullptr) {
+        const std::uint32_t pause_us =
+            options_.faults->CorePauseUs(core.core_steps);
+        if (pause_us > 0) {
+          std::this_thread::sleep_for(std::chrono::microseconds(pause_us));
+        }
+      }
+    }
+    if (tracer->counting() && ops_in_batch > 0) tracer->NoteBatch(ops_in_batch);
+    decided_.fetch_add(controls.size() + batch.size(),
+                       std::memory_order_release);
+    { std::lock_guard<std::mutex> lock(decide_mu_); }
+    decided_cv_.notify_all();
+  }
+}
+
+void ShardedAdmitter::ProcessControl(Core& core, const Request& request) {
+  const TxnId txn = request.op.txn;
+  if (request.kind == RequestKind::kKill) {
+    // Another shard won the kill CAS; this is our share of the
+    // withdrawal. The state is already dead — skip if a racing local
+    // path (coordinator kDead) already withdrew it here.
+    if (!core.local_dead[txn]) KillLocal(core, txn);
+    return;
+  }
+  if (TxnState(txn) != kStateLive) return;  // already resolved
+  const AdmitOutcome outcome = request.kind == RequestKind::kTimeoutAbort
+                                   ? AdmitOutcome::kTimeout
+                                   : AdmitOutcome::kAborted;
+  GlobalKill(core, txn, outcome, /*cascade=*/false);
+}
+
+void ShardedAdmitter::Decide(Core& core, const Operation& op) {
+  Tracer* const tracer = &core.tracer;
+  const std::size_t gid = indexer_.GlobalId(op);
+  const TxnId txn = op.txn;
+  ++core.ops_routed;
+  const std::uint8_t state = TxnState(txn);
+  if (state != kStateLive) {
+    // Died (abort/cascade/timeout) with this operation in flight, or a
+    // feeding-contract violation against a committed transaction.
+    const AdmitOutcome outcome =
+        state == kStateCommitted
+            ? AdmitOutcome::kReject
+            : static_cast<AdmitOutcome>(state - kStateDead);
+    Publish(gid, txn, outcome);
+    if (tracer->counting()) tracer->RecordReject(op, core.core_steps, 0);
+    return;
+  }
+  if (core.seen[txn] == 0) {
+    core.seen[txn] = 1;
+    if (plan_.spans().MultiShard(txn)) {
+      tracer->RecordShardRoute(
+          txn, static_cast<std::uint32_t>(plan_.spans().ShardsOf(txn).size()),
+          core.core_steps);
+    }
+  }
+  const Operation projected = core.slice.Project(op);
+  AdmitResult result = core.checker.TryAppendIsolated(projected);
+  if (result.ok()) {
+    ++core.fast_path;
+  } else {
+    result = core.checker.TryAppend(projected);
+  }
+  if (!result.ok()) {
+    // Shard-local certification rejection. Projected arcs map to global
+    // RSG paths (shard/projection.h), so this is never spurious: the
+    // transaction dies exactly as under the single checker.
+    Publish(gid, txn, AdmitOutcome::kReject);
+    if (tracer->counting()) tracer->RecordReject(op, core.core_steps, 0);
+    GlobalKill(core, txn, AdmitOutcome::kAborted, /*cascade=*/false);
+    return;
+  }
+
+  // Locally accepted. Derive the direct-conflict arcs this operation
+  // creates from the pre-operation frontier, record them in the local
+  // conflict DAG, and mirror whatever the taint discipline requires.
+  core.mirror_buf.clear();
+  core.newly_tainted.clear();
+  const TxnId writer = core.obj_writer[op.object];
+  const auto conflict = [&](TxnId other) {
+    // Dead frontier entries (killed globally, not yet withdrawn here)
+    // still get arcs: the durable-arc discipline routes surviving
+    // conflict chains through them (shard/coordinator.h).
+    if (other == kNoTxn || other == txn) return;
+    InsertArc(core, other, txn);
+  };
+  conflict(writer);
+  if (op.is_write()) {
+    for (const TxnId reader : core.obj_readers[op.object]) conflict(reader);
+  }
+
+  if (!core.mirror_buf.empty()) {
+    std::pair<TxnId, TxnId> witness{0, 0};
+    const CrossShardCoordinator::ArcResult verdict =
+        coordinator_.AddArcs(txn, core.mirror_buf, &witness);
+    if (verdict != CrossShardCoordinator::ArcResult::kOk) {
+      // Nothing was retained coordinator-side: unwind the speculative
+      // mirror marks and taints so the local invariant (mirrored bit ⇔
+      // arc present in coordinator) holds.
+      for (const auto& arc : core.mirror_buf) {
+        std::uint8_t* arc_state = core.arc_state.Find(
+            (static_cast<std::uint64_t>(arc.first) << 32) | arc.second);
+        if (arc_state != nullptr) *arc_state = 1;
+      }
+      for (const TxnId undo : core.newly_tainted) core.tainted[undo] = 0;
+      if (verdict == CrossShardCoordinator::ArcResult::kCycle) {
+        // Cross-shard conflict: the mirrored batch would close a
+        // transaction-level cycle. Withdraw the local accept by killing
+        // the transaction — the same all-or-nothing semantics a local
+        // rejection has.
+        Publish(gid, txn, AdmitOutcome::kReject);
+        if (tracer->counting()) {
+          TraceCause cause;
+          cause.kind = TraceCauseKind::kConflictArc;
+          cause.holder = witness.second;
+          cause.note = "coordinator cycle";
+          tracer->AttachCause(std::move(cause));
+          tracer->RecordReject(op, core.core_steps, 0);
+        }
+        GlobalKill(core, txn, AdmitOutcome::kAborted, /*cascade=*/false);
+      } else {  // kDead: another shard killed this transaction mid-flight
+        const std::uint8_t dead_state = TxnState(txn);
+        const AdmitOutcome outcome =
+            dead_state >= kStateDead
+                ? static_cast<AdmitOutcome>(dead_state - kStateDead)
+                : AdmitOutcome::kAborted;
+        Publish(gid, txn, outcome);
+        if (tracer->counting()) tracer->RecordReject(op, core.core_steps, 0);
+        if (!core.local_dead[txn]) KillLocal(core, txn);
+      }
+      return;
+    }
+    core.escalations += core.newly_tainted.size();
+    if (tracer->counting()) {
+      for (std::size_t i = 0; i < core.newly_tainted.size(); ++i) {
+        tracer->CountEscalation();
+      }
+    }
+  }
+
+  // Frontier + recoverability bookkeeping (original txn ids). A read of
+  // an uncommitted frontier write is dirty: if that writer dies, the
+  // reader cascades. "Not committed" rather than "live" because a
+  // globally-dead writer may not have been withdrawn from this shard
+  // yet — registering keeps the late withdrawal's cascade complete.
+  if (op.is_write()) {
+    core.obj_writer[op.object] = txn;
+    core.obj_readers[op.object].clear();
+  } else {
+    if (writer != kNoTxn && writer != txn &&
+        TxnState(writer) != kStateCommitted) {
+      core.readers_of[writer].push_back(txn);
+    }
+    core.obj_readers[op.object].push_back(txn);
+  }
+
+  const bool last_op = op.index + 1 == txns_.txn(txn).size();
+  if (last_op) {
+    // Blocking program-order feeding: this accept means every operation
+    // of the transaction (on every shard) was accepted — commit, unless
+    // a concurrent kill wins the CAS.
+    std::uint8_t expected = kStateLive;
+    if (txn_state_[txn].compare_exchange_strong(expected, kStateCommitted,
+                                                std::memory_order_acq_rel,
+                                                std::memory_order_acquire)) {
+      if (tracer->counting()) tracer->RecordCommit(txn, core.core_steps);
+    }
+  }
+  const std::uint64_t stamp =
+      admission_stamp_.fetch_add(1, std::memory_order_relaxed);
+  core.accept_log.emplace_back(stamp, op);
+  Publish(gid, txn, AdmitOutcome::kAccept);
+  if (tracer->counting()) tracer->RecordAdmit(op, core.core_steps, 0);
+}
+
+void ShardedAdmitter::InsertArc(Core& core, TxnId from, TxnId to) {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(from) << 32) | static_cast<std::uint64_t>(to);
+  const auto [state, inserted] = core.arc_state.Upsert(key);
+  if (inserted) {
+    *state = 1;
+    core.arc_neighbors[from].push_back(to);
+    core.arc_neighbors[to].push_back(from);
+  }
+  if (*state == 1 && (core.tainted[from] != 0 || core.tainted[to] != 0)) {
+    *state = 2;
+    core.mirror_buf.emplace_back(from, to);
+    Taint(core, from);
+    Taint(core, to);
+  }
+}
+
+void ShardedAdmitter::Taint(Core& core, TxnId txn) {
+  if (core.tainted[txn] != 0) return;
+  core.flood_stack.clear();
+  core.flood_stack.push_back(txn);
+  while (!core.flood_stack.empty()) {
+    const TxnId current = core.flood_stack.back();
+    core.flood_stack.pop_back();
+    if (core.tainted[current] != 0) continue;
+    core.tainted[current] = 1;
+    core.newly_tainted.push_back(current);
+    // Flush every not-yet-mirrored local arc incident to `current` and
+    // spread the taint across it: after the flood, the whole undirected
+    // conflict component is coordinator-visible.
+    for (const TxnId other : core.arc_neighbors[current]) {
+      bool linked = false;
+      const std::uint64_t out_key =
+          (static_cast<std::uint64_t>(current) << 32) | other;
+      const std::uint64_t in_key =
+          (static_cast<std::uint64_t>(other) << 32) | current;
+      if (std::uint8_t* s = core.arc_state.Find(out_key);
+          s != nullptr && *s == 1) {
+        *s = 2;
+        core.mirror_buf.emplace_back(current, other);
+        linked = true;
+      }
+      if (std::uint8_t* s = core.arc_state.Find(in_key);
+          s != nullptr && *s == 1) {
+        *s = 2;
+        core.mirror_buf.emplace_back(other, current);
+        linked = true;
+      }
+      if (linked && core.tainted[other] == 0) {
+        core.flood_stack.push_back(other);
+      }
+    }
+  }
+}
+
+void ShardedAdmitter::GlobalKill(Core& core, TxnId root, AdmitOutcome outcome,
+                                 bool cascade) {
+  std::uint8_t expected = kStateLive;
+  const auto dead_word = static_cast<std::uint8_t>(
+      kStateDead + static_cast<std::uint8_t>(outcome));
+  if (!txn_state_[root].compare_exchange_strong(expected, dead_word,
+                                                std::memory_order_acq_rel,
+                                                std::memory_order_acquire)) {
+    // Lost the race: already dead (its owner runs the withdrawal) or
+    // committed (irrevocable). A committed dirty reader is exactly the
+    // unrecoverable-read case the cascade cannot fix.
+    if (cascade && expected == kStateCommitted) {
+      unrecoverable_reads_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return;
+  }
+  Tracer* const tracer = &core.tracer;
+  if (tracer->counting()) {
+    if (outcome == AdmitOutcome::kTimeout) {
+      tracer->RecordTimeout(root, core.core_steps);
+    }
+    tracer->RecordAbort(root, core.core_steps, cascade);
+  }
+  coordinator_.MarkDead(root);
+  for (const std::uint32_t shard : plan_.spans().ShardsOf(root)) {
+    if (shard == core.shard_id) {
+      KillLocal(core, root);
+    } else {
+      PostControl(shard, root, RequestKind::kKill);
+    }
+  }
+}
+
+void ShardedAdmitter::KillLocal(Core& core, TxnId txn) {
+  RELSER_DCHECK(core.local_dead[txn] == 0);
+  core.local_dead[txn] = 1;
+  if (core.checker.TxnHasExecuted(txn)) {
+    core.checker.RemoveTransactionExact(txn);
+  }
+  // The local conflict DAG keeps the withdrawn transaction's arcs: they
+  // are the durable waypoints surviving conflict chains route through
+  // (a writer chain Ta -> Tdead -> Tc must still read as Ta => Tc after
+  // the withdrawal, exactly as the restored checker orders the
+  // surviving operations). Only the frontier is re-derived, so FUTURE
+  // conflicts link against survivors.
+  // Re-derive the conflict frontier of every owned object the
+  // transaction touched from the checker (the authority on survivors).
+  core.touched_buf.clear();
+  for (const Operation& owned : core.slice.txns.txn(txn).ops()) {
+    core.touched_buf.push_back(owned.object);
+  }
+  std::sort(core.touched_buf.begin(), core.touched_buf.end());
+  core.touched_buf.erase(
+      std::unique(core.touched_buf.begin(), core.touched_buf.end()),
+      core.touched_buf.end());
+  const OpIndexer& projected_indexer = core.checker.indexer();
+  for (const ObjectId object : core.touched_buf) {
+    const std::size_t writer_gid = core.checker.FrontierWriterGid(object);
+    core.obj_writer[object] = writer_gid == OnlineRsrChecker::kNoOp
+                                  ? kNoTxn
+                                  : projected_indexer.TxnOf(writer_gid);
+    core.gid_buf.clear();
+    core.checker.FrontierReaders(object, &core.gid_buf);
+    core.obj_readers[object].clear();
+    for (const std::size_t reader_gid : core.gid_buf) {
+      core.obj_readers[object].push_back(projected_indexer.TxnOf(reader_gid));
+    }
+  }
+  // Recoverability cascade: live dirty readers of the withdrawn writes
+  // die with it, wherever their other operations live.
+  for (const TxnId reader : core.readers_of[txn]) {
+    const std::uint8_t reader_state = TxnState(reader);
+    if (reader_state == kStateLive) {
+      GlobalKill(core, reader, AdmitOutcome::kAborted, /*cascade=*/true);
+    } else if (reader_state == kStateCommitted) {
+      unrecoverable_reads_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  core.readers_of[txn].clear();
+}
+
+void ShardedAdmitter::Publish(std::size_t gid, TxnId txn,
+                              AdmitOutcome outcome) {
+  if (outcome == AdmitOutcome::kAccept) {
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+  }
+  decision_[gid].store(
+      static_cast<std::uint8_t>(1 + static_cast<std::uint8_t>(outcome)),
+      std::memory_order_release);
+  pending_[txn].fetch_sub(1, std::memory_order_release);
+}
+
+}  // namespace relser

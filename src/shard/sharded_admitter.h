@@ -1,0 +1,304 @@
+// ShardedAdmitter: partitioned RSR admission — N shard cores, each a
+// sequential OnlineRsrChecker over its projected sub-schedule, glued by
+// a transaction-level CrossShardCoordinator.
+//
+// ConcurrentAdmitter (sched/admitter.h) funnels every client into ONE
+// admission core, because certification mutates one relative
+// serialization graph. This subsystem removes that bottleneck by
+// partitioning the object space (shard/router.h): conflicts are
+// per-object, so every direct conflict is resident on exactly one
+// shard, and each shard core certifies its own projected sub-schedule
+// (shard/projection.h) with a private checker — no locks on the
+// admission hot path. Global relative serializability is recovered as
+//
+//     (every shard-local projected RSG acyclic)
+//   ∧ (coordinator transaction-level graph acyclic)
+//     ⇒ global RSG acyclic,
+//
+// where the coordinator graph receives the cross-shard glue: conflict
+// arcs incident to multi-shard transactions, extended by *taint
+// flooding* — multi-shard transactions are born tainted on every shard
+// they touch; mirroring an arc taints both endpoints; tainting a
+// transaction flushes all its local conflict arcs to the coordinator,
+// recursively. Any transaction-level conflict walk that crosses shards
+// therefore lies entirely inside tainted components and is visible to
+// the coordinator, while purely local structure stays local — the
+// relative-atomicity relaxation keeps its value inside each shard, and
+// a single-shard configuration never escalates anything, making it
+// decision-identical to ConcurrentAdmitter (hard-gated by
+// bench_sharded). docs/sharding.md develops the full argument.
+//
+// The robustness vocabulary is ConcurrentAdmitter's, verbatim:
+// AdmitOutcome verdicts, kRetry backpressure, deadline timeouts,
+// client aborts, and the recoverability cascade — here spanning
+// shards: a kill CASes the transaction dead, withdraws it from its
+// resident shards (RemoveTransactionExact, exact restoration),
+// tombstones it at the coordinator (its transaction-level arcs stay
+// behind as conservative constraints — the durable-arc discipline,
+// shard/coordinator.h), and cascades to live dirty readers wherever
+// they live, via unbounded per-core control channels (so cores never
+// block on each other's rings).
+//
+// Feeding contract (stricter than ConcurrentAdmitter): all operations
+// of one transaction must be submitted by one thread, in program
+// order, through the *blocking* entry points (SubmitAndWait /
+// SubmitWithBackoff) — at most one operation of a transaction in
+// flight at a time. That is what lets a transaction commit the moment
+// its program-order-last operation is accepted, and what keeps the
+// per-shard projected feeds consistent with one global interleaving
+// (there is deliberately no SubmitDetached here).
+#ifndef RELSER_SHARD_SHARDED_ADMITTER_H_
+#define RELSER_SHARD_SHARDED_ADMITTER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/admit.h"
+#include "core/online.h"
+#include "exec/backoff.h"
+#include "exec/mpsc_queue.h"
+#include "obs/trace.h"
+#include "shard/coordinator.h"
+#include "shard/projection.h"
+#include "shard/router.h"
+#include "util/flat_map.h"
+
+namespace relser {
+
+class FaultPlan;
+
+/// Knobs for ShardedAdmitter.
+struct ShardedAdmitterOptions {
+  std::size_t queue_capacity = 1024;  ///< per-shard MPSC ring size
+  std::size_t max_batch = 64;         ///< max operations per drain batch
+  /// Observability sink. Each shard core and the coordinator record
+  /// into private tracers (single-writer preserved); Stop merges them
+  /// all into this one.
+  Tracer* tracer = nullptr;
+  /// Deterministic per-core pause schedule (exec/faultplan.h), keyed by
+  /// each shard core's own decision count. Must outlive the admitter.
+  const FaultPlan* faults = nullptr;
+};
+
+/// Partitioned, fault-tolerant admission front-end: one checker per
+/// shard plus a cross-shard coordinator.
+class ShardedAdmitter {
+ public:
+  /// `txns` and `spec` must outlive the admitter; `router` must
+  /// partition exactly `txns.object_count()` objects. Shard cores start
+  /// immediately.
+  ShardedAdmitter(const TransactionSet& txns, const AtomicitySpec& spec,
+                  ShardRouter router, ShardedAdmitterOptions options = {});
+  ShardedAdmitter(const TransactionSet&, AtomicitySpec&&, ShardRouter,
+                  ShardedAdmitterOptions = {}) = delete;
+  ~ShardedAdmitter();
+
+  ShardedAdmitter(const ShardedAdmitter&) = delete;
+  ShardedAdmitter& operator=(const ShardedAdmitter&) = delete;
+
+  /// Routes `op` to the shard owning its object and blocks until that
+  /// shard's core decides it. Same verdict vocabulary as
+  /// ConcurrentAdmitter::SubmitAndWait: kAccept / kReject / a death
+  /// outcome (kAborted, kTimeout) / kRetry (ring full, nothing
+  /// enqueued). timeout zero waits forever.
+  AdmitResult SubmitAndWait(
+      const Operation& op,
+      std::chrono::microseconds timeout = std::chrono::microseconds::zero());
+
+  /// SubmitAndWait in a jittered-exponential retry loop on kRetry.
+  AdmitResult SubmitWithBackoff(
+      const Operation& op, Backoff& backoff,
+      std::chrono::microseconds timeout = std::chrono::microseconds::zero());
+
+  /// Client-initiated abort; blocks until the transaction is resolved.
+  /// kReject when it had already committed (commits are irrevocable),
+  /// otherwise its death outcome.
+  AdmitResult AbortTxn(TxnId txn);
+
+  /// The published decision for `op`; nullopt until its shard got to it.
+  std::optional<AdmitOutcome> OpOutcome(const Operation& op) const;
+
+  /// Commit barrier over all shards: blocks until every submitted
+  /// operation of `txn` is decided; kAccept when unscathed, otherwise
+  /// the death outcome.
+  AdmitResult TxnVerdict(TxnId txn);
+
+  /// True once `txn` committed (program-order-last operation accepted).
+  bool TxnCommitted(TxnId txn) const {
+    return txn_state_[txn].load(std::memory_order_acquire) == kStateCommitted;
+  }
+
+  /// Blocks until every request submitted so far has been decided.
+  void Flush();
+
+  /// Flushes, joins every shard core, and folds the per-core and
+  /// coordinator tracers into options.tracer. Idempotent; called by the
+  /// destructor. No submissions may race with or follow Stop.
+  void Stop();
+
+  std::size_t accepted() const {
+    return accepted_.load(std::memory_order_acquire);
+  }
+  std::size_t rejected() const {
+    return rejected_.load(std::memory_order_acquire);
+  }
+  /// Client submissions refused by ring backpressure.
+  std::uint64_t retries() const {
+    return retry_count_.load(std::memory_order_acquire);
+  }
+  /// Committed transactions caught reading from a later-aborted writer
+  /// (same recoverability metric as ConcurrentAdmitter).
+  std::uint64_t unrecoverable_reads() const {
+    return unrecoverable_reads_.load(std::memory_order_acquire);
+  }
+
+  /// Every operation of every committed transaction, in global
+  /// admission order (per-shard accept logs merged by the global
+  /// admission stamp). This is the schedule the differential tests
+  /// replay through a full single-checker; safe once Stop returned.
+  std::vector<Operation> CommittedLog() const;
+
+  /// All accepted operations in global admission order, including those
+  /// of transactions that later aborted. Safe once Stop returned.
+  std::vector<Operation> AdmittedLog() const;
+
+  const ShardPlan& plan() const { return plan_; }
+  const CrossShardCoordinator& coordinator() const { return coordinator_; }
+
+  /// Per-shard roll-up; safe once Stop returned.
+  struct ShardStats {
+    std::size_t ops_routed = 0;     ///< operations decided by this core
+    std::size_t accepted = 0;
+    std::size_t rejected = 0;       ///< non-accept decisions published
+    std::size_t fast_path = 0;      ///< TryAppendIsolated accepts
+    std::uint64_t escalations = 0;  ///< txns taint-flooded to coordinator
+  };
+  ShardStats shard_stats(std::uint32_t shard) const;
+
+ private:
+  enum class RequestKind : std::uint8_t { kOp = 0, kAbort, kTimeoutAbort,
+                                          kKill };
+  struct Request {
+    Operation op{};  // controls use only op.txn (the target)
+    RequestKind kind = RequestKind::kOp;
+  };
+
+  // txn_state_ encoding, as in ConcurrentAdmitter. Writers CAS from
+  // kStateLive (several shard cores may race on a kill/commit).
+  static constexpr std::uint8_t kStateLive = 0;
+  static constexpr std::uint8_t kStateCommitted = 1;
+  static constexpr std::uint8_t kStateDead = 2;  // kStateDead + outcome
+
+  static constexpr TxnId kNoTxn = ~static_cast<TxnId>(0);
+
+  /// One shard core: ring, control channel, projected checker, conflict
+  /// bookkeeping, taint state, private tracer. Owned via unique_ptr so
+  /// addresses stay stable for the core threads.
+  struct Core {
+    Core(const ShardSlice& slice, std::size_t object_count,
+         std::size_t txn_count, std::size_t queue_capacity,
+         TraceLevel trace_level);
+
+    MpscQueue<Request> queue;
+    std::mutex control_mu;
+    std::vector<Request> controls;  // unbounded cross-core channel
+
+    const ShardSlice& slice;
+    OnlineRsrChecker checker;  // over slice.txns / slice.spec
+    Tracer tracer;             // private; merged into the user's at Stop
+
+    // Per-object conflict frontier mirror (original txn ids): the last
+    // writer and the readers since it, for arc generation. Rebuilt from
+    // the checker after withdrawals.
+    std::vector<TxnId> obj_writer;
+    std::vector<std::vector<TxnId>> obj_readers;
+    std::vector<std::vector<TxnId>> readers_of;  // dirty readers (cascade)
+
+    // Local transaction-level conflict DAG + taint state. arc_state
+    // values: 1 = recorded locally, 2 = also mirrored to coordinator.
+    FlatMap64<std::uint8_t> arc_state;
+    std::vector<std::vector<TxnId>> arc_neighbors;  // undirected
+    std::vector<std::uint8_t> tainted;
+    std::vector<std::uint8_t> local_dead;  // withdrawn from this checker
+    std::vector<std::uint8_t> seen;        // first-op-seen (route events)
+
+    // Scratch, reused across decisions.
+    std::vector<std::pair<TxnId, TxnId>> mirror_buf;
+    std::vector<TxnId> flood_stack;
+    std::vector<TxnId> newly_tainted;  // per-decision taint undo log
+    std::vector<std::size_t> gid_buf;
+    std::vector<ObjectId> touched_buf;
+
+    std::uint32_t shard_id = 0;
+
+    // (global admission stamp, original operation) per accept.
+    std::vector<std::pair<std::uint64_t, Operation>> accept_log;
+
+    std::uint64_t core_steps = 0;  // decisions taken (fault key, tick)
+    std::size_t ops_routed = 0;
+    std::size_t fast_path = 0;
+    std::uint64_t escalations = 0;
+
+    std::thread thread;
+  };
+
+  void CoreLoop(std::uint32_t shard);
+  void Decide(Core& core, const Operation& op);
+  void ProcessControl(Core& core, const Request& request);
+  /// CASes `root` dead with `outcome`; on winning, drops its
+  /// coordinator arcs, withdraws it from the calling core's shard
+  /// synchronously, and posts kKill controls to its other resident
+  /// shards. No-op when the CAS loses (already dead or committed).
+  void GlobalKill(Core& core, TxnId root, AdmitOutcome outcome, bool cascade);
+  /// This shard's share of a kill: withdraw from the checker, scrub
+  /// local arcs and frontiers, cascade local dirty readers.
+  void KillLocal(Core& core, TxnId txn);
+  /// Records conflict pair u -> v in the local DAG; mirrors + floods
+  /// taint when either endpoint is tainted.
+  void InsertArc(Core& core, TxnId from, TxnId to);
+  void Taint(Core& core, TxnId txn);
+  void Publish(std::size_t gid, TxnId txn, AdmitOutcome outcome);
+  void PostControl(std::uint32_t shard, TxnId txn, RequestKind kind);
+  std::uint8_t TxnState(TxnId txn) const {
+    return txn_state_[txn].load(std::memory_order_acquire);
+  }
+
+  const TransactionSet& txns_;
+  OpIndexer indexer_;  // over the ORIGINAL set (decision words, logs)
+  ShardPlan plan_;
+  ShardedAdmitterOptions options_;
+  CrossShardCoordinator coordinator_;
+  Tracer coordinator_tracer_;
+
+  std::vector<std::unique_ptr<Core>> cores_;
+
+  std::vector<std::atomic<std::uint8_t>> decision_;  // gid -> 1 + outcome
+  std::vector<std::atomic<std::uint8_t>> txn_state_;
+  std::vector<std::atomic<std::uint32_t>> pending_;  // txn -> undecided
+
+  std::atomic<std::uint64_t> admission_stamp_{0};  // global accept order
+  std::atomic<std::size_t> submitted_{0};  // ops + control messages
+  std::atomic<std::size_t> decided_{0};
+  std::atomic<std::size_t> accepted_{0};
+  std::atomic<std::size_t> rejected_{0};
+  std::atomic<std::uint64_t> retry_count_{0};
+  std::atomic<std::uint64_t> unrecoverable_reads_{0};
+
+  std::mutex decide_mu_;
+  std::condition_variable decided_cv_;
+
+  std::atomic<bool> stop_{false};
+  bool stopped_ = false;  // caller-side (Stop is not thread-safe)
+};
+
+}  // namespace relser
+
+#endif  // RELSER_SHARD_SHARDED_ADMITTER_H_

@@ -1,0 +1,47 @@
+#include "workload/shard_gen.h"
+
+#include "util/check.h"
+#include "util/zipf.h"
+
+namespace relser {
+
+TransactionSet GenerateShardedTransactions(const ShardedWorkloadParams& params,
+                                           Rng* rng) {
+  RELSER_CHECK(params.txn_count > 0);
+  RELSER_CHECK(params.min_ops_per_txn > 0);
+  RELSER_CHECK(params.min_ops_per_txn <= params.max_ops_per_txn);
+  RELSER_CHECK(params.shard_count > 0);
+  RELSER_CHECK(params.objects_per_shard > 0);
+  const std::size_t object_count =
+      params.shard_count * params.objects_per_shard;
+  TransactionSet txns;
+  txns.AddObjects(object_count);
+  const ZipfDistribution zipf(params.objects_per_shard, params.zipf_theta);
+  for (std::size_t t = 0; t < params.txn_count; ++t) {
+    Transaction* txn = txns.AddTransaction();
+    const std::size_t home =
+        static_cast<std::size_t>(rng->UniformU64(params.shard_count));
+    const std::size_t length = static_cast<std::size_t>(rng->UniformInt(
+        static_cast<std::int64_t>(params.min_ops_per_txn),
+        static_cast<std::int64_t>(params.max_ops_per_txn)));
+    for (std::size_t k = 0; k < length; ++k) {
+      std::size_t shard = home;
+      if (params.shard_count > 1 && rng->Bernoulli(params.cross_shard_ratio)) {
+        // Escape to a uniformly-chosen *foreign* shard.
+        shard = static_cast<std::size_t>(
+            rng->UniformU64(params.shard_count - 1));
+        if (shard >= home) ++shard;
+      }
+      const ObjectId object = static_cast<ObjectId>(
+          shard * params.objects_per_shard + zipf.Sample(rng));
+      if (rng->Bernoulli(params.read_ratio)) {
+        txn->Read(object);
+      } else {
+        txn->Write(object);
+      }
+    }
+  }
+  return txns;
+}
+
+}  // namespace relser

@@ -1,0 +1,490 @@
+// Sharded admission subsystem tests (src/shard/): router partitioning
+// and load distribution under Zipf skew, per-shard projection
+// correctness (transactions and atomicity specs), the cross-shard
+// coordinator's cycle/dead/dedup semantics, deterministic cross-shard
+// reject and abort-cascade scenarios on the ShardedAdmitter, fault-plan
+// driven backpressure/timeouts, and the single-shard decision-identity
+// gate against ConcurrentAdmitter.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/online.h"
+#include "exec/backoff.h"
+#include "exec/faultplan.h"
+#include "model/op_indexer.h"
+#include "model/text.h"
+#include "obs/trace.h"
+#include "sched/admitter.h"
+#include "shard/coordinator.h"
+#include "shard/projection.h"
+#include "shard/router.h"
+#include "shard/sharded_admitter.h"
+#include "spec/builders.h"
+#include "util/rng.h"
+#include "util/zipf.h"
+#include "workload/shard_gen.h"
+#include "workload/spec_gen.h"
+
+namespace relser {
+namespace {
+
+TEST(ShardRouterTest, RangeStrategyAssignsContiguousBalancedRanges) {
+  const ShardRouter router(64, 4, ShardStrategy::kRange);
+  EXPECT_EQ(router.shard_count(), 4u);
+  EXPECT_EQ(router.object_count(), 64u);
+  // Contiguous: shard ids are non-decreasing across the object space,
+  // and with objects_per_shard = 16 the boundaries land exactly.
+  for (ObjectId o = 0; o < 64; ++o) {
+    EXPECT_EQ(router.ShardOf(o), o / 16) << "object " << o;
+  }
+  const std::vector<std::size_t> owned = router.ObjectsPerShard();
+  ASSERT_EQ(owned.size(), 4u);
+  for (const std::size_t n : owned) EXPECT_EQ(n, 16u);
+}
+
+TEST(ShardRouterTest, HashStrategyCoversEveryObjectDeterministically) {
+  const ShardRouter a(257, 5, ShardStrategy::kHash);  // non-divisible
+  const ShardRouter b(257, 5, ShardStrategy::kHash);
+  std::size_t total = 0;
+  for (const std::size_t n : a.ObjectsPerShard()) {
+    // Multiplicative hashing spreads 257 objects well enough that no
+    // shard is starved or hoards the space.
+    EXPECT_GE(n, 257u / 5 / 4);
+    EXPECT_LE(n, 257u * 2 / 5);
+    total += n;
+  }
+  EXPECT_EQ(total, 257u);
+  for (ObjectId o = 0; o < 257; ++o) {
+    EXPECT_LT(a.ShardOf(o), 5u);
+    EXPECT_EQ(a.ShardOf(o), b.ShardOf(o)) << "router must be a pure map";
+  }
+}
+
+// Load distribution under Zipf skew: the empirical per-shard access
+// frequency must match the exact distribution implied by composing the
+// Zipf object marginals (util/zipf) with the router's object map.
+TEST(ShardRouterTest, HashShardLoadMatchesZipfMarginalsUnderSkew) {
+  constexpr std::size_t kObjects = 256;
+  constexpr std::size_t kShards = 4;
+  constexpr std::size_t kDraws = 20000;
+  const ShardRouter router(kObjects, kShards, ShardStrategy::kHash);
+  for (const double theta : {0.0, 0.9}) {
+    const ZipfDistribution zipf(kObjects, theta);
+    std::vector<double> exact(kShards, 0.0);
+    for (std::size_t k = 0; k < kObjects; ++k) {
+      exact[router.ShardOf(static_cast<ObjectId>(k))] += zipf.Probability(k);
+    }
+    Rng rng(0x21BF + static_cast<std::uint64_t>(theta * 10));
+    std::vector<std::size_t> hits(kShards, 0);
+    for (std::size_t draw = 0; draw < kDraws; ++draw) {
+      ++hits[router.ShardOf(static_cast<ObjectId>(zipf.Sample(&rng)))];
+    }
+    for (std::size_t shard = 0; shard < kShards; ++shard) {
+      const double empirical =
+          static_cast<double>(hits[shard]) / static_cast<double>(kDraws);
+      EXPECT_NEAR(empirical, exact[shard], 0.03)
+          << "theta " << theta << " shard " << shard;
+      // Hashing keeps even the theta = 0.9 hot prefix from collapsing
+      // the load onto one shard.
+      EXPECT_GT(exact[shard], 0.05) << "theta " << theta;
+    }
+  }
+}
+
+TEST(ShardRouterTest, TxnSpansClassifiesMultiShardTransactions) {
+  // 4 objects over 2 range shards: {a, b} -> 0, {c, d} -> 1.
+  auto txns = ParseTransactionSet(
+      "T1 = w1[a] r1[b]\n"
+      "T2 = w2[a] w2[c]\n"
+      "T3 = r3[d] w3[c] r3[a]\n");
+  ASSERT_TRUE(txns.ok());
+  const ShardRouter router(txns->object_count(), 2, ShardStrategy::kRange);
+  const TxnSpans spans(*txns, router);
+  EXPECT_EQ(spans.ShardsOf(0), (std::vector<std::uint32_t>{0}));
+  EXPECT_EQ(spans.ShardsOf(1), (std::vector<std::uint32_t>{0, 1}));
+  EXPECT_EQ(spans.ShardsOf(2), (std::vector<std::uint32_t>{0, 1}));
+  EXPECT_FALSE(spans.MultiShard(0));
+  EXPECT_TRUE(spans.MultiShard(1));
+  EXPECT_TRUE(spans.MultiShard(2));
+  EXPECT_EQ(spans.multi_shard_count(), 2u);
+  EXPECT_EQ(spans.OpsOn(0, 0), 2u);
+  EXPECT_EQ(spans.OpsOn(0, 1), 0u);
+  EXPECT_EQ(spans.OpsOn(2, 0), 1u);
+  EXPECT_EQ(spans.OpsOn(2, 1), 2u);
+}
+
+// Projection correctness on random workloads: each slice's transactions
+// are exactly the owned subsequences, the index maps round-trip, and a
+// projected gap carries a breakpoint iff some original gap it covers
+// does.
+TEST(ShardProjectionTest, SlicesMatchManualSubsequenceAndSpecWindows) {
+  Rng rng(0x51CE);
+  for (int round = 0; round < 50; ++round) {
+    ShardedWorkloadParams wp;
+    wp.txn_count = 2 + rng.UniformIndex(6);
+    wp.min_ops_per_txn = 1;
+    wp.max_ops_per_txn = 6;
+    wp.shard_count = 1 + rng.UniformIndex(4);
+    wp.objects_per_shard = 2 + rng.UniformIndex(3);
+    wp.cross_shard_ratio = rng.UniformDouble();
+    const TransactionSet txns = GenerateShardedTransactions(wp, &rng);
+    const AtomicitySpec spec = RandomSpec(txns, rng.UniformDouble(), &rng);
+    ShardRouter router(txns.object_count(),
+                       static_cast<std::size_t>(wp.shard_count),
+                       rng.Bernoulli(0.5) ? ShardStrategy::kRange
+                                          : ShardStrategy::kHash);
+    const ShardPlan plan(txns, spec, router);
+    for (std::uint32_t shard = 0; shard < plan.shard_count(); ++shard) {
+      const ShardSlice& slice = plan.slice(shard);
+      ASSERT_EQ(slice.txns.txn_count(), txns.txn_count());
+      ASSERT_EQ(slice.txns.object_count(), txns.object_count());
+      for (TxnId t = 0; t < txns.txn_count(); ++t) {
+        // Owned subsequence, in program order.
+        std::vector<std::uint32_t> owned;
+        for (std::uint32_t i = 0; i < txns.txn(t).size(); ++i) {
+          if (router.ShardOf(txns.txn(t).op(i).object) == shard) {
+            owned.push_back(i);
+          }
+        }
+        ASSERT_EQ(slice.txns.txn(t).size(), owned.size())
+            << "round " << round << " shard " << shard << " T" << t;
+        for (std::uint32_t g = 0; g < owned.size(); ++g) {
+          const Operation& original = txns.txn(t).op(owned[g]);
+          const Operation& projected = slice.txns.txn(t).op(g);
+          EXPECT_EQ(projected.object, original.object);
+          EXPECT_EQ(projected.type, original.type);
+          EXPECT_EQ(slice.to_original[t][g], owned[g]);
+          EXPECT_EQ(slice.to_projected[t][owned[g]], g);
+          EXPECT_EQ(slice.Project(original).index, g);
+          EXPECT_EQ(slice.Unproject(projected).index, owned[g]);
+        }
+        // Spec windows: projected gap g spans original gaps
+        // [owned[g], owned[g+1]).
+        for (TxnId j = 0; j < txns.txn_count(); ++j) {
+          if (j == t || owned.size() < 2) continue;
+          for (std::uint32_t g = 0; g + 1 < owned.size(); ++g) {
+            bool expected = false;
+            for (std::uint32_t h = owned[g]; h < owned[g + 1]; ++h) {
+              if (spec.HasBreakpoint(t, j, h)) expected = true;
+            }
+            EXPECT_EQ(slice.spec.HasBreakpoint(t, j, g), expected)
+                << "round " << round << " shard " << shard << " T" << t
+                << " vs T" << j << " gap " << g;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(CrossShardCoordinatorTest, DetectsCyclesSkipsDeadAndDeduplicates) {
+  CrossShardCoordinator coordinator(4, nullptr);
+  EXPECT_EQ(coordinator.AddArcs(0, {{0, 1}}),
+            CrossShardCoordinator::ArcResult::kOk);
+  EXPECT_EQ(coordinator.AddArcs(1, {{1, 2}, {2, 3}}),
+            CrossShardCoordinator::ArcResult::kOk);
+  EXPECT_EQ(coordinator.arc_count(), 3u);
+  EXPECT_EQ(coordinator.arcs_mirrored(), 3u);
+
+  // 3 -> 0 closes 0 -> 1 -> 2 -> 3 into a transaction-level cycle.
+  std::pair<TxnId, TxnId> witness{99, 99};
+  EXPECT_EQ(coordinator.AddArcs(2, {{3, 0}}, &witness),
+            CrossShardCoordinator::ArcResult::kCycle);
+  EXPECT_EQ(witness, (std::pair<TxnId, TxnId>{3, 0}));
+  EXPECT_EQ(coordinator.rejects(), 1u);
+  EXPECT_EQ(coordinator.arc_count(), 3u) << "rejected batch retains nothing";
+
+  // Re-submitting an already-mirrored pair is a no-op.
+  EXPECT_EQ(coordinator.AddArcs(0, {{1, 2}}),
+            CrossShardCoordinator::ArcResult::kOk);
+  EXPECT_EQ(coordinator.arcs_mirrored(), 3u);
+
+  // Killing T1 tombstones it but its arcs persist (durable-arc
+  // discipline): the path 0 => 3 through the dead transaction still
+  // pins the former cycle shut.
+  coordinator.MarkDead(1);
+  EXPECT_TRUE(coordinator.Dead(1));
+  EXPECT_EQ(coordinator.arc_count(), 3u);
+  EXPECT_EQ(coordinator.AddArcs(2, {{3, 0}}),
+            CrossShardCoordinator::ArcResult::kCycle);
+  EXPECT_EQ(coordinator.rejects(), 2u);
+  // Arcs with a dead endpoint are still accepted...
+  EXPECT_EQ(coordinator.AddArcs(0, {{0, 2}}),
+            CrossShardCoordinator::ArcResult::kOk);
+  EXPECT_EQ(coordinator.arc_count(), 4u);
+  // ...but a dead *issuer* is told so.
+  EXPECT_EQ(coordinator.AddArcs(1, {{2, 0}}),
+            CrossShardCoordinator::ArcResult::kDead);
+  coordinator.MarkDead(1);  // idempotent
+  EXPECT_EQ(coordinator.arc_count(), 4u);
+}
+
+// The canonical cross-shard conflict the per-shard checkers cannot see:
+// two multi-shard writers ordered oppositely on two shards. The
+// coordinator must reject the arc batch that closes the
+// transaction-level cycle, and the admitter must turn that into an
+// all-or-nothing abort of the issuing transaction.
+TEST(ShardedAdmitterTest, CoordinatorRejectsCrossShardWriteSkew) {
+  // 2 objects over 2 range shards: a -> 0, b -> 1.
+  auto txns = ParseTransactionSet(
+      "T1 = w1[a] w1[b]\n"
+      "T2 = w2[b] w2[a]\n");
+  ASSERT_TRUE(txns.ok());
+  const AtomicitySpec spec = FullyRelaxedSpec(*txns);
+  Tracer tracer(TraceLevel::kFull);
+  ShardedAdmitterOptions options;
+  options.tracer = &tracer;
+  ShardedAdmitter admitter(
+      *txns, spec, ShardRouter(2, 2, ShardStrategy::kRange), options);
+
+  EXPECT_TRUE(admitter.SubmitAndWait(txns->txn(0).op(0)));  // w1[a]
+  EXPECT_TRUE(admitter.SubmitAndWait(txns->txn(1).op(0)));  // w2[b]
+  // w1[b] conflicts behind T2 on shard 1: mirrors T2 -> T1, commits T1.
+  EXPECT_TRUE(admitter.SubmitAndWait(txns->txn(0).op(1)));
+  EXPECT_TRUE(admitter.TxnCommitted(0));
+  // w2[a] would mirror T1 -> T2: transaction-level cycle.
+  EXPECT_EQ(admitter.SubmitAndWait(txns->txn(1).op(1)), AdmitOutcome::kReject);
+  EXPECT_EQ(admitter.TxnVerdict(1), AdmitOutcome::kAborted);
+  admitter.Stop();
+
+  EXPECT_EQ(admitter.coordinator().rejects(), 1u);
+  EXPECT_TRUE(admitter.coordinator().Dead(1));
+  EXPECT_EQ(admitter.accepted(), 3u);
+  EXPECT_EQ(tracer.counters().coordinator_rejects, 1u);
+  EXPECT_EQ(tracer.counters().cross_shard_arcs, 1u);  // only T2 -> T1 landed
+  EXPECT_EQ(tracer.counters().commits, 1u);
+  EXPECT_EQ(tracer.counters().aborts, 1u);
+  // Both shard cores saw traffic; the committed history is just T1.
+  EXPECT_EQ(admitter.shard_stats(0).ops_routed +
+                admitter.shard_stats(1).ops_routed,
+            4u);
+  const std::vector<Operation> log = admitter.CommittedLog();
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0].txn, 0u);
+  EXPECT_EQ(log[1].txn, 0u);
+}
+
+// A client abort of a multi-shard transaction must withdraw it from
+// every resident shard and cascade to live dirty readers wherever they
+// live, while committed dirty readers are counted unrecoverable.
+TEST(ShardedAdmitterTest, CrossShardAbortCascadesToRemoteDirtyReaders) {
+  // 4 objects over 2 range shards: {p, a} -> 0, {b, c} -> 1.
+  auto txns = ParseTransactionSet(
+      "T1 = w1[p] w1[p]\n"
+      "T2 = w2[a] w2[b] w2[a]\n"
+      "T3 = r3[b] w3[c] w3[c]\n"
+      "T4 = r4[a]\n");
+  ASSERT_TRUE(txns.ok());
+  const AtomicitySpec spec = FullyRelaxedSpec(*txns);
+  Tracer tracer(TraceLevel::kFull);
+  ShardedAdmitterOptions options;
+  options.tracer = &tracer;
+  ShardedAdmitter admitter(
+      *txns, spec, ShardRouter(4, 2, ShardStrategy::kRange), options);
+
+  EXPECT_TRUE(admitter.SubmitAndWait(txns->txn(0).op(0)));
+  EXPECT_TRUE(admitter.SubmitAndWait(txns->txn(0).op(1)));  // T1 commits
+  EXPECT_TRUE(admitter.SubmitAndWait(txns->txn(1).op(0)));  // w2[a], shard 0
+  EXPECT_TRUE(admitter.SubmitAndWait(txns->txn(1).op(1)));  // w2[b], shard 1
+  EXPECT_TRUE(admitter.SubmitAndWait(txns->txn(2).op(0)));  // r3[b]: dirty
+  EXPECT_TRUE(admitter.SubmitAndWait(txns->txn(2).op(1)));  // w3[c]
+  EXPECT_TRUE(admitter.SubmitAndWait(txns->txn(3).op(0)));  // r4[a]: dirty,
+  EXPECT_TRUE(admitter.TxnCommitted(3));                    // commits anyway
+
+  EXPECT_EQ(admitter.AbortTxn(1), AdmitOutcome::kAborted);
+  admitter.Flush();
+  EXPECT_EQ(admitter.TxnVerdict(2), AdmitOutcome::kAborted);  // cascaded
+  EXPECT_TRUE(admitter.TxnCommitted(0));
+  EXPECT_TRUE(admitter.TxnCommitted(3));
+  // Submitting more of a dead transaction answers with its outcome.
+  EXPECT_EQ(admitter.SubmitAndWait(txns->txn(1).op(2)), AdmitOutcome::kAborted);
+  EXPECT_EQ(admitter.SubmitAndWait(txns->txn(2).op(2)), AdmitOutcome::kAborted);
+  admitter.Stop();
+
+  EXPECT_EQ(admitter.unrecoverable_reads(), 1u);  // committed T4 read w2[a]
+  EXPECT_TRUE(admitter.coordinator().Dead(1));
+  EXPECT_TRUE(admitter.coordinator().Dead(2));
+  EXPECT_EQ(admitter.coordinator().arc_count(), 2u);  // durable arcs stay
+  // T2 (multi-shard, born tainted) flooded both dirty-reader arcs to the
+  // coordinator, tainting the single-shard readers T3 and T4.
+  EXPECT_EQ(tracer.counters().cross_shard_arcs, 2u);
+  EXPECT_EQ(tracer.counters().escalations, 2u);
+  EXPECT_EQ(tracer.counters().aborts, 1u);
+  EXPECT_EQ(tracer.counters().cascade_aborts, 1u);
+  EXPECT_EQ(tracer.counters().commits, 2u);
+  // Committed history = T1 and T4 only, and it is relatively
+  // serializable on the full unsharded checker.
+  OnlineRsrChecker replay(*txns, spec);
+  const std::vector<Operation> log = admitter.CommittedLog();
+  ASSERT_EQ(log.size(), 3u);
+  for (const Operation& op : log) {
+    ASSERT_TRUE(replay.TryAppend(op).ok());
+  }
+}
+
+// Backpressure and deadlines survive sharding: a fault plan pausing the
+// shard cores makes the tiny rings refuse (kRetry) and deadlines expire
+// (kTimeout); SubmitWithBackoff rides it out and whatever commits still
+// replays on the full checker.
+TEST(ShardedAdmitterTest, BackpressureRetriesAndTimeoutsUnderFaultPlan) {
+  ShardedWorkloadParams wp;
+  wp.txn_count = 24;
+  wp.min_ops_per_txn = 2;
+  wp.max_ops_per_txn = 3;
+  wp.shard_count = 2;
+  wp.objects_per_shard = 32;  // sparse: decisions themselves are trivial
+  wp.cross_shard_ratio = 0.4;
+  Rng rng(0x5A02);
+  const TransactionSet txns = GenerateShardedTransactions(wp, &rng);
+  const AtomicitySpec spec = FullyRelaxedSpec(txns);
+
+  FaultPlanParams fp;
+  fp.core_pause_prob = 1.0;
+  // Wide pauses so saturation is robust even under sanitizer slowdown:
+  // a capacity-2 ring needs three submissions inside one pause window,
+  // and TSan staggers the client threads by whole milliseconds.
+  fp.max_core_pause_us = 20000;
+  const FaultPlan plan(0x5A03, fp);
+
+  Tracer tracer(TraceLevel::kCounters);
+  ShardedAdmitterOptions options;
+  options.queue_capacity = 2;  // tiny rings: backpressure is the norm
+  options.tracer = &tracer;
+  options.faults = &plan;
+  ShardedAdmitter admitter(
+      txns, spec, ShardRouter(txns.object_count(), 2, ShardStrategy::kRange),
+      options);
+
+  // One client per transaction: concurrent submissions against paused
+  // cores are what actually fill the tiny rings.
+  std::atomic<std::uint64_t> timeouts{0};
+  std::vector<std::thread> clients;
+  clients.reserve(txns.txn_count());
+  for (TxnId t = 0; t < txns.txn_count(); ++t) {
+    clients.emplace_back([&, t] {
+      Backoff backoff(0x5A04 + t);
+      for (std::uint32_t i = 0; i < txns.txn(t).size(); ++i) {
+        const Operation& op = txns.txn(t).op(i);
+        if (t % 3 == 2) {
+          // Deadlines far shorter than the injected core pauses.
+          const AdmitResult result = admitter.SubmitWithBackoff(
+              op, backoff, std::chrono::microseconds(50));
+          if (result.outcome == AdmitOutcome::kTimeout) {
+            timeouts.fetch_add(1, std::memory_order_relaxed);
+          }
+          if (!result.ok()) return;
+        } else if (!admitter.SubmitWithBackoff(op, backoff).ok()) {
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  admitter.Stop();
+
+  EXPECT_GT(admitter.retries(), 0u) << "tiny rings + paused cores must refuse";
+  EXPECT_GT(timeouts.load(), 0u)
+      << "50us deadlines under multi-ms pauses must expire";
+  EXPECT_EQ(tracer.counters().retries, admitter.retries());
+  EXPECT_LE(tracer.counters().timeouts, timeouts.load());
+  OnlineRsrChecker replay(txns, spec);
+  for (const Operation& op : admitter.CommittedLog()) {
+    ASSERT_TRUE(replay.TryAppend(op).ok());
+  }
+}
+
+// THE single-shard gate: with one shard the projection is the identity,
+// the coordinator never hears anything (no multi-shard transactions, so
+// nothing is ever tainted), and a deterministic single-threaded feed
+// must produce exactly ConcurrentAdmitter's decisions, verdicts, and
+// committed history — operation by operation.
+TEST(ShardedAdmitterTest, SingleShardIsDecisionIdenticalToConcurrentAdmitter) {
+  const Rng base(0x1D3A);
+  for (int round = 0; round < 60; ++round) {
+    Rng rng = base.Split(static_cast<std::uint64_t>(round));
+    ShardedWorkloadParams wp;
+    wp.txn_count = 2 + rng.UniformIndex(6);
+    wp.min_ops_per_txn = 1;
+    wp.max_ops_per_txn = 5;
+    wp.shard_count = 1;
+    wp.objects_per_shard = 2 + rng.UniformIndex(4);  // dense: real conflicts
+    wp.zipf_theta = rng.UniformDouble();
+    const TransactionSet txns = GenerateShardedTransactions(wp, &rng);
+    const AtomicitySpec spec = RandomSpec(txns, rng.UniformDouble(), &rng);
+
+    ConcurrentAdmitter reference(txns, spec);
+    ShardedAdmitter sharded(
+        txns, spec,
+        ShardRouter(txns.object_count(), 1, ShardStrategy::kRange));
+
+    // Random single-threaded interleaving with occasional client aborts
+    // and occasional submissions against already-dead transactions.
+    std::vector<std::uint32_t> next(txns.txn_count(), 0);
+    std::vector<std::uint8_t> dead(txns.txn_count(), 0);
+    std::size_t steps = txns.total_ops() + 6;
+    while (steps-- > 0) {
+      if (rng.Bernoulli(0.1)) {
+        std::vector<TxnId> started;
+        for (TxnId t = 0; t < txns.txn_count(); ++t) {
+          if (dead[t] == 0 && next[t] > 0) started.push_back(t);
+        }
+        if (!started.empty()) {
+          const TxnId victim = rng.Choice(started);
+          const AdmitResult a = reference.AbortTxn(victim);
+          const AdmitResult b = sharded.AbortTxn(victim);
+          ASSERT_EQ(a.outcome, b.outcome)
+              << "round " << round << " aborting T" << victim;
+          if (a.outcome != AdmitOutcome::kReject) dead[victim] = 1;
+          continue;
+        }
+      }
+      std::vector<TxnId> feedable;
+      for (TxnId t = 0; t < txns.txn_count(); ++t) {
+        if (next[t] < txns.txn(t).size() &&
+            (dead[t] == 0 || rng.Bernoulli(0.2))) {
+          feedable.push_back(t);
+        }
+      }
+      if (feedable.empty()) break;
+      const TxnId t = rng.Choice(feedable);
+      const Operation& op = txns.txn(t).op(next[t]);
+      const AdmitResult a = reference.SubmitAndWait(op);
+      const AdmitResult b = sharded.SubmitAndWait(op);
+      ASSERT_EQ(a.outcome, b.outcome)
+          << "round " << round << " T" << t << " op " << next[t];
+      ++next[t];
+      if (!a.ok()) dead[t] = 1;
+    }
+    reference.Stop();
+    sharded.Stop();
+
+    for (TxnId t = 0; t < txns.txn_count(); ++t) {
+      ASSERT_EQ(reference.TxnCommitted(t), sharded.TxnCommitted(t))
+          << "round " << round << " T" << t;
+    }
+    ASSERT_EQ(reference.accepted(), sharded.accepted()) << "round " << round;
+    ASSERT_EQ(reference.unrecoverable_reads(), sharded.unrecoverable_reads())
+        << "round " << round;
+    const std::vector<Operation> ref_log = reference.CommittedLog();
+    const std::vector<Operation> shard_log = sharded.CommittedLog();
+    ASSERT_EQ(ref_log.size(), shard_log.size()) << "round " << round;
+    const OpIndexer indexer(txns);
+    for (std::size_t i = 0; i < ref_log.size(); ++i) {
+      ASSERT_EQ(indexer.GlobalId(ref_log[i]), indexer.GlobalId(shard_log[i]))
+          << "round " << round << " position " << i;
+    }
+    // Single shard: nothing ever escalates to the coordinator.
+    EXPECT_EQ(sharded.coordinator().arcs_mirrored(), 0u) << "round " << round;
+    EXPECT_EQ(sharded.shard_stats(0).escalations, 0u) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace relser
