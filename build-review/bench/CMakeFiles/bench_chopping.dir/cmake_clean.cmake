@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_chopping.dir/bench_chopping.cc.o"
+  "CMakeFiles/bench_chopping.dir/bench_chopping.cc.o.d"
+  "bench_chopping"
+  "bench_chopping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_chopping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

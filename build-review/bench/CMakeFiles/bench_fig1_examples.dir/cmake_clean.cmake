@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_examples.dir/bench_fig1_examples.cc.o"
+  "CMakeFiles/bench_fig1_examples.dir/bench_fig1_examples.cc.o.d"
+  "bench_fig1_examples"
+  "bench_fig1_examples.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_examples.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

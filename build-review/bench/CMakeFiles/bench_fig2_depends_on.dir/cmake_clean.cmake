@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_depends_on.dir/bench_fig2_depends_on.cc.o"
+  "CMakeFiles/bench_fig2_depends_on.dir/bench_fig2_depends_on.cc.o.d"
+  "bench_fig2_depends_on"
+  "bench_fig2_depends_on.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_depends_on.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

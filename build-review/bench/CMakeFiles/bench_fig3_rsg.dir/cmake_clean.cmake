@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_rsg.dir/bench_fig3_rsg.cc.o"
+  "CMakeFiles/bench_fig3_rsg.dir/bench_fig3_rsg.cc.o.d"
+  "bench_fig3_rsg"
+  "bench_fig3_rsg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_rsg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

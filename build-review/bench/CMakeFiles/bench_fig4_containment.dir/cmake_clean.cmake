@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_containment.dir/bench_fig4_containment.cc.o"
+  "CMakeFiles/bench_fig4_containment.dir/bench_fig4_containment.cc.o.d"
+  "bench_fig4_containment"
+  "bench_fig4_containment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_containment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

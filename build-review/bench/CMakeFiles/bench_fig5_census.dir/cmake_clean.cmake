@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_census.dir/bench_fig5_census.cc.o"
+  "CMakeFiles/bench_fig5_census.dir/bench_fig5_census.cc.o.d"
+  "bench_fig5_census"
+  "bench_fig5_census.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_census.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_graph_ablation.dir/bench_graph_ablation.cc.o"
+  "CMakeFiles/bench_graph_ablation.dir/bench_graph_ablation.cc.o.d"
+  "bench_graph_ablation"
+  "bench_graph_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_graph_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lemma1_equivalence.dir/bench_lemma1_equivalence.cc.o"
+  "CMakeFiles/bench_lemma1_equivalence.dir/bench_lemma1_equivalence.cc.o.d"
+  "bench_lemma1_equivalence"
+  "bench_lemma1_equivalence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lemma1_equivalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_online_hotpath.dir/bench_online_hotpath.cc.o"
+  "CMakeFiles/bench_online_hotpath.dir/bench_online_hotpath.cc.o.d"
+  "bench_online_hotpath"
+  "bench_online_hotpath.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_online_hotpath.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scheduler_concurrency.dir/bench_scheduler_concurrency.cc.o"
+  "CMakeFiles/bench_scheduler_concurrency.dir/bench_scheduler_concurrency.cc.o.d"
+  "bench_scheduler_concurrency"
+  "bench_scheduler_concurrency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scheduler_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cad_collab.dir/cad_collab.cpp.o"
+  "CMakeFiles/cad_collab.dir/cad_collab.cpp.o.d"
+  "cad_collab"
+  "cad_collab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cad_collab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

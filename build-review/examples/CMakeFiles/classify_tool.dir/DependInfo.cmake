@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/classify_tool.cpp" "examples/CMakeFiles/classify_tool.dir/classify_tool.cpp.o" "gcc" "examples/CMakeFiles/classify_tool.dir/classify_tool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/sched/CMakeFiles/relser_sched.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/workload/CMakeFiles/relser_workload.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/relser_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/spec/CMakeFiles/relser_spec.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/model/CMakeFiles/relser_model.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/graph/CMakeFiles/relser_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/exec/CMakeFiles/relser_exec.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/relser_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/relser_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classify_tool.dir/classify_tool.cpp.o"
+  "CMakeFiles/classify_tool.dir/classify_tool.cpp.o.d"
+  "classify_tool"
+  "classify_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classify_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-review/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("exec")
+subdirs("graph")
+subdirs("model")
+subdirs("spec")
+subdirs("obs")
+subdirs("core")
+subdirs("workload")
+subdirs("sched")
+subdirs("shard")

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/brute.cc" "src/core/CMakeFiles/relser_core.dir/brute.cc.o" "gcc" "src/core/CMakeFiles/relser_core.dir/brute.cc.o.d"
+  "/root/repo/src/core/checkers.cc" "src/core/CMakeFiles/relser_core.dir/checkers.cc.o" "gcc" "src/core/CMakeFiles/relser_core.dir/checkers.cc.o.d"
+  "/root/repo/src/core/classify.cc" "src/core/CMakeFiles/relser_core.dir/classify.cc.o" "gcc" "src/core/CMakeFiles/relser_core.dir/classify.cc.o.d"
+  "/root/repo/src/core/depends.cc" "src/core/CMakeFiles/relser_core.dir/depends.cc.o" "gcc" "src/core/CMakeFiles/relser_core.dir/depends.cc.o.d"
+  "/root/repo/src/core/explain.cc" "src/core/CMakeFiles/relser_core.dir/explain.cc.o" "gcc" "src/core/CMakeFiles/relser_core.dir/explain.cc.o.d"
+  "/root/repo/src/core/online.cc" "src/core/CMakeFiles/relser_core.dir/online.cc.o" "gcc" "src/core/CMakeFiles/relser_core.dir/online.cc.o.d"
+  "/root/repo/src/core/online_baseline.cc" "src/core/CMakeFiles/relser_core.dir/online_baseline.cc.o" "gcc" "src/core/CMakeFiles/relser_core.dir/online_baseline.cc.o.d"
+  "/root/repo/src/core/paper_examples.cc" "src/core/CMakeFiles/relser_core.dir/paper_examples.cc.o" "gcc" "src/core/CMakeFiles/relser_core.dir/paper_examples.cc.o.d"
+  "/root/repo/src/core/repair.cc" "src/core/CMakeFiles/relser_core.dir/repair.cc.o" "gcc" "src/core/CMakeFiles/relser_core.dir/repair.cc.o.d"
+  "/root/repo/src/core/rsg.cc" "src/core/CMakeFiles/relser_core.dir/rsg.cc.o" "gcc" "src/core/CMakeFiles/relser_core.dir/rsg.cc.o.d"
+  "/root/repo/src/core/rsr.cc" "src/core/CMakeFiles/relser_core.dir/rsr.cc.o" "gcc" "src/core/CMakeFiles/relser_core.dir/rsr.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/spec/CMakeFiles/relser_spec.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/relser_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/model/CMakeFiles/relser_model.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/graph/CMakeFiles/relser_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/exec/CMakeFiles/relser_exec.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/relser_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relser_core.dir/brute.cc.o"
+  "CMakeFiles/relser_core.dir/brute.cc.o.d"
+  "CMakeFiles/relser_core.dir/checkers.cc.o"
+  "CMakeFiles/relser_core.dir/checkers.cc.o.d"
+  "CMakeFiles/relser_core.dir/classify.cc.o"
+  "CMakeFiles/relser_core.dir/classify.cc.o.d"
+  "CMakeFiles/relser_core.dir/depends.cc.o"
+  "CMakeFiles/relser_core.dir/depends.cc.o.d"
+  "CMakeFiles/relser_core.dir/explain.cc.o"
+  "CMakeFiles/relser_core.dir/explain.cc.o.d"
+  "CMakeFiles/relser_core.dir/online.cc.o"
+  "CMakeFiles/relser_core.dir/online.cc.o.d"
+  "CMakeFiles/relser_core.dir/online_baseline.cc.o"
+  "CMakeFiles/relser_core.dir/online_baseline.cc.o.d"
+  "CMakeFiles/relser_core.dir/paper_examples.cc.o"
+  "CMakeFiles/relser_core.dir/paper_examples.cc.o.d"
+  "CMakeFiles/relser_core.dir/repair.cc.o"
+  "CMakeFiles/relser_core.dir/repair.cc.o.d"
+  "CMakeFiles/relser_core.dir/rsg.cc.o"
+  "CMakeFiles/relser_core.dir/rsg.cc.o.d"
+  "CMakeFiles/relser_core.dir/rsr.cc.o"
+  "CMakeFiles/relser_core.dir/rsr.cc.o.d"
+  "librelser_core.a"
+  "librelser_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relser_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relser_exec.dir/faultplan.cc.o"
+  "CMakeFiles/relser_exec.dir/faultplan.cc.o.d"
+  "CMakeFiles/relser_exec.dir/thread_pool.cc.o"
+  "CMakeFiles/relser_exec.dir/thread_pool.cc.o.d"
+  "librelser_exec.a"
+  "librelser_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relser_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

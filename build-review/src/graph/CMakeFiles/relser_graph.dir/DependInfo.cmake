@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/closure.cc" "src/graph/CMakeFiles/relser_graph.dir/closure.cc.o" "gcc" "src/graph/CMakeFiles/relser_graph.dir/closure.cc.o.d"
+  "/root/repo/src/graph/cycle.cc" "src/graph/CMakeFiles/relser_graph.dir/cycle.cc.o" "gcc" "src/graph/CMakeFiles/relser_graph.dir/cycle.cc.o.d"
+  "/root/repo/src/graph/digraph.cc" "src/graph/CMakeFiles/relser_graph.dir/digraph.cc.o" "gcc" "src/graph/CMakeFiles/relser_graph.dir/digraph.cc.o.d"
+  "/root/repo/src/graph/dot.cc" "src/graph/CMakeFiles/relser_graph.dir/dot.cc.o" "gcc" "src/graph/CMakeFiles/relser_graph.dir/dot.cc.o.d"
+  "/root/repo/src/graph/dynamic_topo.cc" "src/graph/CMakeFiles/relser_graph.dir/dynamic_topo.cc.o" "gcc" "src/graph/CMakeFiles/relser_graph.dir/dynamic_topo.cc.o.d"
+  "/root/repo/src/graph/tarjan.cc" "src/graph/CMakeFiles/relser_graph.dir/tarjan.cc.o" "gcc" "src/graph/CMakeFiles/relser_graph.dir/tarjan.cc.o.d"
+  "/root/repo/src/graph/topo.cc" "src/graph/CMakeFiles/relser_graph.dir/topo.cc.o" "gcc" "src/graph/CMakeFiles/relser_graph.dir/topo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/util/CMakeFiles/relser_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relser_graph.dir/closure.cc.o"
+  "CMakeFiles/relser_graph.dir/closure.cc.o.d"
+  "CMakeFiles/relser_graph.dir/cycle.cc.o"
+  "CMakeFiles/relser_graph.dir/cycle.cc.o.d"
+  "CMakeFiles/relser_graph.dir/digraph.cc.o"
+  "CMakeFiles/relser_graph.dir/digraph.cc.o.d"
+  "CMakeFiles/relser_graph.dir/dot.cc.o"
+  "CMakeFiles/relser_graph.dir/dot.cc.o.d"
+  "CMakeFiles/relser_graph.dir/dynamic_topo.cc.o"
+  "CMakeFiles/relser_graph.dir/dynamic_topo.cc.o.d"
+  "CMakeFiles/relser_graph.dir/tarjan.cc.o"
+  "CMakeFiles/relser_graph.dir/tarjan.cc.o.d"
+  "CMakeFiles/relser_graph.dir/topo.cc.o"
+  "CMakeFiles/relser_graph.dir/topo.cc.o.d"
+  "librelser_graph.a"
+  "librelser_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relser_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librelser_graph.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/chopping.cc" "src/model/CMakeFiles/relser_model.dir/chopping.cc.o" "gcc" "src/model/CMakeFiles/relser_model.dir/chopping.cc.o.d"
+  "/root/repo/src/model/conflict.cc" "src/model/CMakeFiles/relser_model.dir/conflict.cc.o" "gcc" "src/model/CMakeFiles/relser_model.dir/conflict.cc.o.d"
+  "/root/repo/src/model/enumerate.cc" "src/model/CMakeFiles/relser_model.dir/enumerate.cc.o" "gcc" "src/model/CMakeFiles/relser_model.dir/enumerate.cc.o.d"
+  "/root/repo/src/model/operation.cc" "src/model/CMakeFiles/relser_model.dir/operation.cc.o" "gcc" "src/model/CMakeFiles/relser_model.dir/operation.cc.o.d"
+  "/root/repo/src/model/recovery.cc" "src/model/CMakeFiles/relser_model.dir/recovery.cc.o" "gcc" "src/model/CMakeFiles/relser_model.dir/recovery.cc.o.d"
+  "/root/repo/src/model/schedule.cc" "src/model/CMakeFiles/relser_model.dir/schedule.cc.o" "gcc" "src/model/CMakeFiles/relser_model.dir/schedule.cc.o.d"
+  "/root/repo/src/model/text.cc" "src/model/CMakeFiles/relser_model.dir/text.cc.o" "gcc" "src/model/CMakeFiles/relser_model.dir/text.cc.o.d"
+  "/root/repo/src/model/transaction.cc" "src/model/CMakeFiles/relser_model.dir/transaction.cc.o" "gcc" "src/model/CMakeFiles/relser_model.dir/transaction.cc.o.d"
+  "/root/repo/src/model/view.cc" "src/model/CMakeFiles/relser_model.dir/view.cc.o" "gcc" "src/model/CMakeFiles/relser_model.dir/view.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/util/CMakeFiles/relser_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/graph/CMakeFiles/relser_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relser_model.dir/chopping.cc.o"
+  "CMakeFiles/relser_model.dir/chopping.cc.o.d"
+  "CMakeFiles/relser_model.dir/conflict.cc.o"
+  "CMakeFiles/relser_model.dir/conflict.cc.o.d"
+  "CMakeFiles/relser_model.dir/enumerate.cc.o"
+  "CMakeFiles/relser_model.dir/enumerate.cc.o.d"
+  "CMakeFiles/relser_model.dir/operation.cc.o"
+  "CMakeFiles/relser_model.dir/operation.cc.o.d"
+  "CMakeFiles/relser_model.dir/recovery.cc.o"
+  "CMakeFiles/relser_model.dir/recovery.cc.o.d"
+  "CMakeFiles/relser_model.dir/schedule.cc.o"
+  "CMakeFiles/relser_model.dir/schedule.cc.o.d"
+  "CMakeFiles/relser_model.dir/text.cc.o"
+  "CMakeFiles/relser_model.dir/text.cc.o.d"
+  "CMakeFiles/relser_model.dir/transaction.cc.o"
+  "CMakeFiles/relser_model.dir/transaction.cc.o.d"
+  "CMakeFiles/relser_model.dir/view.cc.o"
+  "CMakeFiles/relser_model.dir/view.cc.o.d"
+  "librelser_model.a"
+  "librelser_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relser_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/obs/export.cc" "src/obs/CMakeFiles/relser_obs.dir/export.cc.o" "gcc" "src/obs/CMakeFiles/relser_obs.dir/export.cc.o.d"
+  "/root/repo/src/obs/inspect.cc" "src/obs/CMakeFiles/relser_obs.dir/inspect.cc.o" "gcc" "src/obs/CMakeFiles/relser_obs.dir/inspect.cc.o.d"
+  "/root/repo/src/obs/trace.cc" "src/obs/CMakeFiles/relser_obs.dir/trace.cc.o" "gcc" "src/obs/CMakeFiles/relser_obs.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/model/CMakeFiles/relser_model.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/relser_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/graph/CMakeFiles/relser_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relser_obs.dir/export.cc.o"
+  "CMakeFiles/relser_obs.dir/export.cc.o.d"
+  "CMakeFiles/relser_obs.dir/inspect.cc.o"
+  "CMakeFiles/relser_obs.dir/inspect.cc.o.d"
+  "CMakeFiles/relser_obs.dir/trace.cc.o"
+  "CMakeFiles/relser_obs.dir/trace.cc.o.d"
+  "librelser_obs.a"
+  "librelser_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relser_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

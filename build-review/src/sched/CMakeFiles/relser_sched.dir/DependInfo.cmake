@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/admitter.cc" "src/sched/CMakeFiles/relser_sched.dir/admitter.cc.o" "gcc" "src/sched/CMakeFiles/relser_sched.dir/admitter.cc.o.d"
+  "/root/repo/src/sched/altruistic.cc" "src/sched/CMakeFiles/relser_sched.dir/altruistic.cc.o" "gcc" "src/sched/CMakeFiles/relser_sched.dir/altruistic.cc.o.d"
+  "/root/repo/src/sched/engine.cc" "src/sched/CMakeFiles/relser_sched.dir/engine.cc.o" "gcc" "src/sched/CMakeFiles/relser_sched.dir/engine.cc.o.d"
+  "/root/repo/src/sched/experiment.cc" "src/sched/CMakeFiles/relser_sched.dir/experiment.cc.o" "gcc" "src/sched/CMakeFiles/relser_sched.dir/experiment.cc.o.d"
+  "/root/repo/src/sched/factory.cc" "src/sched/CMakeFiles/relser_sched.dir/factory.cc.o" "gcc" "src/sched/CMakeFiles/relser_sched.dir/factory.cc.o.d"
+  "/root/repo/src/sched/graph_based.cc" "src/sched/CMakeFiles/relser_sched.dir/graph_based.cc.o" "gcc" "src/sched/CMakeFiles/relser_sched.dir/graph_based.cc.o.d"
+  "/root/repo/src/sched/lock_based.cc" "src/sched/CMakeFiles/relser_sched.dir/lock_based.cc.o" "gcc" "src/sched/CMakeFiles/relser_sched.dir/lock_based.cc.o.d"
+  "/root/repo/src/sched/lock_table.cc" "src/sched/CMakeFiles/relser_sched.dir/lock_table.cc.o" "gcc" "src/sched/CMakeFiles/relser_sched.dir/lock_table.cc.o.d"
+  "/root/repo/src/sched/relatively_atomic.cc" "src/sched/CMakeFiles/relser_sched.dir/relatively_atomic.cc.o" "gcc" "src/sched/CMakeFiles/relser_sched.dir/relatively_atomic.cc.o.d"
+  "/root/repo/src/sched/replay.cc" "src/sched/CMakeFiles/relser_sched.dir/replay.cc.o" "gcc" "src/sched/CMakeFiles/relser_sched.dir/replay.cc.o.d"
+  "/root/repo/src/sched/timestamp.cc" "src/sched/CMakeFiles/relser_sched.dir/timestamp.cc.o" "gcc" "src/sched/CMakeFiles/relser_sched.dir/timestamp.cc.o.d"
+  "/root/repo/src/sched/verify.cc" "src/sched/CMakeFiles/relser_sched.dir/verify.cc.o" "gcc" "src/sched/CMakeFiles/relser_sched.dir/verify.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/core/CMakeFiles/relser_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/spec/CMakeFiles/relser_spec.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/obs/CMakeFiles/relser_obs.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/model/CMakeFiles/relser_model.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/graph/CMakeFiles/relser_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/exec/CMakeFiles/relser_exec.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/relser_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

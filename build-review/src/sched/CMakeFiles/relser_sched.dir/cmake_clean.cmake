@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relser_sched.dir/admitter.cc.o"
+  "CMakeFiles/relser_sched.dir/admitter.cc.o.d"
+  "CMakeFiles/relser_sched.dir/altruistic.cc.o"
+  "CMakeFiles/relser_sched.dir/altruistic.cc.o.d"
+  "CMakeFiles/relser_sched.dir/engine.cc.o"
+  "CMakeFiles/relser_sched.dir/engine.cc.o.d"
+  "CMakeFiles/relser_sched.dir/experiment.cc.o"
+  "CMakeFiles/relser_sched.dir/experiment.cc.o.d"
+  "CMakeFiles/relser_sched.dir/factory.cc.o"
+  "CMakeFiles/relser_sched.dir/factory.cc.o.d"
+  "CMakeFiles/relser_sched.dir/graph_based.cc.o"
+  "CMakeFiles/relser_sched.dir/graph_based.cc.o.d"
+  "CMakeFiles/relser_sched.dir/lock_based.cc.o"
+  "CMakeFiles/relser_sched.dir/lock_based.cc.o.d"
+  "CMakeFiles/relser_sched.dir/lock_table.cc.o"
+  "CMakeFiles/relser_sched.dir/lock_table.cc.o.d"
+  "CMakeFiles/relser_sched.dir/relatively_atomic.cc.o"
+  "CMakeFiles/relser_sched.dir/relatively_atomic.cc.o.d"
+  "CMakeFiles/relser_sched.dir/replay.cc.o"
+  "CMakeFiles/relser_sched.dir/replay.cc.o.d"
+  "CMakeFiles/relser_sched.dir/timestamp.cc.o"
+  "CMakeFiles/relser_sched.dir/timestamp.cc.o.d"
+  "CMakeFiles/relser_sched.dir/verify.cc.o"
+  "CMakeFiles/relser_sched.dir/verify.cc.o.d"
+  "librelser_sched.a"
+  "librelser_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relser_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

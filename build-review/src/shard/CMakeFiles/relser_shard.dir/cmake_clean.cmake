@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relser_shard.dir/coordinator.cc.o"
+  "CMakeFiles/relser_shard.dir/coordinator.cc.o.d"
+  "CMakeFiles/relser_shard.dir/projection.cc.o"
+  "CMakeFiles/relser_shard.dir/projection.cc.o.d"
+  "CMakeFiles/relser_shard.dir/router.cc.o"
+  "CMakeFiles/relser_shard.dir/router.cc.o.d"
+  "CMakeFiles/relser_shard.dir/sharded_admitter.cc.o"
+  "CMakeFiles/relser_shard.dir/sharded_admitter.cc.o.d"
+  "librelser_shard.a"
+  "librelser_shard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relser_shard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spec/atomicity_spec.cc" "src/spec/CMakeFiles/relser_spec.dir/atomicity_spec.cc.o" "gcc" "src/spec/CMakeFiles/relser_spec.dir/atomicity_spec.cc.o.d"
+  "/root/repo/src/spec/builders.cc" "src/spec/CMakeFiles/relser_spec.dir/builders.cc.o" "gcc" "src/spec/CMakeFiles/relser_spec.dir/builders.cc.o.d"
+  "/root/repo/src/spec/text.cc" "src/spec/CMakeFiles/relser_spec.dir/text.cc.o" "gcc" "src/spec/CMakeFiles/relser_spec.dir/text.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/model/CMakeFiles/relser_model.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/relser_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/graph/CMakeFiles/relser_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

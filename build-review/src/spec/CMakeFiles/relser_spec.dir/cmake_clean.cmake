@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relser_spec.dir/atomicity_spec.cc.o"
+  "CMakeFiles/relser_spec.dir/atomicity_spec.cc.o.d"
+  "CMakeFiles/relser_spec.dir/builders.cc.o"
+  "CMakeFiles/relser_spec.dir/builders.cc.o.d"
+  "CMakeFiles/relser_spec.dir/text.cc.o"
+  "CMakeFiles/relser_spec.dir/text.cc.o.d"
+  "librelser_spec.a"
+  "librelser_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relser_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relser_util.dir/json.cc.o"
+  "CMakeFiles/relser_util.dir/json.cc.o.d"
+  "CMakeFiles/relser_util.dir/status.cc.o"
+  "CMakeFiles/relser_util.dir/status.cc.o.d"
+  "CMakeFiles/relser_util.dir/strings.cc.o"
+  "CMakeFiles/relser_util.dir/strings.cc.o.d"
+  "CMakeFiles/relser_util.dir/table.cc.o"
+  "CMakeFiles/relser_util.dir/table.cc.o.d"
+  "CMakeFiles/relser_util.dir/zipf.cc.o"
+  "CMakeFiles/relser_util.dir/zipf.cc.o.d"
+  "librelser_util.a"
+  "librelser_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relser_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relser_workload.dir/adversarial.cc.o"
+  "CMakeFiles/relser_workload.dir/adversarial.cc.o.d"
+  "CMakeFiles/relser_workload.dir/census.cc.o"
+  "CMakeFiles/relser_workload.dir/census.cc.o.d"
+  "CMakeFiles/relser_workload.dir/generator.cc.o"
+  "CMakeFiles/relser_workload.dir/generator.cc.o.d"
+  "CMakeFiles/relser_workload.dir/scenarios.cc.o"
+  "CMakeFiles/relser_workload.dir/scenarios.cc.o.d"
+  "CMakeFiles/relser_workload.dir/shard_gen.cc.o"
+  "CMakeFiles/relser_workload.dir/shard_gen.cc.o.d"
+  "CMakeFiles/relser_workload.dir/spec_gen.cc.o"
+  "CMakeFiles/relser_workload.dir/spec_gen.cc.o.d"
+  "librelser_workload.a"
+  "librelser_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relser_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

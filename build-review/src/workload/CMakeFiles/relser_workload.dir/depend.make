@@ -1,0 +1,2 @@
+# Empty dependencies file for relser_workload.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/admitter_test.dir/admitter_test.cc.o"
+  "CMakeFiles/admitter_test.dir/admitter_test.cc.o.d"
+  "admitter_test"
+  "admitter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/admitter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/altruistic_test.dir/altruistic_test.cc.o"
+  "CMakeFiles/altruistic_test.dir/altruistic_test.cc.o.d"
+  "altruistic_test"
+  "altruistic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/altruistic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

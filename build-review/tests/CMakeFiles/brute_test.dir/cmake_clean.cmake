@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/brute_test.dir/brute_test.cc.o"
+  "CMakeFiles/brute_test.dir/brute_test.cc.o.d"
+  "brute_test"
+  "brute_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/brute_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chopping_test.dir/chopping_test.cc.o"
+  "CMakeFiles/chopping_test.dir/chopping_test.cc.o.d"
+  "chopping_test"
+  "chopping_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chopping_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/depends_test.dir/depends_test.cc.o"
+  "CMakeFiles/depends_test.dir/depends_test.cc.o.d"
+  "depends_test"
+  "depends_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/depends_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

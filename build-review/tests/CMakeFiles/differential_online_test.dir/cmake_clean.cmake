@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/differential_online_test.dir/differential_online_test.cc.o"
+  "CMakeFiles/differential_online_test.dir/differential_online_test.cc.o.d"
+  "differential_online_test"
+  "differential_online_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/differential_online_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_topo_test.dir/dynamic_topo_test.cc.o"
+  "CMakeFiles/dynamic_topo_test.dir/dynamic_topo_test.cc.o.d"
+  "dynamic_topo_test"
+  "dynamic_topo_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_topo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

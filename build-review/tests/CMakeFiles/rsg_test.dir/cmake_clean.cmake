@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsg_test.dir/rsg_test.cc.o"
+  "CMakeFiles/rsg_test.dir/rsg_test.cc.o.d"
+  "rsg_test"
+  "rsg_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

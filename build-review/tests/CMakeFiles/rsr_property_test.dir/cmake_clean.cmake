@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rsr_property_test.dir/rsr_property_test.cc.o"
+  "CMakeFiles/rsr_property_test.dir/rsr_property_test.cc.o.d"
+  "rsr_property_test"
+  "rsr_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rsr_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_property_test.dir/sched_property_test.cc.o"
+  "CMakeFiles/sched_property_test.dir/sched_property_test.cc.o.d"
+  "sched_property_test"
+  "sched_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

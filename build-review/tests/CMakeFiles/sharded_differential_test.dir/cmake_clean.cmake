@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharded_differential_test.dir/sharded_differential_test.cc.o"
+  "CMakeFiles/sharded_differential_test.dir/sharded_differential_test.cc.o.d"
+  "sharded_differential_test"
+  "sharded_differential_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharded_differential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/to_ra_sched_test.dir/to_ra_sched_test.cc.o"
+  "CMakeFiles/to_ra_sched_test.dir/to_ra_sched_test.cc.o.d"
+  "to_ra_sched_test"
+  "to_ra_sched_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/to_ra_sched_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

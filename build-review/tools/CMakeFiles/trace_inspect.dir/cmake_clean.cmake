@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_inspect.dir/trace_inspect.cc.o"
+  "CMakeFiles/trace_inspect.dir/trace_inspect.cc.o.d"
+  "trace_inspect"
+  "trace_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
