@@ -11,11 +11,21 @@ cmake --preset asan
 cmake --build --preset asan -j"$(nproc)"
 ctest --preset asan
 
+# SoA/SIMD differential, forced-scalar pass: the asan ctest above already
+# ran the per-tier sweep (SetSimdTier re-points the dispatch table at
+# every compiled tier), but process-level RELSER_FORCE_SCALAR=1 also
+# covers the env-pinned dispatch path itself under the sanitizers.
+(cd build-asan &&
+ RELSER_FORCE_SCALAR=1 ctest -R '^soa_differential_test$' \
+   --output-on-failure)
+
 # Perf smoke: small sizes, but the same harness as the full trajectory
-# run — it exercises the allocation counters, the JSON emitter, and the
-# optimized-vs-baseline decision cross-check, and exits non-zero on any
-# of them failing.
+# run — it exercises the allocation counters, the JSON emitter, the
+# optimized-vs-baseline and soa-vs-optimized decision cross-checks, and
+# the SoA steady-allocs/op regression gate, and exits non-zero on any of
+# them failing.
 (cd build-asan && ./bench/bench_online_hotpath --smoke)
+(cd build-asan && RELSER_FORCE_SCALAR=1 ./bench/bench_online_hotpath --smoke)
 
 # The emitted JSON must parse.
 python3 -c "import json; json.load(open('build-asan/BENCH_online.json'))"

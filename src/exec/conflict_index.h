@@ -1,4 +1,4 @@
-// Sharded read-mostly conflict index for the concurrent admission
+// Flat read-mostly conflict index for the concurrent admission
 // front-end.
 //
 // Clients of a ConcurrentAdmitter want to know, before paying for a
@@ -12,21 +12,24 @@
 //
 // The index is a publication structure, not a lock table: the single
 // admission core is the only writer (plain release stores, no CAS), and
-// client threads are read-only (acquire loads). Entries are grouped into
-// cache-line-aligned shards by object id so concurrent readers of
-// unrelated objects never share a line with each other or with the
-// writer's hot shard. Readers may observe slightly stale state; the
-// index is deliberately *advisory* — staleness can only turn a fast-path
-// candidate into a slow-path submission (or submit a doomed fast-path op
-// whose authoritative decision still comes from the admission core),
-// never the reverse, so admission decisions are unaffected.
+// client threads are read-only (acquire loads). Storage is one flat
+// array of word-sized slots indexed directly by object id — a lookup is
+// a single dependent load with no shard mask or division, and a 10^6-
+// object universe is 4 MB of contiguous, linearly prefetchable slots
+// instead of pointer-hopped per-shard vectors. Neighboring objects share
+// a cache line; that is read-read sharing for clients (harmless) and
+// costs the single writer at most the same one-line invalidation per
+// store the sharded layout paid. Readers may observe slightly stale
+// state; the index is deliberately *advisory* — staleness can only turn
+// a fast-path candidate into a slow-path submission (or submit a doomed
+// fast-path op whose authoritative decision still comes from the
+// admission core), never the reverse, so admission decisions are
+// unaffected.
 #ifndef RELSER_EXEC_CONFLICT_INDEX_H_
 #define RELSER_EXEC_CONFLICT_INDEX_H_
 
 #include <atomic>
 #include <cstdint>
-#include <memory>
-#include <new>
 #include <vector>
 
 #include "util/check.h"
@@ -39,22 +42,15 @@ class ShardedConflictIndex {
   static constexpr std::uint32_t kManyAccessors = 0xfffffffeu;
 
   /// `object_count` and `txn_count` fix the universe (dense ids).
-  /// `shards` is rounded up to a power of two.
+  /// `shards` is accepted for interface stability but no longer affects
+  /// the layout — the flat array needs no partitioning.
   ShardedConflictIndex(std::size_t object_count, std::size_t txn_count,
                        std::size_t shards = 16) {
     shard_count_ = 1;
     while (shard_count_ < shards) shard_count_ *= 2;
-    shards_.resize(shard_count_);
-    for (std::size_t s = 0; s < shard_count_; ++s) {
-      // Objects are striped across shards; shard s owns objects with
-      // id % shard_count_ == s.
-      const std::size_t owned =
-          object_count / shard_count_ +
-          (object_count % shard_count_ > s ? 1 : 0);
-      shards_[s].accessor = std::vector<std::atomic<std::uint32_t>>(owned);
-      for (auto& slot : shards_[s].accessor) {
-        slot.store(kNoAccessor, std::memory_order_relaxed);
-      }
+    accessor_ = std::vector<std::atomic<std::uint32_t>>(object_count);
+    for (auto& slot : accessor_) {
+      slot.store(kNoAccessor, std::memory_order_relaxed);
     }
     txn_clean_ = std::vector<std::atomic<std::uint8_t>>(txn_count);
     for (auto& flag : txn_clean_) {
@@ -65,7 +61,8 @@ class ShardedConflictIndex {
   /// Reader side: the accessor published for `object` — a transaction
   /// id, kNoAccessor (untouched) or kManyAccessors (contended).
   std::uint32_t Accessor(std::uint32_t object) const {
-    return Slot(object).load(std::memory_order_acquire);
+    RELSER_DCHECK(object < accessor_.size());
+    return accessor_[object].load(std::memory_order_acquire);
   }
 
   /// Reader side: true while `txn` has never conflicted with another
@@ -87,7 +84,8 @@ class ShardedConflictIndex {
   /// Publishes that `txn` accessed `object`; marks both transactions
   /// dirty when the object becomes shared.
   void NoteAccess(std::uint32_t txn, std::uint32_t object) {
-    std::atomic<std::uint32_t>& slot = Slot(object);
+    RELSER_DCHECK(object < accessor_.size());
+    std::atomic<std::uint32_t>& slot = accessor_[object];
     const std::uint32_t prev = slot.load(std::memory_order_relaxed);
     if (prev == kNoAccessor) {
       slot.store(txn, std::memory_order_release);
@@ -107,23 +105,8 @@ class ShardedConflictIndex {
   std::size_t shard_count() const { return shard_count_; }
 
  private:
-  // One cache line per shard header; the per-shard accessor arrays are
-  // separately allocated so neighboring shards never split a line.
-  struct alignas(64) Shard {
-    std::vector<std::atomic<std::uint32_t>> accessor;
-  };
-
-  std::atomic<std::uint32_t>& Slot(std::uint32_t object) {
-    Shard& shard = shards_[object & (shard_count_ - 1)];
-    return shard.accessor[object / shard_count_];
-  }
-  const std::atomic<std::uint32_t>& Slot(std::uint32_t object) const {
-    const Shard& shard = shards_[object & (shard_count_ - 1)];
-    return shard.accessor[object / shard_count_];
-  }
-
   std::size_t shard_count_ = 1;
-  std::vector<Shard> shards_;
+  std::vector<std::atomic<std::uint32_t>> accessor_;  // object -> accessor
   std::vector<std::atomic<std::uint8_t>> txn_clean_;
 };
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/simd.h"
+
 namespace relser {
 
 TransitiveClosure TransitiveClosure::FromDagOrder(
@@ -14,10 +16,10 @@ TransitiveClosure TransitiveClosure::FromDagOrder(
   // Process sinks first: reach(v) = union over successors s of {s} ∪ reach(s).
   for (auto it = topo_order.rbegin(); it != topo_order.rend(); ++it) {
     const NodeId node = *it;
-    DenseBitset& row = closure.rows_[node];
+    std::uint64_t* row = &closure.words_[node * closure.stride_];
     for (const NodeId succ : graph.OutNeighbors(node)) {
-      row.Set(succ);
-      row.UnionWith(closure.rows_[succ]);
+      row[succ >> 6] |= (1ULL << (succ & 63));
+      OrWords(row, &closure.words_[succ * closure.stride_], closure.stride_);
     }
   }
   return closure;
@@ -32,13 +34,12 @@ TransitiveClosure TransitiveClosure::FromAnyGraph(const Digraph& graph) {
     std::fill(seen.begin(), seen.end(), false);
     stack.assign(graph.OutNeighbors(source).begin(),
                  graph.OutNeighbors(source).end());
-    DenseBitset& row = closure.rows_[source];
     while (!stack.empty()) {
       const NodeId node = stack.back();
       stack.pop_back();
       if (seen[node]) continue;
       seen[node] = true;
-      row.Set(node);
+      closure.SetBit(source, node);
       for (const NodeId succ : graph.OutNeighbors(node)) {
         if (!seen[succ]) stack.push_back(succ);
       }

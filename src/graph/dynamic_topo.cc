@@ -8,7 +8,7 @@ IncrementalTopology::IncrementalTopology(std::size_t node_count)
     : graph_(node_count),
       position_(node_count),
       order_(node_count),
-      visited_(node_count, false),
+      visit_stamp_(node_count, 0),
       probe_stamp_(node_count, 0) {
   for (NodeId node = 0; node < node_count; ++node) {
     position_[node] = node;
@@ -22,7 +22,7 @@ void IncrementalTopology::EnsureNodes(std::size_t node_count) {
   graph_.EnsureNodes(node_count);
   position_.resize(node_count);
   order_.resize(node_count);
-  visited_.resize(node_count, false);
+  visit_stamp_.resize(node_count, 0);
   probe_stamp_.resize(node_count, 0);
   for (NodeId node = old; node < node_count; ++node) {
     position_[node] = node;
@@ -48,9 +48,9 @@ IncrementalTopology::AddResult IncrementalTopology::AddEdge(NodeId from,
   // Affected region is [lower, upper]; discover it.
   delta_forward_.clear();
   delta_backward_.clear();
+  ++visit_gen_;  // discards the previous repair's visited set wholesale
   const bool acyclic = DiscoverForward(to, upper, from);
   if (!acyclic) {
-    for (const NodeId node : delta_forward_) visited_[node] = false;
     last_rejected_edge_ = {from, to};
     return AddResult::kCycle;
   }
@@ -126,7 +126,7 @@ bool IncrementalTopology::DiscoverForward(NodeId start, std::size_t bound,
                                           NodeId target) {
   stack_.clear();
   stack_.push_back(start);
-  visited_[start] = true;
+  visit_stamp_[start] = visit_gen_;
   delta_forward_.push_back(start);
   while (!stack_.empty()) {
     const NodeId node = stack_.back();
@@ -134,8 +134,8 @@ bool IncrementalTopology::DiscoverForward(NodeId start, std::size_t bound,
     if (node == target) return false;
     for (const NodeId succ : graph_.OutNeighbors(node)) {
       if (succ == target) return false;
-      if (!visited_[succ] && position_[succ] <= bound) {
-        visited_[succ] = true;
+      if (visit_stamp_[succ] != visit_gen_ && position_[succ] <= bound) {
+        visit_stamp_[succ] = visit_gen_;
         delta_forward_.push_back(succ);
         stack_.push_back(succ);
       }
@@ -147,14 +147,14 @@ bool IncrementalTopology::DiscoverForward(NodeId start, std::size_t bound,
 void IncrementalTopology::DiscoverBackward(NodeId start, std::size_t bound) {
   stack_.clear();
   stack_.push_back(start);
-  visited_[start] = true;
+  visit_stamp_[start] = visit_gen_;
   delta_backward_.push_back(start);
   while (!stack_.empty()) {
     const NodeId node = stack_.back();
     stack_.pop_back();
     for (const NodeId pred : graph_.InNeighbors(node)) {
-      if (!visited_[pred] && position_[pred] >= bound) {
-        visited_[pred] = true;
+      if (visit_stamp_[pred] != visit_gen_ && position_[pred] >= bound) {
+        visit_stamp_[pred] = visit_gen_;
         delta_backward_.push_back(pred);
         stack_.push_back(pred);
       }
@@ -181,13 +181,11 @@ void IncrementalTopology::Reorder() {
   for (const NodeId node : delta_backward_) {
     position_[node] = pool_[slot];
     order_[pool_[slot]] = node;
-    visited_[node] = false;
     ++slot;
   }
   for (const NodeId node : delta_forward_) {
     position_[node] = pool_[slot];
     order_[pool_[slot]] = node;
-    visited_[node] = false;
     ++slot;
   }
 }

@@ -110,7 +110,12 @@ class IncrementalTopology {
   Digraph graph_;
   std::vector<std::size_t> position_;  // node -> order index
   std::vector<NodeId> order_;          // order index -> node
-  std::vector<bool> visited_;          // scratch, cleared after use
+  // Repair-DFS scratch: generation stamps (like probe_stamp_ below) make
+  // "clear the visited set" a single counter bump instead of a walk over
+  // the discovered region — failed insertions and large repairs pay no
+  // cleanup pass.
+  std::vector<std::uint64_t> visit_stamp_;
+  std::uint64_t visit_gen_ = 0;
   std::vector<NodeId> delta_forward_;
   std::vector<NodeId> delta_backward_;
   std::vector<NodeId> stack_;                       // DFS scratch

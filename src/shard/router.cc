@@ -19,27 +19,17 @@ const char* ShardStrategyName(ShardStrategy strategy) {
 
 ShardRouter::ShardRouter(std::size_t object_count, std::size_t shard_count,
                          ShardStrategy strategy)
-    : shard_count_(shard_count), strategy_(strategy) {
+    : shard_count_(shard_count),
+      object_count_(object_count),
+      strategy_(strategy) {
   RELSER_CHECK_MSG(shard_count >= 1, "shard_count must be positive");
-  shard_of_.resize(object_count);
-  for (std::size_t object = 0; object < object_count; ++object) {
-    if (strategy == ShardStrategy::kRange) {
-      shard_of_[object] =
-          static_cast<std::uint32_t>(object * shard_count / object_count);
-    } else {
-      // SplitMix64 as a stateless mixer: full-avalanche, so consecutive
-      // object ids (the hot prefix under Zipf skew) land on unrelated
-      // shards.
-      std::uint64_t state = 0x5A4D0000ULL + object;
-      shard_of_[object] =
-          static_cast<std::uint32_t>(SplitMix64(&state) % shard_count);
-    }
-  }
 }
 
 std::vector<std::size_t> ShardRouter::ObjectsPerShard() const {
   std::vector<std::size_t> counts(shard_count_, 0);
-  for (const std::uint32_t shard : shard_of_) ++counts[shard];
+  for (std::size_t object = 0; object < object_count_; ++object) {
+    ++counts[ShardOf(static_cast<ObjectId>(object))];
+  }
   return counts;
 }
 

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "model/transaction.h"
+#include "util/rng.h"
 
 namespace relser {
 
@@ -35,6 +36,13 @@ enum class ShardStrategy : std::uint8_t { kHash, kRange };
 const char* ShardStrategyName(ShardStrategy strategy);
 
 /// Immutable ObjectId -> shard partition over a fixed object universe.
+///
+/// The map is computed, not materialized: ShardOf is a pure function of
+/// (object, shard_count, object_count), so routing for 10^6 objects costs
+/// a few registers instead of a 4 MB table that evicts the admission
+/// core's working set on every lookup. Both formulas are the ones the
+/// table was previously filled with, so shard assignments — and every
+/// test or bench keyed on them — are unchanged.
 class ShardRouter {
  public:
   /// Partitions `object_count` objects across `shard_count` shards
@@ -43,13 +51,21 @@ class ShardRouter {
               ShardStrategy strategy = ShardStrategy::kHash);
 
   std::size_t shard_count() const { return shard_count_; }
-  std::size_t object_count() const { return shard_of_.size(); }
+  std::size_t object_count() const { return object_count_; }
   ShardStrategy strategy() const { return strategy_; }
 
-  /// The shard owning `object`; O(1).
+  /// The shard owning `object`; O(1), stateless.
   std::uint32_t ShardOf(ObjectId object) const {
-    RELSER_DCHECK(object < shard_of_.size());
-    return shard_of_[object];
+    RELSER_DCHECK(object < object_count_);
+    if (strategy_ == ShardStrategy::kRange) {
+      return static_cast<std::uint32_t>(object * shard_count_ /
+                                        object_count_);
+    }
+    // SplitMix64 as a stateless mixer: full-avalanche, so consecutive
+    // object ids (the hot prefix under Zipf skew) land on unrelated
+    // shards.
+    std::uint64_t state = 0x5A4D0000ULL + object;
+    return static_cast<std::uint32_t>(SplitMix64(&state) % shard_count_);
   }
 
   /// Objects owned by each shard (for load inspection / tests).
@@ -57,8 +73,8 @@ class ShardRouter {
 
  private:
   std::size_t shard_count_;
+  std::size_t object_count_;
   ShardStrategy strategy_;
-  std::vector<std::uint32_t> shard_of_;  // object -> shard
 };
 
 /// Per-transaction routing facts derived from a router and a set:

@@ -1,9 +1,15 @@
-// DenseBitset: a dynamically sized bitset with word-level bulk operations.
+// DenseBitset: a dynamically sized bitset with word-parallel bulk
+// operations.
 //
 // The core library computes the `depends-on` relation (transitive closure
 // of directly-depends-on) by propagating per-operation reachability sets
 // in schedule order; DenseBitset provides the O(n/64)-per-union kernel
-// that makes the closure O(n^2/64) words of work.
+// that makes the closure O(n^2/64) words of work. Bulk operations
+// (UnionWith / IntersectWith / Intersects) dispatch through util/simd.h,
+// so they run at the widest SIMD tier the CPU offers and fall back to
+// bit-identical scalar loops everywhere else; the SoA admission path
+// (core/soa/) additionally drives the raw words() through the same
+// kernels for its taint and column-mask updates.
 #ifndef RELSER_UTIL_BITSET_H_
 #define RELSER_UTIL_BITSET_H_
 
@@ -13,10 +19,11 @@
 #include <vector>
 
 #include "util/check.h"
+#include "util/simd.h"
 
 namespace relser {
 
-/// Fixed-universe bitset; size chosen at construction.
+/// Fixed-universe bitset; size chosen at construction (or Resize).
 class DenseBitset {
  public:
   DenseBitset() : size_(0) {}
@@ -25,6 +32,20 @@ class DenseBitset {
       : size_(size), words_((size + 63) / 64, 0) {}
 
   std::size_t size() const { return size_; }
+
+  /// Grows or shrinks to `size` bits; preserved bits keep their value,
+  /// new bits are zero. Shrinking clears the dropped tail so a later
+  /// grow re-exposes zeros (the words_ comparison in operator== relies
+  /// on trailing bits beyond size() staying zero as well).
+  void Resize(std::size_t size) {
+    const std::size_t words = (size + 63) / 64;
+    words_.resize(words, 0);
+    size_ = size;
+    const std::size_t tail = size & 63;
+    if (tail != 0 && !words_.empty()) {
+      words_.back() &= (~0ULL >> (64 - tail));
+    }
+  }
 
   /// Sets bit i.
   void Set(std::size_t i) {
@@ -52,26 +73,19 @@ class DenseBitset {
   /// this |= other. Both operands must have equal size.
   void UnionWith(const DenseBitset& other) {
     RELSER_DCHECK(size_ == other.size_);
-    for (std::size_t i = 0; i < words_.size(); ++i) {
-      words_[i] |= other.words_[i];
-    }
+    OrWords(words_.data(), other.words_.data(), words_.size());
   }
 
   /// this &= other. Both operands must have equal size.
   void IntersectWith(const DenseBitset& other) {
     RELSER_DCHECK(size_ == other.size_);
-    for (std::size_t i = 0; i < words_.size(); ++i) {
-      words_[i] &= other.words_[i];
-    }
+    AndWords(words_.data(), other.words_.data(), words_.size());
   }
 
   /// Returns true if this and other share any set bit.
   bool Intersects(const DenseBitset& other) const {
     RELSER_DCHECK(size_ == other.size_);
-    for (std::size_t i = 0; i < words_.size(); ++i) {
-      if (words_[i] & other.words_[i]) return true;
-    }
-    return false;
+    return IntersectWords(words_.data(), other.words_.data(), words_.size());
   }
 
   /// Number of set bits.
@@ -115,6 +129,13 @@ class DenseBitset {
     }
     return out;
   }
+
+  /// Raw word storage, little-endian bit order within each word. The SoA
+  /// hot path ORs whole mask rows into these via the simd.h kernels;
+  /// writers must keep bits at or above size() zero.
+  std::uint64_t* words() { return words_.data(); }
+  const std::uint64_t* words() const { return words_.data(); }
+  std::size_t word_count() const { return words_.size(); }
 
   bool operator==(const DenseBitset& other) const {
     return size_ == other.size_ && words_ == other.words_;
