@@ -44,8 +44,17 @@ python3 -c "import json; json.load(open('build-asan/BENCH_faults.json'))"
 (cd build-asan && ./bench/bench_sharded --smoke)
 python3 -c "import json; json.load(open('build-asan/BENCH_sharded.json'))"
 
+# Audit smoke: the offline auditor's scale + minimization gates (a
+# 100k-op committed-epoch ingest/check and a planted cycle reduced to a
+# <=10-op witness whose exported trace passes the shared validator).
+(cd build-asan && ./bench/bench_audit --smoke)
+python3 -c "import json; json.load(open('build-asan/BENCH_audit.json'))"
+
 # Docs gate: every relative markdown link and every repo path mentioned
-# in README.md / docs/*.md must exist on disk.
+# in README.md / docs/*.md must exist on disk; every file under docs/
+# must be reachable from README.md's documentation index; and every
+# event kind the validator accepts (src/obs/inspect.cc) must be
+# documented in the normative schema, docs/trace-format.md.
 python3 - <<'EOF'
 import os, re, sys
 
@@ -65,6 +74,32 @@ for doc in docs:
             r"[\w./-]+\.(?:h|cc|cpp|md|sh|json|txt)\b", text):
         if not os.path.exists(path):
             bad.append(f"{doc}: dangling path -> {path}")
+
+# Reachability: README.md must link every docs/*.md.
+readme = open("README.md", encoding="utf-8").read()
+linked = set(re.findall(r"\]\((docs/[^)#]+?\.md)(?:#[^)]*)?\)", readme))
+for f in sorted(os.listdir("docs")):
+    if f.endswith(".md") and f"docs/{f}" not in linked:
+        bad.append(f"README.md: docs/{f} not linked from the docs index")
+
+# Event-kind coverage: the kinds the validator knows are the kinds the
+# normative schema documents.
+inspect = open("src/obs/inspect.cc", encoding="utf-8").read()
+body = re.search(
+    r"bool IsKnownTraceEventKind\(std::string_view kind\) \{(.*?)\}",
+    inspect, re.S)
+if body is None:
+    bad.append("src/obs/inspect.cc: IsKnownTraceEventKind not found")
+else:
+    kinds = set(re.findall(r'kind == "(\w+)"', body.group(1)))
+    if not kinds:
+        bad.append("src/obs/inspect.cc: no event kinds extracted")
+    schema = open("docs/trace-format.md", encoding="utf-8").read()
+    for kind in sorted(kinds | {"header"}):
+        if f"`{kind}`" not in schema:
+            bad.append(f"docs/trace-format.md: event kind `{kind}` "
+                       "undocumented")
+
 for line in bad:
     print("docs-gate:", line)
 sys.exit(1 if bad else 0)
@@ -94,5 +129,20 @@ cmake --build --preset tsan -j"$(nproc)" \
  ./tools/trace_inspect --check ci_trace.jsonl &&
  ./tools/trace_inspect ci_trace.jsonl > /dev/null &&
  python3 -c "import json; json.load(open('ci_trace.chrome.json'))")
+
+# Audit round-trip smoke: the demo exports Figure 3, audits it back to
+# ACCEPT, then flips one bit to VIOLATION and minimizes the witness
+# (exit 0 only if every expectation held). On top of the demo's own
+# checks: the exported trace must audit to exit 0, the witness trace
+# must pass the shared validator and audit to exactly exit 1 — the
+# documented exit-code contract.
+(cd build-asan &&
+ rm -rf ci_audit && mkdir ci_audit &&
+ ./tools/audit --demo ci_audit &&
+ ./tools/audit ci_audit/fig3_s2.jsonl > /dev/null &&
+ ./tools/trace_inspect --check ci_audit/fig3_witness.jsonl &&
+ { ./tools/audit --no-witness ci_audit/fig3_witness.jsonl > /dev/null;
+   [ "$?" -eq 1 ]; } &&
+ python3 -c "import json; json.load(open('ci_audit/fig3_witness.chrome.json'))")
 
 echo "ci: all checks passed"

@@ -1,0 +1,87 @@
+// Streaming JSONL history ingestion for the offline auditor.
+//
+// Two dialects are accepted (docs/trace-format.md is normative):
+//
+//   * relser-trace — the src/obs/export.h format: a version-1 header
+//     line followed by event lines. Only "admit" events contribute to
+//     the reconstructed history; every other event kind is skipped.
+//     When the header embeds `txns` (and optionally `spec`) text, the
+//     transaction set and specification are parsed from it and each
+//     admit event is cross-checked; otherwise the transaction set is
+//     reconstructed from the admit events themselves. Traces in which
+//     a transaction restarts (re-admits an already-admitted operation,
+//     as engine runs with aborts do) are rejected — the auditor's input
+//     contract is one admitted occurrence per operation, which replay
+//     / admitter / demo traces and anything the auditor itself writes
+//     satisfy.
+//
+//   * generic — one minimal object per line for auditing *other*
+//     systems' histories: {"txn": 7, "op": 0, "object": "x", "rw": "r"}.
+//     `txn` is any non-negative integer (densified in order of first
+//     appearance), `op` is the 0-based program-order index (optional;
+//     defaults to arrival order, and must be contiguous per
+//     transaction when present), `object` is a string or number, `rw`
+//     is "r" or "w". No header, no spec — the caller supplies the
+//     AtomicitySpec (absolute by default).
+//
+// Ingestion is line-streaming: memory is O(reconstructed history), not
+// O(file), and the first malformed line fails the whole ingest with a
+// line-numbered error.
+#ifndef RELSER_AUDIT_INGEST_H_
+#define RELSER_AUDIT_INGEST_H_
+
+#include <cstdint>
+#include <istream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "model/transaction.h"
+#include "spec/atomicity_spec.h"
+#include "util/status.h"
+
+namespace relser {
+
+/// Which JSONL dialect to expect. kAuto sniffs the first non-empty
+/// line: a {"kind":"header",...} object selects kRelserTrace, an
+/// object with an "rw" field selects kGeneric.
+enum class TraceDialect : std::uint8_t { kAuto, kRelserTrace, kGeneric };
+
+struct IngestOptions {
+  TraceDialect dialect = TraceDialect::kAuto;
+};
+
+/// A reconstructed auditable history.
+struct AuditInput {
+  TransactionSet txns;
+  /// The specification to audit against: the header-embedded one when
+  /// present, else absolute over `txns` (callers may overwrite it, e.g.
+  /// from --spec, before auditing).
+  AtomicitySpec spec;
+  bool spec_from_header = false;
+  bool txns_from_header = false;
+  std::int64_t version = -1;  ///< declared header version; -1 in generic
+  TraceDialect dialect = TraceDialect::kAuto;  ///< dialect actually used
+  /// The admitted operations in trace order; per-transaction
+  /// program-order contiguous by construction (the checker's feeding
+  /// contract).
+  std::vector<Operation> history;
+  std::size_t lines = 0;  ///< non-empty lines consumed
+};
+
+/// Streams `in` line by line. Returns the reconstructed history or a
+/// line-numbered InvalidArgument.
+Result<AuditInput> IngestHistory(std::istream& in,
+                                 const IngestOptions& options = {});
+
+/// IngestHistory over an in-memory document.
+Result<AuditInput> IngestHistoryText(std::string_view content,
+                                     const IngestOptions& options = {});
+
+/// IngestHistory over a file ("-" reads stdin).
+Result<AuditInput> IngestHistoryFile(const std::string& path,
+                                     const IngestOptions& options = {});
+
+}  // namespace relser
+
+#endif  // RELSER_AUDIT_INGEST_H_

@@ -1,5 +1,6 @@
 #include "obs/export.h"
 
+#include "model/text.h"
 #include "util/json.h"
 
 namespace relser {
@@ -15,15 +16,34 @@ bool IsDecision(TraceEventKind kind) {
          kind == TraceEventKind::kReject;
 }
 
+// Transaction-level events carry a conflict_arc cause whose only
+// payload is the peer transaction in `holder` — the from/to Operation
+// fields are meaningless for them and must not be rendered.
+bool IsTxnLevel(TraceEventKind kind) {
+  return kind == TraceEventKind::kCrossShardArc ||
+         kind == TraceEventKind::kCoordinatorReject;
+}
+
+bool HasCause(const TraceEvent& event) {
+  return event.cause.kind != TraceCauseKind::kNone ||
+         !event.cause.note.empty();
+}
+
 // Emits the "cause" object (shared by the JSONL and Chrome exporters).
-void EmitCause(JsonWriter& json, const TraceCause& cause,
+void EmitCause(JsonWriter& json, const TraceEvent& event,
                const TransactionSet& txns) {
+  const TraceCause& cause = event.cause;
   json.BeginObject();
   json.Key("kind");
   json.String(TraceCauseKindName(cause.kind));
   switch (cause.kind) {
     case TraceCauseKind::kRsgArc:
     case TraceCauseKind::kConflictArc:
+      if (IsTxnLevel(event.kind)) {
+        json.Key("peer");
+        json.Uint(cause.holder + 1);
+        break;
+      }
       json.Key("arc");
       json.String(TraceArcKindsToString(cause.arc_kinds));
       json.Key("from");
@@ -63,8 +83,63 @@ void EmitCause(JsonWriter& json, const TraceCause& cause,
 
 }  // namespace
 
-std::string TraceToJsonl(const Tracer& tracer, const TransactionSet& txns) {
+bool ObjectNameEmbeddable(std::string_view name) {
+  if (name.empty()) return false;
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+bool TransactionSetEmbeddable(const TransactionSet& txns) {
+  for (ObjectId o = 0; o < txns.object_count(); ++o) {
+    if (!ObjectNameEmbeddable(txns.ObjectName(o))) return false;
+  }
+  return true;
+}
+
+std::string TransactionSetToText(const TransactionSet& txns) {
   std::string out;
+  for (TxnId t = 0; t < txns.txn_count(); ++t) {
+    out += 'T';
+    out += std::to_string(t + 1);
+    out += " = ";
+    out += ToString(txns, txns.txn(t));
+    out += '\n';
+  }
+  return out;
+}
+
+std::string TraceToJsonl(const Tracer& tracer, const TransactionSet& txns,
+                         std::string_view spec_text) {
+  std::string out;
+  {
+    JsonWriter json;
+    json.BeginObject();
+    json.Key("kind");
+    json.String("header");
+    json.Key("version");
+    json.Uint(static_cast<std::uint64_t>(kTraceFormatVersion));
+    json.Key("format");
+    json.String("relser-trace");
+    json.Key("txn_count");
+    json.Uint(txns.txn_count());
+    json.Key("events");
+    json.Uint(tracer.events().size());
+    if (TransactionSetEmbeddable(txns)) {
+      json.Key("txns");
+      json.String(TransactionSetToText(txns));
+      if (!spec_text.empty()) {
+        json.Key("spec");
+        json.String(spec_text);
+      }
+    }
+    json.EndObject();
+    out += json.str();
+    out += '\n';
+  }
   for (const TraceEvent& event : tracer.events()) {
     JsonWriter json;
     json.BeginObject();
@@ -90,9 +165,9 @@ std::string TraceToJsonl(const Tracer& tracer, const TransactionSet& txns) {
       json.Key("latency_ns");
       json.Uint(event.latency_ns);
     }
-    if (event.cause.kind != TraceCauseKind::kNone) {
+    if (HasCause(event)) {
       json.Key("cause");
-      EmitCause(json, event.cause, txns);
+      EmitCause(json, event, txns);
     }
     json.EndObject();
     out += json.str();
@@ -102,10 +177,10 @@ std::string TraceToJsonl(const Tracer& tracer, const TransactionSet& txns) {
 }
 
 bool WriteTraceJsonl(const Tracer& tracer, const TransactionSet& txns,
-                     const std::string& path) {
+                     const std::string& path, std::string_view spec_text) {
   // WriteJsonFile appends a final newline; strip ours to avoid a blank
   // trailing line.
-  std::string content = TraceToJsonl(tracer, txns);
+  std::string content = TraceToJsonl(tracer, txns, spec_text);
   if (!content.empty() && content.back() == '\n') content.pop_back();
   return WriteJsonFile(path, content);
 }
@@ -193,9 +268,9 @@ std::string TraceToChromeJson(const Tracer& tracer,
       json.Key("latency_ns");
       json.Uint(event.latency_ns);
     }
-    if (event.cause.kind != TraceCauseKind::kNone) {
+    if (HasCause(event)) {
       json.Key("cause");
-      EmitCause(json, event.cause, txns);
+      EmitCause(json, event, txns);
     }
     json.EndObject();
     json.EndObject();

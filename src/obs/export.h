@@ -1,9 +1,13 @@
 // Trace sinks: the JSONL event log and the Chrome trace_event exporter.
 //
 // JSONL — one self-contained JSON object per line, the machine-readable
-// record tools/trace_inspect and tests consume. The schema is documented
-// field-by-field in docs/observability.md and validated by
-// obs/inspect.h's ValidateTraceJsonl.
+// record tools/trace_inspect, tools/audit and tests consume. The first
+// line is a version header (`{"kind":"header","version":1,...}`); the
+// schema is normative in docs/trace-format.md and enforced by
+// obs/inspect.h's ValidateTraceJsonl. When the caller supplies the
+// rendered AtomicitySpec (and every object name survives the paper text
+// notation), the header embeds the transaction set and the spec, making
+// the trace a self-contained auditable history (src/audit/ingest.h).
 //
 // Chrome trace — the `trace_event` JSON format understood by
 // chrome://tracing and https://ui.perfetto.dev: one lane (tid) per
@@ -14,19 +18,43 @@
 #define RELSER_OBS_EXPORT_H_
 
 #include <string>
+#include <string_view>
 
 #include "model/transaction.h"
 #include "obs/trace.h"
 
 namespace relser {
 
-/// Serializes every recorded event as JSON Lines. `txns` supplies the
-/// object names used in the rendered operation strings.
-std::string TraceToJsonl(const Tracer& tracer, const TransactionSet& txns);
+/// The JSONL trace format version this build reads and writes. Bumped
+/// only for incompatible changes; docs/trace-format.md states the
+/// compatibility promise per version.
+inline constexpr int kTraceFormatVersion = 1;
+
+/// True when `name` round-trips through the paper text notation
+/// (model/text.h): nonempty, alphanumerics and '_' only. Traces over
+/// anonymous objects ("#7") skip the header txns/spec embedding.
+bool ObjectNameEmbeddable(std::string_view name);
+
+/// True when every interned object name of `txns` is embeddable.
+bool TransactionSetEmbeddable(const TransactionSet& txns);
+
+/// Renders `txns` in the model/text.h notation ("T1 = r1[x]w1[x]...",
+/// one line per transaction); parseable back via ParseTransactionSet
+/// when every object name is embeddable.
+std::string TransactionSetToText(const TransactionSet& txns);
+
+/// Serializes the version header plus every recorded event as JSON
+/// Lines. `txns` supplies the object names used in the rendered
+/// operation strings. When every object name is embeddable the header
+/// embeds the transaction set; `spec_text` (a spec/text.h rendering of
+/// the AtomicitySpec, empty to omit) rides along so the trace is a
+/// self-contained auditable history.
+std::string TraceToJsonl(const Tracer& tracer, const TransactionSet& txns,
+                         std::string_view spec_text = {});
 
 /// TraceToJsonl + WriteJsonFile. Returns false on I/O failure.
 bool WriteTraceJsonl(const Tracer& tracer, const TransactionSet& txns,
-                     const std::string& path);
+                     const std::string& path, std::string_view spec_text = {});
 
 /// Serializes the trace in Chrome trace_event format (a single JSON
 /// object with a "traceEvents" array; load in chrome://tracing or

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "obs/export.h"
 #include "util/json.h"
 #include "util/strings.h"
 
@@ -11,9 +12,13 @@ namespace relser {
 namespace {
 
 bool IsKnownKind(const std::string& kind) {
-  return kind == "admit" || kind == "delay" || kind == "reject" ||
-         kind == "abort" || kind == "cascade_abort" || kind == "commit" ||
-         kind == "arc" || kind == "shed" || kind == "timeout";
+  return IsKnownTraceEventKind(kind);
+}
+
+// Transaction-level shard events carry a conflict_arc cause reduced to
+// the peer transaction (no operation endpoints).
+bool IsTxnLevelKind(const std::string& kind) {
+  return kind == "cross_shard_arc" || kind == "coordinator_reject";
 }
 
 bool IsDecisionKind(const std::string& kind) {
@@ -63,11 +68,21 @@ std::string CheckEvent(const JsonValue& event) {
   if (kind == "arc" && cause == nullptr) {
     return "arc event missing \"cause\"";
   }
+  if (IsTxnLevelKind(kind) && cause == nullptr) {
+    return kind + " event missing \"cause\"";
+  }
   if (cause != nullptr) {
     if (!cause->is_object()) return "\"cause\" is not an object";
     if (!HasString(*cause, "kind")) return "cause missing \"kind\"";
     const std::string& ckind = cause->Find("kind")->string_value();
-    if (ckind == "rsg_arc" || ckind == "conflict_arc") {
+    if (IsTxnLevelKind(kind)) {
+      if (ckind != "conflict_arc") {
+        return kind + " cause must be conflict_arc, got \"" + ckind + "\"";
+      }
+      if (!HasNumber(*cause, "peer")) {
+        return kind + " cause missing numeric \"peer\"";
+      }
+    } else if (ckind == "rsg_arc" || ckind == "conflict_arc") {
       for (const char* key : {"arc", "from", "to"}) {
         if (!HasString(*cause, key)) {
           return "arc cause missing \"" + std::string(key) + "\"";
@@ -127,9 +142,18 @@ void ForEachLine(std::string_view content, Fn&& fn) {
 
 }  // namespace
 
+bool IsKnownTraceEventKind(std::string_view kind) {
+  return kind == "admit" || kind == "delay" || kind == "reject" ||
+         kind == "abort" || kind == "cascade_abort" || kind == "commit" ||
+         kind == "arc" || kind == "shed" || kind == "timeout" ||
+         kind == "shard_route" || kind == "cross_shard_arc" ||
+         kind == "coordinator_reject";
+}
+
 TraceValidation ValidateTraceJsonl(std::string_view content) {
   TraceValidation result;
   std::int64_t last_seq = -1;
+  bool saw_header = false;
   ForEachLine(content, [&](std::size_t line_no, std::string_view line) {
     ++result.lines;
     if (result.errors.size() >= 20) return;
@@ -137,6 +161,38 @@ TraceValidation ValidateTraceJsonl(std::string_view content) {
     if (!parsed.ok()) {
       result.errors.push_back("line " + std::to_string(line_no) + ": " +
                               parsed.status().message());
+      return;
+    }
+    const bool is_header =
+        parsed->is_object() && Str(*parsed, "kind") == "header";
+    if (!saw_header) {
+      if (!is_header) {
+        result.errors.push_back(
+            "line " + std::to_string(line_no) +
+            ": first line is not a {\"kind\":\"header\",...} header");
+        // Keep validating the rest as events so one missing header
+        // does not mask every other problem.
+        saw_header = true;
+      } else {
+        saw_header = true;
+        if (!HasNumber(*parsed, "version")) {
+          result.errors.push_back("line " + std::to_string(line_no) +
+                                  ": header missing numeric \"version\"");
+          return;
+        }
+        result.version = static_cast<std::int64_t>(U64(*parsed, "version"));
+        if (result.version != kTraceFormatVersion) {
+          result.errors.push_back(
+              "line " + std::to_string(line_no) +
+              ": unsupported trace version " +
+              std::to_string(result.version) + " (this build reads version " +
+              std::to_string(kTraceFormatVersion) + ")");
+        }
+        return;
+      }
+    } else if (is_header) {
+      result.errors.push_back("line " + std::to_string(line_no) +
+                              ": duplicate header (only line 1 may be one)");
       return;
     }
     if (const std::string error = CheckEvent(*parsed); !error.empty()) {
@@ -167,8 +223,9 @@ TraceSummary SummarizeTraceJsonl(std::string_view content) {
     const auto parsed = JsonValue::Parse(line);
     if (!parsed.ok() || !parsed->is_object()) return;
     const JsonValue& event = *parsed;
-    ++summary.events;
     const std::string kind = Str(event, "kind");
+    if (kind == "header") return;
+    ++summary.events;
     const std::uint64_t txn = U64(event, "txn");
     const std::uint64_t tick = U64(event, "tick");
     TxnWaitStat& txn_stat = txns[txn];

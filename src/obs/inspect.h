@@ -1,8 +1,10 @@
 // Offline analysis of JSONL traces (obs/export.h's format).
 //
 // ValidateTraceJsonl is the executable form of the schema documented in
-// docs/observability.md: every required field of every event kind is
-// checked, so tests and scripts/ci.sh can gate on "the trace a build
+// docs/trace-format.md: the version-1 header line is required, every
+// required field of every event kind is checked, and unknown versions
+// are rejected — so tests, scripts/ci.sh, tools/trace_inspect --check,
+// and tools/audit all gate on the same validator and "the trace a build
 // produces is the trace the docs promise". SummarizeTraceJsonl computes
 // the aggregates tools/trace_inspect prints: top blocking arcs,
 // longest-delayed operations, and the per-transaction wait breakdown.
@@ -20,12 +22,20 @@ namespace relser {
 /// message per violating line (capped at 20).
 struct TraceValidation {
   bool ok = false;
-  std::size_t lines = 0;
+  std::size_t lines = 0;       ///< non-empty lines seen (header included)
+  std::int64_t version = -1;   ///< declared header version; -1 when absent
   std::vector<std::string> errors;
 };
 
-/// Validates one JSONL document against the trace event schema.
+/// Validates one JSONL document against the versioned trace schema: the
+/// first line must be a `{"kind":"header","version":1,...}` header
+/// (unknown versions are rejected), every following line one event.
 TraceValidation ValidateTraceJsonl(std::string_view content);
+
+/// True iff `kind` is an event kind of the current trace format version
+/// (docs/trace-format.md). Shared by the validator and audit/ingest.h so
+/// both reject kinds this build does not know.
+bool IsKnownTraceEventKind(std::string_view kind);
 
 /// One aggregated blocking cause: a witnessing arc (or lock) and how
 /// many delay/reject decisions cited it.

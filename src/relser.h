@@ -44,6 +44,11 @@
 #include "core/rsg.h"
 #include "core/rsr.h"
 
+// Offline auditing: JSONL history ingestion, replay-based checking,
+// and delta-debugged minimal violation witnesses.
+#include "audit/audit.h"
+#include "audit/ingest.h"
+
 // Schedulers and the fault-tolerant concurrent admitter.
 #include "sched/admitter.h"
 #include "sched/altruistic.h"

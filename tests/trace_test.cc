@@ -371,24 +371,40 @@ TEST(TraceDisabled, CountersLevelKeepsCountsButNoEvents) {
 // Validation must actually reject malformed traces, not just accept
 // everything (guards the guard).
 TEST(TraceSchema, ValidatorRejectsMalformedEvents) {
+  const char* header =
+      "{\"kind\":\"header\",\"version\":1,\"format\":\"relser-trace\","
+      "\"txn_count\":3,\"events\":2}\n";
   EXPECT_FALSE(ValidateTraceJsonl("").ok);
   EXPECT_FALSE(ValidateTraceJsonl("not json\n").ok);
-  EXPECT_FALSE(
-      ValidateTraceJsonl("{\"seq\":0,\"tick\":0,\"txn\":1}\n").ok);
+  EXPECT_FALSE(ValidateTraceJsonl(
+                   std::string(header) +
+                   "{\"seq\":0,\"tick\":0,\"txn\":1}\n")
+                   .ok);
   // Decision events require op fields and latency.
   EXPECT_FALSE(ValidateTraceJsonl(
+                   std::string(header) +
                    "{\"seq\":0,\"tick\":0,\"kind\":\"admit\",\"txn\":1}\n")
                    .ok);
   // Sequence numbers must strictly increase.
-  const char* dup_seq =
+  const std::string dup_seq =
+      std::string(header) +
       "{\"seq\":0,\"tick\":0,\"kind\":\"commit\",\"txn\":1}\n"
       "{\"seq\":0,\"tick\":0,\"kind\":\"commit\",\"txn\":2}\n";
   EXPECT_FALSE(ValidateTraceJsonl(dup_seq).ok);
   // A well-formed minimal trace passes.
-  const char* good =
+  const std::string good =
+      std::string(header) +
       "{\"seq\":0,\"tick\":0,\"kind\":\"commit\",\"txn\":1}\n"
       "{\"seq\":1,\"tick\":0,\"kind\":\"commit\",\"txn\":2}\n";
   EXPECT_TRUE(ValidateTraceJsonl(good).ok);
+  // The header is not optional, and its version must match this build.
+  EXPECT_FALSE(ValidateTraceJsonl(
+                   "{\"seq\":0,\"tick\":0,\"kind\":\"commit\",\"txn\":1}\n")
+                   .ok);
+  EXPECT_FALSE(ValidateTraceJsonl(
+                   "{\"kind\":\"header\",\"version\":999,"
+                   "\"format\":\"relser-trace\"}\n")
+                   .ok);
 }
 
 }  // namespace

@@ -5,8 +5,9 @@
 //       Print the summary report: top blocking arcs, longest-delayed
 //       operations, per-transaction wait breakdown.
 //   trace_inspect --check <trace.jsonl>
-//       Validate the file against the documented event schema
-//       (docs/observability.md); exit non-zero on any violation.
+//       Validate the file against the normative versioned schema
+//       (docs/trace-format.md) — the same validator tools/audit and
+//       the CI smoke use; exit non-zero on any violation.
 //   trace_inspect --demo <scheduler> <out.jsonl> [out.chrome.json]
 //       Replay a paper schedule through the named scheduler
 //       (sched/factory.h names) with full tracing and write the JSONL
@@ -100,7 +101,8 @@ int RunDemo(const std::string& scheduler_name, const std::string& jsonl_path,
               example.name.c_str(), scheduler_name.c_str(), result.granted,
               result.delays, result.aborted_txns, result.rounds);
 
-  if (!relser::WriteTraceJsonl(tracer, example.txns, jsonl_path)) {
+  if (!relser::WriteTraceJsonl(tracer, example.txns, jsonl_path,
+                               relser::ToString(example.txns, example.spec))) {
     std::fprintf(stderr, "trace_inspect: cannot write %s\n",
                  jsonl_path.c_str());
     return 1;
