@@ -12,12 +12,19 @@
 // RSGT it proceeds as soon as the long transaction's unit has passed.
 // Expected shape: short-latency grows with the long transaction's length
 // for the classical protocols and stays flat for the spec-aware ones.
+// Emits BENCH_longlived.json (plus a bench/trajectory snapshot when a
+// tag is set) via WriteBenchJsonFile. `--smoke` shrinks the grid for
+// CI; `--tag=NAME` names the trajectory snapshot.
 #include <algorithm>
+#include <cstring>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "sched/engine.h"
 #include "sched/factory.h"
 #include "sched/verify.h"
+#include "util/json.h"
 #include "util/table.h"
 #include "workload/generator.h"
 
@@ -79,18 +86,45 @@ LongLivedWorkload MakeLongLived(std::size_t long_steps,
 
 }  // namespace
 
-int main() {
+namespace {
+
+struct LongLivedRow {
+  std::size_t long_steps = 0;
+  std::string scheduler;
+  double makespan_mean = 0;
+  double short_lat_mean = 0;
+  std::size_t short_lat_max = 0;
+  double long_latency_mean = 0;
+  std::size_t blocks_mean = 0;
+  std::size_t aborts_mean = 0;
+  bool guarantee = true;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace relser;
+  bool smoke = false;
+  std::string tag;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strncmp(argv[i], "--tag=", 6) == 0) tag = argv[i] + 6;
+  }
   std::cout << "== CONC/long-lived: short-txn latency behind a long txn =="
-            << "\n\n";
+            << (smoke ? " (smoke)" : "") << "\n\n";
 
   AsciiTable table({"long_steps", "scheduler", "makespan", "short_lat_mean",
                     "short_lat_max", "long_latency", "blocks", "aborts",
                     "guarantee"});
   bool all_guarantees = true;
   constexpr std::size_t kShortTxns = 16;
-  constexpr int kRuns = 5;
-  for (const std::size_t long_steps : {4u, 8u, 16u, 32u}) {
+  const std::size_t kRuns = smoke ? 2 : 5;
+  const double runs_d = static_cast<double>(kRuns);
+  std::vector<LongLivedRow> rows;
+  const std::vector<std::size_t> step_grid =
+      smoke ? std::vector<std::size_t>{4, 8}
+            : std::vector<std::size_t>{4, 8, 16, 32};
+  for (const std::size_t long_steps : step_grid) {
     for (const std::string& name : AllSchedulerNames()) {
       double short_lat_sum = 0;
       std::size_t short_lat_max = 0;
@@ -99,7 +133,7 @@ int main() {
       std::size_t blocks = 0;
       std::size_t aborts = 0;
       bool guarantee = true;
-      for (int run = 0; run < kRuns; ++run) {
+      for (std::size_t run = 0; run < kRuns; ++run) {
         Rng rng(31337 + static_cast<std::uint64_t>(run));
         const LongLivedWorkload w = MakeLongLived(long_steps, kShortTxns,
                                                   /*long_think=*/3, &rng);
@@ -124,11 +158,23 @@ int main() {
         aborts += result.metrics.aborts + result.metrics.cascade_aborts;
       }
       all_guarantees = all_guarantees && guarantee;
+      LongLivedRow row;
+      row.long_steps = long_steps;
+      row.scheduler = name;
+      row.makespan_mean = makespan_sum / runs_d;
+      row.short_lat_mean =
+          short_lat_sum / (runs_d * kShortTxns);
+      row.short_lat_max = short_lat_max;
+      row.long_latency_mean = long_lat_sum / runs_d;
+      row.blocks_mean = blocks / kRuns;
+      row.aborts_mean = aborts / kRuns;
+      row.guarantee = guarantee;
+      rows.push_back(row);
       table.AddRow({std::to_string(long_steps), name,
-                    FormatDouble(makespan_sum / kRuns, 0),
-                    FormatDouble(short_lat_sum / (kRuns * kShortTxns), 1),
+                    FormatDouble(makespan_sum / runs_d, 0),
+                    FormatDouble(short_lat_sum / (runs_d * kShortTxns), 1),
                     std::to_string(short_lat_max),
-                    FormatDouble(long_lat_sum / kRuns, 0),
+                    FormatDouble(long_lat_sum / runs_d, 0),
                     std::to_string(blocks / kRuns),
                     std::to_string(aborts / kRuns),
                     guarantee ? "held" : "VIOLATED"});
@@ -143,5 +189,49 @@ int main() {
                "makes the execution non-serializable), while RSGT\nadmits "
                "those interleavings via the unit boundaries.\nguarantees: "
             << (all_guarantees ? "all held" : "VIOLATED") << "\n";
+
+  // -- JSON artifact ---------------------------------------------------
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("bench");
+  json.String("longlived");
+  json.Key("smoke");
+  json.Bool(smoke);
+  json.Key("runs_per_cell");
+  json.Uint(kRuns);
+  json.Key("short_txns");
+  json.Uint(kShortTxns);
+  json.Key("all_guarantees_held");
+  json.Bool(all_guarantees);
+  json.Key("rows");
+  json.BeginArray();
+  for (const LongLivedRow& row : rows) {
+    json.BeginObject();
+    json.Key("long_steps");
+    json.Uint(row.long_steps);
+    json.Key("scheduler");
+    json.String(row.scheduler);
+    json.Key("makespan_mean");
+    json.Double(row.makespan_mean);
+    json.Key("short_lat_mean");
+    json.Double(row.short_lat_mean);
+    json.Key("short_lat_max");
+    json.Uint(row.short_lat_max);
+    json.Key("long_latency_mean");
+    json.Double(row.long_latency_mean);
+    json.Key("blocks_mean");
+    json.Uint(row.blocks_mean);
+    json.Key("aborts_mean");
+    json.Uint(row.aborts_mean);
+    json.Key("guarantee_held");
+    json.Bool(row.guarantee);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  if (!WriteBenchJsonFile("BENCH_longlived.json", json.str(), tag)) {
+    std::cerr << "failed to write BENCH_longlived.json\n";
+    return 1;
+  }
   return all_guarantees ? 0 : 1;
 }

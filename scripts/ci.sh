@@ -44,6 +44,19 @@ python3 -c "import json; json.load(open('build-asan/BENCH_faults.json'))"
 (cd build-asan && ./bench/bench_sharded --smoke)
 python3 -c "import json; json.load(open('build-asan/BENCH_sharded.json'))"
 
+# MVCC smoke: the snapshot-read fast path over a shrunken ratio grid.
+# Exits non-zero unless every cell's committed history replays
+# relatively serializably, ratio-0 runs are bit-identical to the fast
+# path being off (both admitters), and the ratio-1 cell admits every
+# transaction arc-free.
+(cd build-asan && ./bench/bench_mvcc --smoke)
+python3 -c "import json; json.load(open('build-asan/BENCH_mvcc.json'))"
+
+# Long-lived-transaction smoke: the spec-aware schedulers must keep
+# every short-transaction-latency guarantee at each long-txn length.
+(cd build-asan && ./bench/bench_longlived --smoke)
+python3 -c "import json; json.load(open('build-asan/BENCH_longlived.json'))"
+
 # Audit smoke: the offline auditor's scale + minimization gates (a
 # 100k-op committed-epoch ingest/check and a planted cycle reduced to a
 # <=10-op witness whose exported trace passes the shared validator).
@@ -111,15 +124,17 @@ EOF
 # just their test binaries and runs them under the race detector (pool
 # churn, MPSC producer storms, the 8-client admitter stress, the
 # fault-injection suite, multi-core sharded admission with cross-shard
-# kill cascades, and a reduced-round sharded differential sweep).
+# kill cascades, a reduced-round sharded differential sweep, and the
+# MVCC snapshot-read fleets whose settledness counters and commit CAS
+# are the fast path's entire synchronization story).
 # -fno-sanitize-recover turns any report into a non-zero exit.
 cmake --preset tsan
 cmake --build --preset tsan -j"$(nproc)" \
   --target exec_test admitter_test fault_test shard_test \
-           sharded_differential_test
+           sharded_differential_test mvcc_test
 (cd build-tsan &&
  RELSER_SHARD_DIFF_ROUNDS=120 \
- ctest -R '^(exec_test|admitter_test|fault_test|shard_test|sharded_differential_test)$' \
+ ctest -R '^(exec_test|admitter_test|fault_test|shard_test|sharded_differential_test|mvcc_test)$' \
    --output-on-failure)
 
 # Trace smoke: export a paper-figure trace, validate it against the

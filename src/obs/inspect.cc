@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <set>
 
 #include "obs/export.h"
 #include "util/json.h"
@@ -147,7 +148,7 @@ bool IsKnownTraceEventKind(std::string_view kind) {
          kind == "abort" || kind == "cascade_abort" || kind == "commit" ||
          kind == "arc" || kind == "shed" || kind == "timeout" ||
          kind == "shard_route" || kind == "cross_shard_arc" ||
-         kind == "coordinator_reject";
+         kind == "coordinator_reject" || kind == "snapshot_read";
 }
 
 TraceValidation ValidateTraceJsonl(std::string_view content) {
@@ -218,6 +219,9 @@ TraceSummary SummarizeTraceJsonl(std::string_view content) {
   // Keyed by (txn, op_index); value tracks the op's waiting window.
   std::map<std::pair<std::uint64_t, std::uint64_t>, OpWaitStat> ops;
   std::map<std::uint64_t, TxnWaitStat> txns;
+  // Deduplicated coordinator arcs (from, peer), for the durable-arc
+  // (tombstone) census.
+  std::set<std::pair<std::uint64_t, std::uint64_t>> coordinator_pairs;
 
   ForEachLine(content, [&](std::size_t /*line_no*/, std::string_view line) {
     const auto parsed = JsonValue::Parse(line);
@@ -300,8 +304,25 @@ TraceSummary SummarizeTraceJsonl(std::string_view content) {
       txn_stat.committed = true;
     } else if (kind == "arc") {
       ++summary.arcs;
+    } else if (kind == "snapshot_read") {
+      ++summary.snapshot_reads;
+    } else if (kind == "cross_shard_arc" && cause != nullptr &&
+               cause->is_object()) {
+      coordinator_pairs.emplace(txn, U64(*cause, "peer"));
     }
   });
+
+  for (const auto& [from, to] : coordinator_pairs) {
+    const auto dead = [&](std::uint64_t t) {
+      const auto it = txns.find(t);
+      return it != txns.end() && it->second.aborted;
+    };
+    if (dead(from) || dead(to)) {
+      ++summary.cross_shard_arcs_dead;
+    } else {
+      ++summary.cross_shard_arcs_live;
+    }
+  }
 
   for (auto& [label, stat] : blocking) {
     if (label != "(uncaused)" || stat.delays + stat.rejects > 0) {
@@ -338,6 +359,16 @@ std::string RenderTraceSummary(const TraceSummary& summary) {
          ", cascade " + std::to_string(summary.cascade_aborts) +
          ", commit " + std::to_string(summary.commits) +
          ", arc " + std::to_string(summary.arcs) + ")\n";
+  if (summary.snapshot_reads > 0) {
+    out += "snapshot reads: " + std::to_string(summary.snapshot_reads) +
+           " (admitted arc-free from the committed watermark)\n";
+  }
+  if (summary.cross_shard_arcs_live + summary.cross_shard_arcs_dead > 0) {
+    out += "cross-shard durable arcs: " +
+           std::to_string(summary.cross_shard_arcs_live) + " live, " +
+           std::to_string(summary.cross_shard_arcs_dead) +
+           " dead (tombstoned)\n";
+  }
 
   out += "\ntop blocking causes:\n";
   std::size_t shown = 0;

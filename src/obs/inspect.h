@@ -81,6 +81,12 @@ struct TraceSummary {
   std::uint64_t cascade_aborts = 0;
   std::uint64_t commits = 0;
   std::uint64_t arcs = 0;
+  std::uint64_t snapshot_reads = 0;  ///< arc-free snapshot admissions
+  // Cross-shard durable-arc census reconstructed from cross_shard_arc
+  // events (deduplicated from->peer pairs): an arc is *dead* (tombstone)
+  // when either endpoint transaction aborted, live otherwise.
+  std::uint64_t cross_shard_arcs_live = 0;
+  std::uint64_t cross_shard_arcs_dead = 0;
   std::vector<BlockingCauseStat> top_blocking;  ///< most-cited first
   std::vector<OpWaitStat> longest_delayed;      ///< largest wait first
   std::vector<TxnWaitStat> per_txn;             ///< by transaction id

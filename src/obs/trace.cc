@@ -22,6 +22,7 @@ const char* TraceEventKindName(TraceEventKind kind) {
     case TraceEventKind::kShardRoute: return "shard_route";
     case TraceEventKind::kCrossShardArc: return "cross_shard_arc";
     case TraceEventKind::kCoordinatorReject: return "coordinator_reject";
+    case TraceEventKind::kSnapshotRead: return "snapshot_read";
   }
   return "?";
 }
@@ -267,6 +268,30 @@ void Tracer::CountEscalation() {
   ++counters_.escalations;
 }
 
+void Tracer::RecordSnapshotRead(TxnId txn, std::uint64_t tick) {
+  if (!counting()) return;
+  ++counters_.snapshot_admits;
+  if (!events_on()) return;
+  TraceEvent event;
+  event.seq = next_seq_++;
+  event.tick = tick;
+  event.kind = TraceEventKind::kSnapshotRead;
+  event.txn = txn;
+  event.cause.note = "snapshot @ watermark " + std::to_string(tick);
+  events_.push_back(std::move(event));
+}
+
+void Tracer::AddSnapshotEscalations(std::uint64_t escalations) {
+  if (!counting()) return;
+  counters_.snapshot_escalations += escalations;
+}
+
+void Tracer::SetCoordinatorArcCensus(std::uint64_t live, std::uint64_t dead) {
+  if (!counting()) return;
+  counters_.coordinator_arcs_live = live;
+  counters_.coordinator_arcs_dead = dead;
+}
+
 void Tracer::AddRetries(std::uint64_t retries) {
   if (!counting()) return;
   counters_.retries += retries;
@@ -296,6 +321,10 @@ void Tracer::MergeFrom(const Tracer& other) {
   counters_.cross_shard_arcs += c.cross_shard_arcs;
   counters_.coordinator_rejects += c.coordinator_rejects;
   counters_.escalations += c.escalations;
+  counters_.snapshot_admits += c.snapshot_admits;
+  counters_.snapshot_escalations += c.snapshot_escalations;
+  counters_.coordinator_arcs_live += c.coordinator_arcs_live;
+  counters_.coordinator_arcs_dead += c.coordinator_arcs_dead;
   admit_latency_.MergeFrom(other.admit_latency_);
   batch_size_.MergeFrom(other.batch_size_);
   if (events_on()) {
@@ -386,6 +415,14 @@ std::string SnapshotToJson(const TraceSnapshot& snapshot) {
   json.Uint(snapshot.counters.coordinator_rejects);
   json.Key("escalations");
   json.Uint(snapshot.counters.escalations);
+  json.Key("snapshot_admits");
+  json.Uint(snapshot.counters.snapshot_admits);
+  json.Key("snapshot_escalations");
+  json.Uint(snapshot.counters.snapshot_escalations);
+  json.Key("coordinator_arcs_live");
+  json.Uint(snapshot.counters.coordinator_arcs_live);
+  json.Key("coordinator_arcs_dead");
+  json.Uint(snapshot.counters.coordinator_arcs_dead);
   json.Key("batch_size_p50");
   json.Double(snapshot.batch_size_p50);
   json.Key("batch_size_p99");

@@ -68,6 +68,8 @@ enum class TraceEventKind : std::uint8_t {
   kShardRoute,         ///< multi-shard transaction registered for routing
   kCrossShardArc,      ///< conflict arc mirrored into the coordinator
   kCoordinatorReject,  ///< arc batch closed a transaction-level cycle
+  // MVCC snapshot-read fast path (core/mvcc/): transaction-level.
+  kSnapshotRead,  ///< read-only txn admitted from the committed snapshot
 };
 
 /// Stable lowercase name ("admit", "delay", ...).
@@ -154,6 +156,14 @@ struct TraceCounters {
   std::uint64_t cross_shard_arcs = 0;     ///< arcs mirrored (first inserts)
   std::uint64_t coordinator_rejects = 0;  ///< txn-level cycle rejections
   std::uint64_t escalations = 0;  ///< txns whose components were flushed
+  // MVCC snapshot-read fast path (core/mvcc/).
+  std::uint64_t snapshot_admits = 0;  ///< read-only txns admitted arc-free
+  std::uint64_t snapshot_escalations = 0;  ///< read-only txns sent to checker
+  // Cross-shard coordinator durable-arc census (gauges, not monotonic
+  // within a run: MarkDead moves arcs live -> dead; summed by MergeFrom
+  // like everything else since exactly one shard tracer carries them).
+  std::uint64_t coordinator_arcs_live = 0;
+  std::uint64_t coordinator_arcs_dead = 0;
 };
 
 /// Power-of-two-bucketed latency histogram: bucket b holds samples with
@@ -266,6 +276,18 @@ class Tracer {
   void RecordCoordinatorReject(TxnId issuer, TxnId from, TxnId to,
                                std::uint64_t tick);
   void CountEscalation();
+
+  /// MVCC snapshot-read fast path (core/mvcc/, sched/admitter.h,
+  /// shard/sharded_admitter.h). RecordSnapshotRead logs one arc-free
+  /// snapshot admission (transaction-level event; `tick` is the
+  /// committed watermark the reader was admitted against) — the
+  /// admitters fold these in after Stop, from the VersionStore's admit
+  /// log, to respect the single-writer contract. AddSnapshotEscalations
+  /// folds the escalation count the same way; SetCoordinatorArcCensus
+  /// publishes the coordinator's live/dead durable-arc gauges.
+  void RecordSnapshotRead(TxnId txn, std::uint64_t tick);
+  void AddSnapshotEscalations(std::uint64_t escalations);
+  void SetCoordinatorArcCensus(std::uint64_t live, std::uint64_t dead);
 
   /// Folds the client-side backpressure-retry count in. Called once,
   /// after the admission core has quiesced (Stop), to respect the

@@ -1,5 +1,6 @@
 #include "sched/admitter.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include "exec/faultplan.h"
@@ -29,6 +30,7 @@ ConcurrentAdmitter::ConcurrentAdmitter(const TransactionSet& txns,
     admitted_log_.reserve(checker_.indexer().total_ops());
   }
   if (options_.tracer != nullptr) checker_.set_tracer(options_.tracer);
+  if (options_.snapshot_reads) store_ = std::make_unique<VersionStore>(txns);
   core_ = std::thread([this] { CoreLoop(); });
 }
 
@@ -37,6 +39,54 @@ ConcurrentAdmitter::~ConcurrentAdmitter() { Stop(); }
 AdmitResult ConcurrentAdmitter::SubmitAndWait(
     const Operation& op, std::chrono::microseconds timeout) {
   const std::size_t gid = checker_.indexer().GlobalId(op);
+  if (store_ != nullptr && store_->IsReadOnly(op.txn)) {
+    // MVCC snapshot fast path. A snapshot admission publishes the whole
+    // transaction's decision words, so later operations are answered
+    // here without touching the core.
+    const std::uint8_t word = decision_[gid].load(std::memory_order_acquire);
+    if (word != 0) {
+      return AdmitResult{static_cast<AdmitOutcome>(word - 1), {}, op.txn};
+    }
+    if (op.index == 0 && TxnState(op.txn) == kStateLive &&
+        store_->ReadSetSettled(op.txn)) {
+      // Claim the commit client-side. The feeding contract makes this
+      // thread the transaction's only submitter; the core can still race
+      // us via a client-initiated AbortTxn, which the CAS arbitrates.
+      std::uint8_t expected = kStateLive;
+      if (txn_state_[op.txn].compare_exchange_strong(
+              expected, kStateCommitted, std::memory_order_acq_rel,
+              std::memory_order_acquire)) {
+        // Watermark read *after* the settledness check: every committed
+        // writer of the read set has already bumped it (their release
+        // decrement is what the check acquired), so this epoch places
+        // the reader after all of them.
+        const std::uint64_t epoch = store_->watermark();
+        store_->LogSnapshotAdmit(
+            op.txn, epoch,
+            snapshot_seq_.fetch_add(1, std::memory_order_relaxed));
+        const Transaction& txn = txns_.txn(op.txn);
+        constexpr std::uint8_t kAcceptWord =
+            1 + static_cast<std::uint8_t>(AdmitOutcome::kAccept);
+        for (std::uint32_t i = 0;
+             i < static_cast<std::uint32_t>(txn.size()); ++i) {
+          decision_[checker_.indexer().GlobalId(op.txn, i)].store(
+              kAcceptWord, std::memory_order_release);
+        }
+        accepted_.fetch_add(txn.size(), std::memory_order_relaxed);
+        return AdmitResult::Accept(op.txn);
+      }
+      if (expected >= kStateDead) {
+        return AdmitResult{
+            static_cast<AdmitOutcome>(expected - kStateDead), {}, op.txn};
+      }
+      return AdmitResult::Reject(op.txn);  // contract violation: defensive
+    }
+    if (op.index == 0 && TxnState(op.txn) == kStateLive) {
+      // A live writer of the read set is in flight: escalate into the
+      // checker path (counted once).
+      store_->TryCountEscalation(op.txn);
+    }
+  }
   pending_[op.txn].fetch_add(1, std::memory_order_relaxed);
   submitted_.fetch_add(1, std::memory_order_relaxed);
   if (!queue_.TryEnqueue(Request{op, RequestKind::kOp})) {
@@ -154,19 +204,55 @@ void ConcurrentAdmitter::Stop() {
   stop_.store(true, std::memory_order_release);
   if (core_.joinable()) core_.join();
   // The core has quiesced; folding the client-side retry tally in now
-  // respects the tracer's single-writer contract.
+  // respects the tracer's single-writer contract. Snapshot admissions
+  // (logged by client threads) are folded the same way: one
+  // snapshot_read + commit per admitted reader, stamped with its
+  // admission watermark.
   if (options_.tracer != nullptr) {
     options_.tracer->AddRetries(retry_count_.load(std::memory_order_acquire));
+    if (store_ != nullptr) {
+      for (const SnapshotAdmitRecord& rec : store_->SnapshotAdmits()) {
+        options_.tracer->RecordSnapshotRead(rec.txn, rec.epoch);
+        options_.tracer->RecordCommit(rec.txn, rec.epoch);
+      }
+      options_.tracer->AddSnapshotEscalations(store_->snapshot_escalations());
+    }
   }
 }
 
 std::vector<Operation> ConcurrentAdmitter::CommittedLog() const {
+  // Snapshot readers, grouped for splicing: a reader admitted at
+  // watermark e belongs immediately after the e-th commit (admit order
+  // within a group). The core calls NoteCommit in its commit order,
+  // which is exactly the order committed transactions complete in
+  // feed_log, so counting commit points while walking reproduces the
+  // watermark.
+  std::vector<SnapshotAdmitRecord> snaps;
+  if (store_ != nullptr) snaps = store_->SnapshotAdmits();
+  std::stable_sort(snaps.begin(), snaps.end(),
+                   [](const SnapshotAdmitRecord& a,
+                      const SnapshotAdmitRecord& b) { return a.epoch < b.epoch; });
+  std::size_t cursor = 0;
   std::vector<Operation> log;
   log.reserve(checker_.feed_log().size());
+  const auto splice_through = [&](std::uint64_t epoch) {
+    for (; cursor < snaps.size() && snaps[cursor].epoch <= epoch; ++cursor) {
+      for (const Operation& op : txns_.txn(snaps[cursor].txn).ops()) {
+        log.push_back(op);
+      }
+    }
+  };
+  std::uint64_t commits_seen = 0;
+  splice_through(0);
   for (const std::size_t gid : checker_.feed_log()) {
     const Operation& op = txns_.OpByGlobalId(gid);
-    if (TxnState(op.txn) == kStateCommitted) log.push_back(op);
+    if (TxnState(op.txn) != kStateCommitted) continue;
+    log.push_back(op);
+    if (op.index + 1 == txns_.txn(op.txn).size()) {
+      splice_through(++commits_seen);
+    }
   }
+  splice_through(~std::uint64_t{0});
   return log;
 }
 
@@ -278,6 +364,9 @@ void ConcurrentAdmitter::Decide(const Operation& op) {
       // accepted, so this accept completes the transaction: commit.
       txn_state_[txn].store(kStateCommitted, std::memory_order_release);
       --live_uncommitted_;
+      // Publish versions + drain this writer from the unfinished
+      // counters (the release edge snapshot classification acquires).
+      if (store_ != nullptr) store_->NoteCommit(txn);
       if (tracer != nullptr && tracer->counting()) {
         tracer->RecordCommit(txn, core_steps_);
       }
@@ -340,6 +429,9 @@ void ConcurrentAdmitter::Kill(TxnId root, AdmitOutcome outcome) {
     if (checker_.TxnHasExecuted(victim.txn)) {
       checker_.RemoveTransactionExact(victim.txn);
     }
+    // An aborted writer can never produce a version; release waiting
+    // snapshot classifications.
+    if (store_ != nullptr) store_->NoteAbort(victim.txn);
     index_.MarkTxnDirty(victim.txn);
     // Every live transaction that read one of the victim's writes read
     // data that now never existed: cascade. Committed readers are out

@@ -75,12 +75,14 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
 
 #include "core/admit.h"
+#include "core/mvcc/version_store.h"
 #include "core/online.h"
 #include "exec/backoff.h"
 #include "exec/conflict_index.h"
@@ -112,6 +114,16 @@ struct AdmitterOptions {
   /// Deterministic core-pause schedule (exec/faultplan.h); keyed by the
   /// core's decision count. Must outlive the admitter. nullptr = none.
   const FaultPlan* faults = nullptr;
+  /// MVCC snapshot-read fast path (core/mvcc/): read-only transactions
+  /// whose read set has *settled* (every static writer of every object
+  /// they read has finished) commit client-side against the committed
+  /// watermark — zero RSG arcs, zero admission-core traffic; readers
+  /// scale with client count instead of serializing through the core.
+  /// Read-only transactions raced by a live writer escalate into the
+  /// normal path unchanged. Off by default: with the flag off (or with
+  /// no read-only transactions in the workload) decisions are
+  /// bit-identical to older revisions.
+  bool snapshot_reads = false;
 };
 
 /// Multi-threaded, fault-tolerant admission front-end over one
@@ -217,10 +229,22 @@ class ConcurrentAdmitter {
 
   /// The committed prefix: every operation of every *committed*
   /// transaction, in admission order (the checker's surviving feed,
-  /// filtered to committed transactions). This is the schedule whose
-  /// relative serializability the fault bench hard-gates on. Safe to
-  /// call once Stop has returned.
+  /// filtered to committed transactions). With snapshot_reads on, each
+  /// snapshot-admitted reader's block is spliced in immediately after
+  /// the commit its admission watermark points at — the merged sequence
+  /// is the single-version history the soundness replay gates on. Safe
+  /// to call once Stop has returned.
   std::vector<Operation> CommittedLog() const;
+
+  /// Snapshot fast-path counters (0 when snapshot_reads is off).
+  std::uint64_t snapshot_admits() const {
+    return store_ != nullptr ? store_->snapshot_admits() : 0;
+  }
+  std::uint64_t snapshot_escalations() const {
+    return store_ != nullptr ? store_->snapshot_escalations() : 0;
+  }
+  /// The multiversion store backing the fast path; nullptr when off.
+  const VersionStore* version_store() const { return store_.get(); }
 
   /// The wrapped checker. Safe to inspect once Stop has returned.
   const OnlineRsrChecker& checker() const { return checker_; }
@@ -259,6 +283,10 @@ class ConcurrentAdmitter {
   OnlineRsrChecker checker_;
   ShardedConflictIndex index_;
   AdmitterOptions options_;
+  // Snapshot fast path (non-null iff options_.snapshot_reads). Clients
+  // classify against it lock-free; the core feeds NoteCommit/NoteAbort.
+  std::unique_ptr<VersionStore> store_;
+  std::atomic<std::uint64_t> snapshot_seq_{0};  // admit-log stamps
 
   MpscQueue<Request> queue_;
   std::vector<std::atomic<std::uint8_t>> decision_;  // gid -> 1 + outcome

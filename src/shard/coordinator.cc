@@ -10,6 +10,7 @@ CrossShardCoordinator::CrossShardCoordinator(std::size_t txn_count,
     : txn_count_(txn_count),
       topo_(txn_count),
       dead_(txn_count, 0),
+      incident_(txn_count),
       tracer_(tracer) {
   pair_index_.Reserve(txn_count * 2);
 }
@@ -43,8 +44,16 @@ CrossShardCoordinator::ArcResult CrossShardCoordinator::AddArcs(
   for (const auto& [from_node, to_node] : batch_buf_) {
     const auto from = static_cast<TxnId>(from_node);
     const auto to = static_cast<TxnId>(to_node);
-    *pair_index_.Upsert(PairKey(from, to)).first = 1;
+    const std::uint64_t key = PairKey(from, to);
+    // An arc inserted with an already-tombstoned endpoint is born dead:
+    // it only exists as a conservative constraint (durable-arc
+    // discipline lets dead transactions appear as endpoints).
+    const bool dead_arc = dead_[from] != 0 || dead_[to] != 0;
+    *pair_index_.Upsert(key).first = dead_arc ? kArcDead : kArcLive;
+    incident_[from].push_back(key);
+    incident_[to].push_back(key);
     ++arcs_mirrored_;
+    ++(dead_arc ? arcs_dead_ : arcs_live_);
     if (tracer_ != nullptr) {
       tracer_->RecordCrossShardArc(from, to, tracer_->tick());
     }
@@ -59,7 +68,17 @@ void CrossShardCoordinator::MarkDead(TxnId txn) {
   // paths the op-level shard checkers still enforce among survivors).
   std::lock_guard<std::mutex> lock(mu_);
   RELSER_DCHECK(txn < txn_count_);
+  if (dead_[txn] != 0) return;
   dead_[txn] = 1;
+  for (const std::uint64_t key : incident_[txn]) {
+    std::uint8_t* state = pair_index_.Find(key);
+    RELSER_DCHECK(state != nullptr);
+    if (*state == kArcLive) {
+      *state = kArcDead;
+      --arcs_live_;
+      ++arcs_dead_;
+    }
+  }
 }
 
 bool CrossShardCoordinator::Dead(TxnId txn) const {
@@ -80,6 +99,16 @@ std::uint64_t CrossShardCoordinator::arcs_mirrored() const {
 std::uint64_t CrossShardCoordinator::rejects() const {
   std::lock_guard<std::mutex> lock(mu_);
   return rejects_;
+}
+
+std::uint64_t CrossShardCoordinator::arcs_live() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return arcs_live_;
+}
+
+std::uint64_t CrossShardCoordinator::arcs_dead() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return arcs_dead_;
 }
 
 }  // namespace relser

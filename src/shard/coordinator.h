@@ -104,6 +104,14 @@ class CrossShardCoordinator {
   /// Batches rejected for closing a transaction-level cycle.
   std::uint64_t rejects() const;
 
+  /// Durable-arc census for the future GC pass (ROADMAP): an arc is
+  /// *dead* once either endpoint transaction is tombstoned — it survives
+  /// only as a conservative ordering constraint and is the population a
+  /// watermark-based collector could reclaim. arcs_live + arcs_dead ==
+  /// arc_count always.
+  std::uint64_t arcs_live() const;
+  std::uint64_t arcs_dead() const;
+
  private:
   static std::uint64_t PairKey(TxnId from, TxnId to) {
     return (static_cast<std::uint64_t>(from) << 32) |
@@ -114,11 +122,19 @@ class CrossShardCoordinator {
   std::size_t txn_count_;
   IncrementalTopology topo_;
   std::vector<std::uint8_t> dead_;
-  // Mirrored arc set: key -> 1 (FlatMap64 doubles as the dedup index).
+  // Mirrored arc set: key -> kArcLive / kArcDead (FlatMap64 doubles as
+  // the dedup index).
+  static constexpr std::uint8_t kArcLive = 1;
+  static constexpr std::uint8_t kArcDead = 2;
   FlatMap64<std::uint8_t> pair_index_;
+  // Per-transaction incident arc keys, for flipping live -> dead on
+  // MarkDead without scanning the whole index.
+  std::vector<std::vector<std::uint64_t>> incident_;
   std::vector<std::pair<NodeId, NodeId>> batch_buf_;  // AddArcs scratch
   std::uint64_t arcs_mirrored_ = 0;
   std::uint64_t rejects_ = 0;
+  std::uint64_t arcs_live_ = 0;
+  std::uint64_t arcs_dead_ = 0;
   Tracer* tracer_;
 };
 

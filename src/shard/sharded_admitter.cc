@@ -37,6 +37,7 @@ ShardedAdmitter::ShardedAdmitter(const TransactionSet& txns,
       txn_state_(std::vector<std::atomic<std::uint8_t>>(txns.txn_count())),
       pending_(std::vector<std::atomic<std::uint32_t>>(txns.txn_count())) {
   RELSER_CHECK_MSG(options_.max_batch > 0, "max_batch must be positive");
+  if (options_.snapshot_reads) store_ = std::make_unique<VersionStore>(txns);
   const TraceLevel level = options_.tracer != nullptr ? options_.tracer->level()
                                                       : TraceLevel::kOff;
   const std::size_t shard_count = plan_.shard_count();
@@ -71,6 +72,55 @@ ShardedAdmitter::~ShardedAdmitter() { Stop(); }
 AdmitResult ShardedAdmitter::SubmitAndWait(const Operation& op,
                                            std::chrono::microseconds timeout) {
   const std::size_t gid = indexer_.GlobalId(op);
+  // Snapshot-read fast path: a settled read-only transaction commits
+  // here, on the client thread, without touching any shard ring. See
+  // ConcurrentAdmitter::SubmitAndWait for the classification argument;
+  // the sharded twist is the merge stamp, drawn from admission_stamp_
+  // AFTER the commit CAS. Stamp order is sound because a shard core
+  // stamps a writer's program-order-last accept BEFORE its release
+  // NoteCommit decrement (Decide), and the classification here
+  // acquire-reads that decrement before drawing its own stamp — so a
+  // snapshot block's stamp exceeds the stamp of every operation of
+  // every committed writer of its read set, and CommittedLog splices
+  // the block after all versions it read.
+  if (store_ != nullptr && store_->IsReadOnly(op.txn)) {
+    const std::uint8_t word = decision_[gid].load(std::memory_order_acquire);
+    if (word != 0) {
+      return AdmitResult{static_cast<AdmitOutcome>(word - 1), {}, op.txn};
+    }
+    if (op.index == 0 && TxnState(op.txn) == kStateLive) {
+      if (store_->ReadSetSettled(op.txn)) {
+        std::uint8_t expected = kStateLive;
+        if (txn_state_[op.txn].compare_exchange_strong(
+                expected, kStateCommitted, std::memory_order_acq_rel,
+                std::memory_order_acquire)) {
+          // Watermark read after the settledness check: it covers the
+          // epoch of every finished writer this transaction reads.
+          const std::uint64_t epoch = store_->watermark();
+          const std::uint64_t stamp =
+              admission_stamp_.fetch_add(1, std::memory_order_relaxed);
+          store_->LogSnapshotAdmit(op.txn, epoch, stamp);
+          const Transaction& txn = txns_.txn(op.txn);
+          constexpr auto kAcceptWord = static_cast<std::uint8_t>(
+              1 + static_cast<std::uint8_t>(AdmitOutcome::kAccept));
+          for (std::uint32_t i = 0; i < txn.size(); ++i) {
+            decision_[indexer_.GlobalId(op.txn, i)].store(
+                kAcceptWord, std::memory_order_release);
+          }
+          accepted_.fetch_add(txn.size(), std::memory_order_relaxed);
+          return AdmitResult::Accept(op.txn);
+        }
+        // Lost the CAS to a concurrent AbortTxn: report the death.
+        if (expected >= kStateDead) {
+          return AdmitResult{static_cast<AdmitOutcome>(expected - kStateDead),
+                             {},
+                             op.txn};
+        }
+        return AdmitResult::Reject(op.txn);  // defensive; cannot happen
+      }
+      store_->TryCountEscalation(op.txn);
+    }
+  }
   const std::uint32_t shard = plan_.router().ShardOf(op.object);
   pending_[op.txn].fetch_add(1, std::memory_order_relaxed);
   submitted_.fetch_add(1, std::memory_order_relaxed);
@@ -182,36 +232,80 @@ void ShardedAdmitter::Stop() {
     }
     options_.tracer->MergeFrom(coordinator_tracer_);
     options_.tracer->AddRetries(retry_count_.load(std::memory_order_acquire));
+    if (store_ != nullptr) {
+      // Snapshot admits bypass every core, so no per-core tracer saw
+      // them; fold their events here (tick = the admit's watermark).
+      for (const SnapshotAdmitRecord& rec : store_->SnapshotAdmits()) {
+        options_.tracer->RecordSnapshotRead(rec.txn, rec.epoch);
+        options_.tracer->RecordCommit(rec.txn, rec.epoch);
+      }
+      options_.tracer->AddSnapshotEscalations(store_->snapshot_escalations());
+    }
+    options_.tracer->SetCoordinatorArcCensus(coordinator_.arcs_live(),
+                                             coordinator_.arcs_dead());
   }
 }
 
-std::vector<Operation> ShardedAdmitter::CommittedLog() const {
-  std::vector<std::pair<std::uint64_t, Operation>> merged;
-  for (const auto& core : cores_) {
-    for (const auto& entry : core->accept_log) {
-      if (TxnState(entry.second.txn) == kStateCommitted) merged.push_back(entry);
-    }
-  }
+namespace {
+
+// (stamp, sub) merge key: shard-core accepts are single operations at
+// sub 0; a snapshot-admitted read-only transaction expands to a whole
+// program-order block at its one stamp, ordered by sub. Stamps are
+// unique (one fetch_add per accept / per snapshot admit), so the sort
+// is a total order.
+struct StampedEntry {
+  std::uint64_t stamp;
+  std::uint32_t sub;
+  Operation op;
+};
+
+std::vector<Operation> FinishMerge(std::vector<StampedEntry> merged) {
   std::sort(merged.begin(), merged.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
+            [](const StampedEntry& a, const StampedEntry& b) {
+              return a.stamp != b.stamp ? a.stamp < b.stamp : a.sub < b.sub;
+            });
   std::vector<Operation> log;
   log.reserve(merged.size());
-  for (const auto& entry : merged) log.push_back(entry.second);
+  for (const StampedEntry& entry : merged) log.push_back(entry.op);
   return log;
+}
+
+void AppendSnapshotBlocks(const VersionStore* store,
+                          const TransactionSet& txns,
+                          std::vector<StampedEntry>* merged) {
+  if (store == nullptr) return;
+  for (const SnapshotAdmitRecord& rec : store->SnapshotAdmits()) {
+    const Transaction& txn = txns.txn(rec.txn);
+    for (std::uint32_t i = 0; i < txn.size(); ++i) {
+      merged->push_back(StampedEntry{rec.stamp, i, txn.op(i)});
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Operation> ShardedAdmitter::CommittedLog() const {
+  std::vector<StampedEntry> merged;
+  for (const auto& core : cores_) {
+    for (const auto& entry : core->accept_log) {
+      if (TxnState(entry.second.txn) == kStateCommitted) {
+        merged.push_back(StampedEntry{entry.first, 0, entry.second});
+      }
+    }
+  }
+  AppendSnapshotBlocks(store_.get(), txns_, &merged);
+  return FinishMerge(std::move(merged));
 }
 
 std::vector<Operation> ShardedAdmitter::AdmittedLog() const {
-  std::vector<std::pair<std::uint64_t, Operation>> merged;
+  std::vector<StampedEntry> merged;
   for (const auto& core : cores_) {
-    merged.insert(merged.end(), core->accept_log.begin(),
-                  core->accept_log.end());
+    for (const auto& entry : core->accept_log) {
+      merged.push_back(StampedEntry{entry.first, 0, entry.second});
+    }
   }
-  std::sort(merged.begin(), merged.end(),
-            [](const auto& a, const auto& b) { return a.first < b.first; });
-  std::vector<Operation> log;
-  log.reserve(merged.size());
-  for (const auto& entry : merged) log.push_back(entry.second);
-  return log;
+  AppendSnapshotBlocks(store_.get(), txns_, &merged);
+  return FinishMerge(std::move(merged));
 }
 
 ShardedAdmitter::ShardStats ShardedAdmitter::shard_stats(
@@ -422,6 +516,7 @@ void ShardedAdmitter::Decide(Core& core, const Operation& op) {
   }
 
   const bool last_op = op.index + 1 == txns_.txn(txn).size();
+  bool committed = false;
   if (last_op) {
     // Blocking program-order feeding: this accept means every operation
     // of the transaction (on every shard) was accepted — commit, unless
@@ -430,12 +525,17 @@ void ShardedAdmitter::Decide(Core& core, const Operation& op) {
     if (txn_state_[txn].compare_exchange_strong(expected, kStateCommitted,
                                                 std::memory_order_acq_rel,
                                                 std::memory_order_acquire)) {
+      committed = true;
       if (tracer->counting()) tracer->RecordCommit(txn, core.core_steps);
     }
   }
   const std::uint64_t stamp =
       admission_stamp_.fetch_add(1, std::memory_order_relaxed);
   core.accept_log.emplace_back(stamp, op);
+  // NoteCommit strictly AFTER the last operation's stamp draw: a
+  // snapshot reader observes the release decrement, so its own stamp
+  // (SubmitAndWait fast path) lands after every stamp of this writer.
+  if (committed && store_ != nullptr) store_->NoteCommit(txn);
   Publish(gid, txn, AdmitOutcome::kAccept);
   if (tracer->counting()) tracer->RecordAdmit(op, core.core_steps, 0);
 }
@@ -511,6 +611,7 @@ void ShardedAdmitter::GlobalKill(Core& core, TxnId root, AdmitOutcome outcome,
     }
     return;
   }
+  if (store_ != nullptr) store_->NoteAbort(root);
   Tracer* const tracer = &core.tracer;
   if (tracer->counting()) {
     if (outcome == AdmitOutcome::kTimeout) {

@@ -62,6 +62,7 @@
 #include <vector>
 
 #include "core/admit.h"
+#include "core/mvcc/version_store.h"
 #include "core/online.h"
 #include "exec/backoff.h"
 #include "exec/mpsc_queue.h"
@@ -86,6 +87,15 @@ struct ShardedAdmitterOptions {
   /// Deterministic per-core pause schedule (exec/faultplan.h), keyed by
   /// each shard core's own decision count. Must outlive the admitter.
   const FaultPlan* faults = nullptr;
+  /// MVCC snapshot-read fast path (core/mvcc/version_store.h): when on,
+  /// read-only transactions whose read set is settled (every static
+  /// writer finished) commit on the CLIENT thread against the committed
+  /// watermark — no ring hop, no shard core, no checker arcs, no
+  /// coordinator traffic. Unsettled read-only transactions escalate to
+  /// the normal sharded path unchanged. Off by default: the flag is a
+  /// relaxation knob, and decision bit-identity with the flag off is
+  /// the differential baseline (tests/mvcc_test.cc, bench_mvcc).
+  bool snapshot_reads = false;
 };
 
 /// Partitioned, fault-tolerant admission front-end: one checker per
@@ -172,6 +182,19 @@ class ShardedAdmitter {
 
   const ShardPlan& plan() const { return plan_; }
   const CrossShardCoordinator& coordinator() const { return coordinator_; }
+
+  /// Read-only transactions admitted arc-free from the committed
+  /// watermark (0 unless options.snapshot_reads).
+  std::uint64_t snapshot_admits() const {
+    return store_ != nullptr ? store_->snapshot_admits() : 0;
+  }
+  /// Read-only transactions that failed the settled-read-set test at
+  /// classification and took the normal sharded path instead.
+  std::uint64_t snapshot_escalations() const {
+    return store_ != nullptr ? store_->snapshot_escalations() : 0;
+  }
+  /// The version store backing the fast path; nullptr when off.
+  const VersionStore* version_store() const { return store_.get(); }
 
   /// Per-shard roll-up; safe once Stop returned.
   struct ShardStats {
@@ -275,6 +298,11 @@ class ShardedAdmitter {
   OpIndexer indexer_;  // over the ORIGINAL set (decision words, logs)
   ShardPlan plan_;
   ShardedAdmitterOptions options_;
+  /// Version store for the snapshot-read fast path; null when off.
+  /// Snapshot admits draw their merge stamp from admission_stamp_, the
+  /// same counter the shard cores stamp accepts with, so CommittedLog
+  /// can splice whole read-only blocks between stamped operations.
+  std::unique_ptr<VersionStore> store_;
   CrossShardCoordinator coordinator_;
   Tracer coordinator_tracer_;
 

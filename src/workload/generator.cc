@@ -15,12 +15,17 @@ TransactionSet GenerateTransactions(const WorkloadParams& params, Rng* rng) {
   TransactionSet txns;
   txns.AddObjects(params.object_count);
   const ZipfDistribution zipf(params.object_count, params.zipf_theta);
+  const bool split = params.read_only_txn_ratio >= 0.0;
+  std::vector<std::pair<ObjectId, bool>> accesses;  // (object, is_read)
   for (std::size_t t = 0; t < params.txn_count; ++t) {
     Transaction* txn = txns.AddTransaction();
+    const bool read_only =
+        split && rng->Bernoulli(params.read_only_txn_ratio);
     const std::size_t length = static_cast<std::size_t>(rng->UniformInt(
         static_cast<std::int64_t>(params.min_ops_per_txn),
         static_cast<std::int64_t>(params.max_ops_per_txn)));
     ObjectId previous = static_cast<ObjectId>(params.object_count);  // none
+    accesses.clear();
     for (std::size_t k = 0; k < length; ++k) {
       ObjectId object = static_cast<ObjectId>(zipf.Sample(rng));
       if (params.avoid_immediate_repeat && params.object_count > 1) {
@@ -29,10 +34,30 @@ TransactionSet GenerateTransactions(const WorkloadParams& params, Rng* rng) {
         }
       }
       previous = object;
-      if (rng->Bernoulli(params.read_ratio)) {
-        txn->Read(object);
+      if (!split) {
+        // Legacy path: unchanged rng stream.
+        if (rng->Bernoulli(params.read_ratio)) {
+          txn->Read(object);
+        } else {
+          txn->Write(object);
+        }
       } else {
-        txn->Write(object);
+        accesses.emplace_back(
+            object, read_only || rng->Bernoulli(params.read_ratio));
+      }
+    }
+    if (split) {
+      if (!read_only &&
+          std::all_of(accesses.begin(), accesses.end(),
+                      [](const auto& a) { return a.second; })) {
+        accesses.back().second = false;  // guarantee a writer
+      }
+      for (const auto& [object, is_read] : accesses) {
+        if (is_read) {
+          txn->Read(object);
+        } else {
+          txn->Write(object);
+        }
       }
     }
   }

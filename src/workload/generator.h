@@ -28,6 +28,17 @@ struct WorkloadParams {
   /// Avoid a transaction touching the same object twice in a row (makes
   /// small random workloads less degenerate).
   bool avoid_immediate_repeat = true;
+  /// Read-only transaction ratio (the MVCC snapshot fast-path knob).
+  /// Negative (default) = legacy generation: every access draws
+  /// read_ratio independently, preserving the exact rng stream older
+  /// revisions produced. >= 0 activates the reader/writer split: each
+  /// transaction is read-only (all accesses reads) with this
+  /// probability, and every non-selected transaction is guaranteed at
+  /// least one write (its last access is flipped when sampling produced
+  /// none) — so ratio 0.0 means "0% read-only", the bit-identity
+  /// baseline of bench_mvcc, and 0.95 means the read-heavy web-traffic
+  /// shape.
+  double read_only_txn_ratio = -1.0;
 };
 
 /// Generates a random transaction set.

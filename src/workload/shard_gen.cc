@@ -1,5 +1,8 @@
 #include "workload/shard_gen.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "util/check.h"
 #include "util/zipf.h"
 
@@ -17,13 +20,18 @@ TransactionSet GenerateShardedTransactions(const ShardedWorkloadParams& params,
   TransactionSet txns;
   txns.AddObjects(object_count);
   const ZipfDistribution zipf(params.objects_per_shard, params.zipf_theta);
+  const bool split = params.read_only_txn_ratio >= 0.0;
+  std::vector<std::pair<ObjectId, bool>> accesses;  // (object, is_read)
   for (std::size_t t = 0; t < params.txn_count; ++t) {
     Transaction* txn = txns.AddTransaction();
+    const bool read_only =
+        split && rng->Bernoulli(params.read_only_txn_ratio);
     const std::size_t home =
         static_cast<std::size_t>(rng->UniformU64(params.shard_count));
     const std::size_t length = static_cast<std::size_t>(rng->UniformInt(
         static_cast<std::int64_t>(params.min_ops_per_txn),
         static_cast<std::int64_t>(params.max_ops_per_txn)));
+    accesses.clear();
     for (std::size_t k = 0; k < length; ++k) {
       std::size_t shard = home;
       if (params.shard_count > 1 && rng->Bernoulli(params.cross_shard_ratio)) {
@@ -34,10 +42,30 @@ TransactionSet GenerateShardedTransactions(const ShardedWorkloadParams& params,
       }
       const ObjectId object = static_cast<ObjectId>(
           shard * params.objects_per_shard + zipf.Sample(rng));
-      if (rng->Bernoulli(params.read_ratio)) {
-        txn->Read(object);
+      if (!split) {
+        // Legacy path: unchanged rng stream.
+        if (rng->Bernoulli(params.read_ratio)) {
+          txn->Read(object);
+        } else {
+          txn->Write(object);
+        }
       } else {
-        txn->Write(object);
+        accesses.emplace_back(
+            object, read_only || rng->Bernoulli(params.read_ratio));
+      }
+    }
+    if (split) {
+      if (!read_only &&
+          std::all_of(accesses.begin(), accesses.end(),
+                      [](const auto& a) { return a.second; })) {
+        accesses.back().second = false;  // guarantee a writer
+      }
+      for (const auto& [object, is_read] : accesses) {
+        if (is_read) {
+          txn->Read(object);
+        } else {
+          txn->Write(object);
+        }
       }
     }
   }

@@ -35,6 +35,11 @@ struct ShardedWorkloadParams {
   double cross_shard_ratio = 0.1;
   double zipf_theta = 0.0;   ///< per-shard object skew (0 = uniform)
   double read_ratio = 0.5;   ///< probability an access is a read
+  /// Read-only transaction ratio, exactly as in WorkloadParams:
+  /// negative (default) = legacy stream; >= 0 partitions transactions
+  /// into read-only (all reads) with this probability vs. guaranteed
+  /// writers (at least one write, last access flipped if needed).
+  double read_only_txn_ratio = -1.0;
 };
 
 /// Generates a transaction set over `shard_count * objects_per_shard`
